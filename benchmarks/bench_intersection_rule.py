@@ -1,0 +1,66 @@
+"""B6 — intersection: shared-variable rule vs lattice glb vs relational ∩.
+
+Example 4.2(5) computes the intersection of two relations with the single rule
+``[r: {X}] :- [r1: {X}, r2: {X}]``.  The benchmark compares that rule against
+the direct lattice intersection of the two set objects and against the flat
+relational intersection, sweeping the relation size and the fraction of shared
+rows.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro import parse_rule
+from repro.core.builder import obj
+from repro.core.lattice import intersection
+from repro.relational.algebra import intersect
+from repro.relational.bridge import relation_to_object
+from repro.relational.relation import Relation
+
+SWEEP = [(50, 0.5), (150, 0.5), (150, 0.1), (150, 0.9)]
+INTERSECTION_RULE = "[r: {X}] :- [r1: {X}, r2: {X}]"
+
+
+@lru_cache(maxsize=None)
+def _setup(rows: int, overlap: float):
+    shared_count = int(rows * overlap)
+    shared = [{"a": index, "b": f"v{index % 7}"} for index in range(shared_count)]
+    left_only = [
+        {"a": 10_000 + index, "b": f"v{index % 7}"} for index in range(rows - shared_count)
+    ]
+    right_only = [
+        {"a": 20_000 + index, "b": f"v{index % 7}"} for index in range(rows - shared_count)
+    ]
+    left = Relation(("a", "b"), shared + left_only, name="r1")
+    right = Relation(("a", "b"), shared + right_only, name="r2")
+    database = obj(
+        {"r1": relation_to_object(left), "r2": relation_to_object(right)}
+    )
+    return left, right, database
+
+
+@pytest.mark.benchmark(group="B6-intersection")
+@pytest.mark.parametrize("rows,overlap", SWEEP)
+def test_relational_intersection(benchmark, rows, overlap):
+    left, right, _ = _setup(rows, overlap)
+    result = benchmark(intersect, left, right)
+    assert len(result) == int(rows * overlap)
+
+
+@pytest.mark.benchmark(group="B6-intersection")
+@pytest.mark.parametrize("rows,overlap", SWEEP)
+def test_lattice_glb(benchmark, rows, overlap):
+    _, _, database = _setup(rows, overlap)
+    result = benchmark(intersection, database.get("r1"), database.get("r2"))
+    # The object intersection includes at least the shared full tuples.
+    assert len(result) >= int(rows * overlap)
+
+
+@pytest.mark.benchmark(group="B6-intersection")
+@pytest.mark.parametrize("rows,overlap", SWEEP)
+def test_intersection_rule(benchmark, rows, overlap):
+    _, _, database = _setup(rows, overlap)
+    rule = parse_rule(INTERSECTION_RULE)
+    result = benchmark(rule.apply, database)
+    assert len(result.get("r")) >= int(rows * overlap)

@@ -1,0 +1,50 @@
+"""B2 — cost of union (lub) and intersection (glb) vs object size.
+
+Union and intersection (Definitions 3.4–3.5) are the workhorses of rule
+application: every contribution to ``r(O)`` is folded in with a union, and
+every shared-variable constraint is merged with an intersection.  The sweep
+measures both operations on relation-shaped set objects of growing
+cardinality, plus the union of two *disjoint* relations (the worst case for
+the reduction step, since nothing collapses).
+"""
+
+import pytest
+
+from repro.core.lattice import intersection, union
+from repro.relational.bridge import relation_to_object
+from repro.workloads import make_relation
+
+UNION_SIZES = [25, 100, 400]
+INTERSECTION_SIZES = [25, 100]
+
+
+def _overlapping_pair(rows: int):
+    shared = relation_to_object(make_relation(rows, value_domain=10, rng=7))
+    left_extra = relation_to_object(make_relation(rows // 2, value_domain=10, rng=8))
+    right_extra = relation_to_object(make_relation(rows // 2, value_domain=10, rng=9))
+    return union(shared, left_extra), union(shared, right_extra)
+
+
+@pytest.mark.benchmark(group="B2-union")
+@pytest.mark.parametrize("rows", UNION_SIZES)
+def test_union_overlapping(benchmark, rows):
+    left, right = _overlapping_pair(rows)
+    result = benchmark(union, left, right)
+    assert len(result) >= rows
+
+
+@pytest.mark.benchmark(group="B2-union")
+@pytest.mark.parametrize("rows", UNION_SIZES)
+def test_union_disjoint(benchmark, rows):
+    left = relation_to_object(make_relation(rows, key_attribute="a", rng=1))
+    right = relation_to_object(make_relation(rows, key_attribute="c", rng=2))
+    result = benchmark(union, left, right)
+    assert len(result) == 2 * rows
+
+
+@pytest.mark.benchmark(group="B2-intersection")
+@pytest.mark.parametrize("rows", INTERSECTION_SIZES)
+def test_intersection_overlapping(benchmark, rows):
+    left, right = _overlapping_pair(rows)
+    result = benchmark(intersection, left, right)
+    assert len(result) >= 1

@@ -1,0 +1,49 @@
+"""B9 — matching-engine scaling vs formula shape and database fan-out.
+
+The matching engine enumerates derivation-maximal substitutions; its cost is
+governed by the number of witness choices per set pattern (the fan-out of the
+database) and by the number of patterns/variables in the formula.  The sweep
+crosses three formula shapes (single pattern / two joined patterns / whole-set
+variable) with two database fan-outs, and also reports the cost of
+``match_all`` alone versus the full interpretation (matching + union folding).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro import interpret, parse_formula
+from repro.calculus.matching import match_all
+from repro.workloads import make_join_workload
+
+FORMULAE = {
+    "one-pattern": "[r1: {[a: X, b: Y]}]",
+    "join-two-patterns": "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+    "whole-relation-variable": "[r1: X, r2: Y]",
+}
+ROWS = [100, 300]
+
+
+@lru_cache(maxsize=None)
+def _database(rows: int):
+    return make_join_workload(rows, join_domain=max(5, rows // 10), rng=rows).as_object
+
+
+@pytest.mark.benchmark(group="B9-matching")
+@pytest.mark.parametrize("rows", ROWS)
+@pytest.mark.parametrize("shape", sorted(FORMULAE))
+def test_match_all(benchmark, shape, rows):
+    query = parse_formula(FORMULAE[shape])
+    database = _database(rows)
+    matches = benchmark(match_all, query, database)
+    assert matches
+
+
+@pytest.mark.benchmark(group="B9-interpretation")
+@pytest.mark.parametrize("rows", ROWS)
+@pytest.mark.parametrize("shape", sorted(FORMULAE))
+def test_interpret(benchmark, shape, rows):
+    query = parse_formula(FORMULAE[shape])
+    database = _database(rows)
+    result = benchmark(interpret, query, database)
+    assert not result.is_bottom

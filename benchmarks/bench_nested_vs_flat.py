@@ -1,0 +1,75 @@
+"""B8 — hierarchical retrieval: one nested object vs reconstruction by joins.
+
+The paper's introduction argues that first normal form forces a join per
+nesting level to rebuild a hierarchical object.  The benchmark stores the same
+generated assembly as one nested complex object and as flat ``part`` /
+``component`` relations, then measures (a) retrieving + traversing the nested
+object and (b) reconstructing the hierarchy from the flat relations, across a
+sweep of nesting depths.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.objects import SetObject, TupleObject
+from repro.relational.algebra import select
+from repro.workloads import make_part_hierarchy
+
+SWEEP = [(2, 3), (3, 3), (4, 3)]
+
+
+@lru_cache(maxsize=None)
+def _hierarchy(levels: int, children: int):
+    return make_part_hierarchy(levels, children, rng=levels * 10 + children)
+
+
+def _traverse(nested) -> int:
+    """Walk the nested object, counting parts (what a display routine would do)."""
+    total = 1
+    for child in nested.get("components"):
+        total += _traverse(child)
+    return total
+
+
+def _rebuild(database, root_id: int):
+    parts = database["part"]
+    components = database["component"]
+
+    def build(part_id: int):
+        row = next(iter(select(parts, part_id=part_id)))
+        children = [
+            build(child["part_id"]) for child in select(components, assembly_id=part_id)
+        ]
+        return TupleObject(
+            {
+                "part_id": _atom(row["part_id"]),
+                "kind": _atom(row["kind"]),
+                "weight": _atom(row["weight"]),
+                "components": SetObject(children),
+            }
+        )
+
+    return build(root_id)
+
+
+def _atom(value):
+    from repro.core.objects import Atom
+
+    return Atom(value)
+
+
+@pytest.mark.benchmark(group="B8-nested-vs-flat")
+@pytest.mark.parametrize("levels,children", SWEEP)
+def test_nested_object_traversal(benchmark, levels, children):
+    hierarchy = _hierarchy(levels, children)
+    count = benchmark(_traverse, hierarchy.nested_object)
+    assert count == hierarchy.part_count
+
+
+@pytest.mark.benchmark(group="B8-nested-vs-flat")
+@pytest.mark.parametrize("levels,children", SWEEP)
+def test_flat_reconstruction_by_joins(benchmark, levels, children):
+    hierarchy = _hierarchy(levels, children)
+    rebuilt = benchmark(_rebuild, hierarchy.flat_database, hierarchy.root_id)
+    assert _traverse(rebuilt) == hierarchy.part_count

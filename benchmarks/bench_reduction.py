@@ -1,0 +1,37 @@
+"""B3 — cost of reduction vs the amount of redundancy in a set.
+
+Reduction (Definition 3.3 / the "reduced version" of Definition 3.4) removes
+the elements of a set that are sub-objects of other elements.  The benchmark
+sweeps the fraction of deliberately redundant (dominated) elements in a raw
+set of flat tuples and measures :func:`reduce_object`, together with the
+``is_reduced`` check that a store would run on ingestion.
+"""
+
+import pytest
+
+from repro.core.reduction import is_reduced, reduce_object
+from repro.workloads import random_set_with_redundancy
+
+REDUNDANCY = [0.0, 0.3, 0.6, 0.9]
+BASE_SIZE = 80
+
+
+@pytest.mark.benchmark(group="B3-reduce")
+@pytest.mark.parametrize("redundancy", REDUNDANCY)
+def test_reduce_object(benchmark, redundancy):
+    raw = random_set_with_redundancy(
+        rng=17, base_size=BASE_SIZE, redundancy=redundancy, attributes=4
+    )
+    reduced = benchmark(reduce_object, raw)
+    # Reduction removes exactly the dominated extras, leaving the base tuples.
+    assert len(reduced) == BASE_SIZE
+
+
+@pytest.mark.benchmark(group="B3-is-reduced")
+@pytest.mark.parametrize("redundancy", [0.0, 0.6])
+def test_is_reduced_check(benchmark, redundancy):
+    raw = random_set_with_redundancy(
+        rng=23, base_size=BASE_SIZE, redundancy=redundancy, attributes=4
+    )
+    result = benchmark(is_reduced, raw)
+    assert result == (redundancy == 0.0)

@@ -1,0 +1,89 @@
+"""B10 — object-store throughput: inserts, lookups, pattern search, codec.
+
+Measures the database substrate rather than the calculus itself:
+
+* bulk insert of generated documents into an in-memory store;
+* point lookup by name;
+* pattern search (``find``) with a full scan versus with a path index;
+* JSON codec round-trip of a large object (what the file-backed engine pays
+  per write).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro import parse_object
+from repro.store.codec import from_json_text, to_json_text
+from repro.store.database import ObjectDatabase
+from repro.workloads import make_document_collection
+
+SIZES = [200, 1000]
+
+
+@lru_cache(maxsize=None)
+def _documents(count: int):
+    collection = make_document_collection(count, 3, 4, rng=count)
+    return tuple(collection.get("docs"))
+
+
+def _loaded_database(count: int, indexed: bool) -> ObjectDatabase:
+    database = ObjectDatabase()
+    for position, document in enumerate(_documents(count)):
+        database.put(f"doc{position}", document)
+    if indexed:
+        database.create_index("title")
+    return database
+
+
+@pytest.mark.benchmark(group="B10-insert")
+@pytest.mark.parametrize("count", SIZES)
+def test_bulk_insert(benchmark, count):
+    documents = _documents(count)
+
+    def run():
+        database = ObjectDatabase()
+        for position, document in enumerate(documents):
+            database.put(f"doc{position}", document)
+        return database
+
+    database = benchmark(run)
+    assert len(database) == count
+
+
+@pytest.mark.benchmark(group="B10-lookup")
+@pytest.mark.parametrize("count", SIZES)
+def test_point_lookup(benchmark, count):
+    database = _loaded_database(count, indexed=False)
+    name = f"doc{count // 2}"
+    result = benchmark(database.get, name)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="B10-find")
+@pytest.mark.parametrize("count", SIZES)
+def test_pattern_search_scan(benchmark, count):
+    database = _loaded_database(count, indexed=False)
+    pattern = parse_object(f"[title: doc{count - 1}]")
+    matches = benchmark(database.find, pattern)
+    assert len(matches) == 1
+
+
+@pytest.mark.benchmark(group="B10-find")
+@pytest.mark.parametrize("count", SIZES)
+def test_pattern_search_indexed(benchmark, count):
+    database = _loaded_database(count, indexed=True)
+    pattern = parse_object(f"[title: doc{count - 1}]")
+    matches = benchmark(database.find, pattern, path="title")
+    assert len(matches) == 1
+
+
+@pytest.mark.benchmark(group="B10-codec")
+@pytest.mark.parametrize("count", [200])
+def test_codec_round_trip(benchmark, count):
+    collection = make_document_collection(count, 3, 4, rng=1)
+
+    def run():
+        return from_json_text(to_json_text(collection))
+
+    assert benchmark(run) == collection

@@ -1,0 +1,65 @@
+"""B1 — cost of the sub-object test vs object size and nesting depth.
+
+The sub-object relation (Definition 3.1) is the primitive every other
+operation is built on; this benchmark reports how its cost grows with the
+number of tuples in a relation-shaped object (size sweep) and with the nesting
+depth of a part hierarchy (depth sweep), for both the succeeding ("is a
+sub-object") and the failing comparison.
+"""
+
+import pytest
+
+from repro.core.order import clear_order_cache, is_subobject
+from repro.relational.bridge import relation_to_object
+from repro.workloads import make_part_hierarchy, make_relation
+
+SIZES = [50, 200, 800]
+DEPTHS = [2, 4, 6]
+
+
+def _relation_pair(rows: int):
+    """A relation object and a strictly larger one (two extra attributes kept)."""
+    larger = relation_to_object(make_relation(rows, value_domain=8, rng=rows))
+    smaller_rel = make_relation(rows, value_domain=8, rng=rows)
+    smaller = relation_to_object(
+        smaller_rel.remove(next(iter(smaller_rel)).as_dict())
+    )
+    return smaller, larger
+
+
+@pytest.mark.benchmark(group="B1-subobject-size")
+@pytest.mark.parametrize("rows", SIZES)
+def test_subobject_positive_by_size(benchmark, rows):
+    smaller, larger = _relation_pair(rows)
+
+    def run():
+        clear_order_cache()
+        return is_subobject(smaller, larger)
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.benchmark(group="B1-subobject-size")
+@pytest.mark.parametrize("rows", SIZES)
+def test_subobject_negative_by_size(benchmark, rows):
+    left = relation_to_object(make_relation(rows, value_domain=8, rng=rows))
+    right = relation_to_object(make_relation(rows, value_domain=8, rng=rows + 1))
+
+    def run():
+        clear_order_cache()
+        return is_subobject(left, right)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="B1-subobject-depth")
+@pytest.mark.parametrize("levels", DEPTHS)
+def test_subobject_by_depth(benchmark, levels):
+    hierarchy = make_part_hierarchy(levels, 2, rng=levels)
+    nested = hierarchy.nested_object
+
+    def run():
+        clear_order_cache()
+        return is_subobject(nested, nested)
+
+    assert benchmark(run) is True

@@ -1,0 +1,12 @@
+"""Shared configuration for the benchmark harness.
+
+Ensures the ``src`` layout is importable when the package is not installed and
+keeps pytest-benchmark runs reasonably quick and deterministic.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

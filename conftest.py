@@ -1,0 +1,26 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. a fresh checkout running ``pytest`` directly), and registers
+the shared hypothesis profile used by the property-based tests.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "repro",
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is an optional test dependency
+    pass

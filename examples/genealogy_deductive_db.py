@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A deductive genealogy database (the paper's Example 4.5 at scale).
+
+The scenario: a family-tree knowledge base must answer recursive queries
+("all descendants of the founder") and is implemented three ways on the same
+generated data —
+
+1. the complex-object calculus (Example 4.5's program, evaluated to a closure);
+2. the flat Datalog baseline (semi-naive transitive closure);
+3. the relational baseline (iterated joins over a parent/child table);
+
+and the answers are cross-checked, which is precisely the paper's claim that
+its calculus extends Horn clauses to complex objects.
+
+Run with::
+
+    python examples/genealogy_deductive_db.py [generations] [fanout]
+"""
+
+import sys
+import time
+
+from repro import Program, interpret, parse_formula
+from repro.datalog import DatalogEngine
+from repro.relational.algebra import equijoin, project, rename, union as relation_union
+from repro.relational.relation import Relation
+from repro.workloads import make_genealogy
+
+DESCENDANTS_PROGRAM = """
+[doa: {abraham}].
+[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].
+"""
+
+
+def calculus_descendants(tree) -> set:
+    program = Program.from_source(DESCENDANTS_PROGRAM, database=tree.family_object)
+    closure = program.evaluate()
+    answer = interpret(parse_formula("[doa: X]"), closure.value)
+    return {element.value for element in answer.get("doa")}
+
+
+def datalog_descendants(tree) -> set:
+    engine = DatalogEngine(tree.datalog_program)
+    return {values[0] for values in engine.query("doa")}
+
+
+def relational_descendants(tree) -> set:
+    parent = rename(tree.parent_relation, {"parent": "p", "child": "c"})
+    known = Relation(("person",), [{"person": tree.root}])
+    while True:
+        frontier = rename(known, {"person": "p_query"})
+        joined = equijoin(frontier, parent, [("p_query", "p")])
+        next_generation = rename(project(joined, ["c"]), {"c": "person"})
+        combined = relation_union(known, next_generation)
+        if combined == known:
+            return {row["person"] for row in known}
+        known = combined
+
+
+def timed(label, function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"  {label:<42s} {elapsed:9.2f} ms   ({len(result)} people)")
+    return result
+
+
+def main() -> None:
+    generations = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    fanout = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    tree = make_genealogy(generations, fanout)
+    print(
+        f"Family tree: {len(tree.people)} people, {generations} generations,"
+        f" fanout {fanout}"
+    )
+    print()
+    print("Computing the descendants of the founder three ways:")
+    via_calculus = timed("complex-object calculus (closure)", calculus_descendants, tree)
+    via_datalog = timed("Datalog baseline (semi-naive)", datalog_descendants, tree)
+    via_relational = timed("relational baseline (iterated joins)", relational_descendants, tree)
+
+    expected = set(tree.expected_descendants)
+    assert via_calculus == expected, "calculus answer disagrees with the generator"
+    assert via_datalog == expected, "Datalog answer disagrees with the generator"
+    assert via_relational == expected, "relational answer disagrees with the generator"
+    print()
+    print("All three engines agree with the ground truth.")
+
+    # A richer query only the complex-object calculus states directly: the
+    # names of people whose children include a descendant of the founder —
+    # no artificial identifiers, no joins spelled out.
+    program = Program.from_source(DESCENDANTS_PROGRAM, database=tree.family_object)
+    closure = program.evaluate().value
+    parents_of_descendants = interpret(
+        parse_formula("[family: {[name: N, children: {[name: X]}]}, doa: {X}]"), closure
+    )
+    names = sorted(
+        {element.get("name").value for element in parents_of_descendants.get("family")}
+    )
+    print(f"People with at least one descendant-of-founder child: {len(names)}")
+    print(f"  first few: {names[:6]}")
+
+
+if __name__ == "__main__":
+    main()

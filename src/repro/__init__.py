@@ -1,0 +1,142 @@
+"""repro — A Calculus for Complex Objects (Bancilhon & Khoshafian, PODS 1986).
+
+This package is a complete, from-scratch reproduction of the paper's data
+model, lattice theory and object calculus, together with the database
+substrates needed to evaluate it:
+
+* :mod:`repro.core` — complex objects, the sub-object order and its lattice
+  (Sections 2 and 3 of the paper);
+* :mod:`repro.calculus` — well-formed formulae, rules and fixpoint semantics
+  (Section 4);
+* :mod:`repro.parser` — the paper's concrete syntax;
+* :mod:`repro.relational` — a first-normal-form relational engine and an NF²
+  (nested relational) extension used as baselines;
+* :mod:`repro.datalog` — a Horn-clause (Datalog) engine used as the recursive
+  baseline;
+* :mod:`repro.schema` — a typing/schema extension (the paper's future work);
+* :mod:`repro.algebra` — an algebra of complex objects and a rule-to-algebra
+  translator (the paper's future work);
+* :mod:`repro.store` — a persistent object store with path indexes, updates
+  and transactions;
+* :mod:`repro.workloads` — synthetic data generators used by tests, examples
+  and benchmarks.
+
+Quickstart::
+
+    import repro
+
+    db = repro.parse_object(
+        "[r1: {[name: peter, age: 25], [name: john, age: 7]}]"
+    )
+    query = repro.parse_formula("[r1: {[name: X]}]")
+    print(repro.interpret(query, db))   # [r1: {[name: john], [name: peter]}]
+"""
+
+from repro.core import (
+    BOTTOM,
+    TOP,
+    Atom,
+    Bottom,
+    ComplexObject,
+    SetObject,
+    Top,
+    TupleObject,
+    atom,
+    depth,
+    intersection,
+    intersection_all,
+    is_reduced,
+    is_subobject,
+    obj,
+    objects_equal,
+    reduce_object,
+    set_of,
+    subobject,
+    tup,
+    union,
+    union_all,
+)
+from repro.core.errors import (
+    ComplexObjectError,
+    DivergenceError,
+    ParseError,
+    SchemaError,
+    StoreError,
+)
+from repro.calculus import (
+    ClosureResult,
+    Constant,
+    Formula,
+    Program,
+    Rule,
+    RuleSet,
+    SetFormula,
+    Substitution,
+    TupleFormula,
+    Variable,
+    apply_rule,
+    apply_rules,
+    close,
+    closure_series,
+    formula,
+    interpret,
+    match,
+    var,
+)
+from repro.parser import parse_formula, parse_object, parse_program, parse_rule, pretty
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BOTTOM",
+    "Bottom",
+    "ClosureResult",
+    "ComplexObject",
+    "ComplexObjectError",
+    "Constant",
+    "DivergenceError",
+    "Formula",
+    "ParseError",
+    "Program",
+    "Rule",
+    "RuleSet",
+    "SchemaError",
+    "SetFormula",
+    "SetObject",
+    "StoreError",
+    "Substitution",
+    "TOP",
+    "Top",
+    "TupleFormula",
+    "TupleObject",
+    "Variable",
+    "apply_rule",
+    "apply_rules",
+    "atom",
+    "close",
+    "closure_series",
+    "depth",
+    "formula",
+    "interpret",
+    "intersection",
+    "intersection_all",
+    "is_reduced",
+    "is_subobject",
+    "match",
+    "obj",
+    "objects_equal",
+    "parse_formula",
+    "parse_object",
+    "parse_program",
+    "parse_rule",
+    "pretty",
+    "reduce_object",
+    "set_of",
+    "subobject",
+    "tup",
+    "union",
+    "union_all",
+    "var",
+    "__version__",
+]

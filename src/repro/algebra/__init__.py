@@ -1,0 +1,78 @@
+"""An algebra of complex objects (the paper's future-work item 1).
+
+The conclusions of the paper ask "how [union and intersection] could be used
+to define an algebra of complex objects".  This package answers with a
+concrete, executable algebra:
+
+* :mod:`repro.algebra.ops` — first-order operators on set objects: selection
+  by predicate or by pattern, projection, attribute renaming, map, nest,
+  unnest, flatten, cartesian-style join on attribute equality and the lattice
+  operations lifted to collections;
+* :mod:`repro.algebra.expressions` — a composable expression tree (logical
+  plan) over a database object, with a straightforward evaluator;
+* :mod:`repro.algebra.translate` — a translator from non-recursive calculus
+  rules of the "relational shape" used throughout Example 4.2 into algebra
+  plans, used by the rule-vs-algebra benchmarks and by the integration tests
+  that confirm the two semantics agree.
+"""
+
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Attribute,
+    Intersect,
+    Join,
+    Literal,
+    MapTuple,
+    Nest,
+    Project,
+    Relation,
+    Rename,
+    Root,
+    Select,
+    SelectPattern,
+    Union,
+    Unnest,
+    evaluate,
+)
+from repro.algebra.ops import (
+    flatten,
+    join_on,
+    map_elements,
+    nest_object,
+    pattern_select,
+    project_object,
+    rename_attributes,
+    select_object,
+    unnest_object,
+)
+from repro.algebra.translate import TranslationError, translate_rule
+
+__all__ = [
+    "AlgebraExpression",
+    "Attribute",
+    "Intersect",
+    "Join",
+    "Literal",
+    "MapTuple",
+    "Nest",
+    "Project",
+    "Relation",
+    "Rename",
+    "Root",
+    "Select",
+    "SelectPattern",
+    "TranslationError",
+    "Union",
+    "Unnest",
+    "evaluate",
+    "flatten",
+    "join_on",
+    "map_elements",
+    "nest_object",
+    "pattern_select",
+    "project_object",
+    "rename_attributes",
+    "select_object",
+    "translate_rule",
+    "unnest_object",
+]

@@ -1,0 +1,335 @@
+"""Algebra expression trees (logical plans) and their evaluator.
+
+An :class:`AlgebraExpression` describes a query over a single database object
+(the paper's "the entire database can be modeled by a single object").  Plans
+are built compositionally::
+
+    plan = Project(Select(Relation("r1"), lambda t: t.get("b") == atom("b")), ["a"])
+    result = evaluate(plan, database)
+
+The node set mirrors :mod:`repro.algebra.ops` plus navigation (:class:`Root`,
+:class:`Attribute`, :class:`Relation`), literals, and the lattice operations
+(:class:`Union`, :class:`Intersect`).  Every node is immutable; ``evaluate``
+is a straightforward bottom-up interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import AlgebraError
+from repro.core.lattice import intersection, union
+from repro.core.objects import ComplexObject, SetObject, TupleObject
+from repro.algebra import ops
+
+__all__ = [
+    "AlgebraExpression",
+    "Root",
+    "Literal",
+    "Attribute",
+    "Relation",
+    "Select",
+    "SelectPattern",
+    "Project",
+    "Rename",
+    "MapTuple",
+    "Join",
+    "Nest",
+    "Unnest",
+    "Union",
+    "Intersect",
+    "evaluate",
+]
+
+
+class AlgebraExpression:
+    """Base class of algebra plan nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, database: ComplexObject) -> ComplexObject:
+        """Evaluate this plan against ``database``."""
+        return evaluate(self, database)
+
+    def children(self) -> Tuple["AlgebraExpression", ...]:
+        """The sub-plans of this node (empty for leaves)."""
+        return ()
+
+    def describe(self) -> str:
+        """A one-line, operator-tree description of the plan."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class Root(AlgebraExpression):
+    """The whole database object."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "root"
+
+
+class Literal(AlgebraExpression):
+    """A constant complex object embedded in the plan."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: ComplexObject):
+        object.__setattr__(self, "value", value)
+
+    def describe(self) -> str:
+        return f"literal({self.value.to_text()})"
+
+
+class Attribute(AlgebraExpression):
+    """Navigate to an attribute of the input tuple object."""
+
+    __slots__ = ("source", "name")
+
+    def __init__(self, source: AlgebraExpression, name: str):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "name", name)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"{self.source.describe()}.{self.name}"
+
+
+class Relation(AlgebraExpression):
+    """Shorthand for ``Attribute(Root(), name)`` — a named relation of the database."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Select(AlgebraExpression):
+    """Selection by Python predicate over the elements of a set."""
+
+    __slots__ = ("source", "predicate")
+
+    def __init__(self, source: AlgebraExpression, predicate: Callable[[ComplexObject], bool]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "predicate", predicate)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"select({self.source.describe()})"
+
+
+class SelectPattern(AlgebraExpression):
+    """Selection by sub-object pattern."""
+
+    __slots__ = ("source", "pattern")
+
+    def __init__(self, source: AlgebraExpression, pattern: ComplexObject):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "pattern", pattern)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"select[{self.pattern.to_text()}]({self.source.describe()})"
+
+
+class Project(AlgebraExpression):
+    """Projection of a set of tuples onto a list of attributes."""
+
+    __slots__ = ("source", "attributes")
+
+    def __init__(self, source: AlgebraExpression, attributes: Sequence[str]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"project[{', '.join(self.attributes)}]({self.source.describe()})"
+
+
+class Rename(AlgebraExpression):
+    """Rename top-level attributes of every tuple element."""
+
+    __slots__ = ("source", "mapping")
+
+    def __init__(self, source: AlgebraExpression, mapping: Mapping[str, str]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "mapping", dict(mapping))
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        renames = ", ".join(f"{old}->{new}" for old, new in sorted(self.mapping.items()))
+        return f"rename[{renames}]({self.source.describe()})"
+
+
+class MapTuple(AlgebraExpression):
+    """Apply a Python function to every element of a set."""
+
+    __slots__ = ("source", "function")
+
+    def __init__(
+        self, source: AlgebraExpression, function: Callable[[ComplexObject], ComplexObject]
+    ):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "function", function)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"map({self.source.describe()})"
+
+
+class Join(AlgebraExpression):
+    """Join two sets of tuples on attribute-equality pairs."""
+
+    __slots__ = ("left", "right", "pairs", "prefix_left", "prefix_right")
+
+    def __init__(
+        self,
+        left: AlgebraExpression,
+        right: AlgebraExpression,
+        pairs: Sequence,
+        prefix_left: str = "",
+        prefix_right: str = "",
+    ):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "pairs", tuple(tuple(pair) for pair in pairs))
+        object.__setattr__(self, "prefix_left", prefix_left)
+        object.__setattr__(self, "prefix_right", prefix_right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        condition = ", ".join(f"{l}={r}" for l, r in self.pairs)
+        return f"join[{condition}]({self.left.describe()}, {self.right.describe()})"
+
+
+class Nest(AlgebraExpression):
+    """Nest (group) a set of tuples; see :func:`repro.algebra.ops.nest_object`."""
+
+    __slots__ = ("source", "attributes", "into")
+
+    def __init__(self, source: AlgebraExpression, attributes: Sequence[str], into: str):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "into", into)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"nest[{', '.join(self.attributes)} -> {self.into}]({self.source.describe()})"
+
+
+class Unnest(AlgebraExpression):
+    """Unnest a set-valued attribute; see :func:`repro.algebra.ops.unnest_object`."""
+
+    __slots__ = ("source", "attribute")
+
+    def __init__(self, source: AlgebraExpression, attribute: str):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "attribute", attribute)
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"unnest[{self.attribute}]({self.source.describe()})"
+
+
+class Union(AlgebraExpression):
+    """Lattice union (least upper bound) of the two operands."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"union({self.left.describe()}, {self.right.describe()})"
+
+
+class Intersect(AlgebraExpression):
+    """Lattice intersection (greatest lower bound) of the two operands."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"intersect({self.left.describe()}, {self.right.describe()})"
+
+
+def evaluate(plan: AlgebraExpression, database: ComplexObject) -> ComplexObject:
+    """Evaluate an algebra plan bottom-up against the database object."""
+    if isinstance(plan, Root):
+        return database
+    if isinstance(plan, Literal):
+        return plan.value
+    if isinstance(plan, Relation):
+        if not isinstance(database, TupleObject):
+            raise AlgebraError(
+                f"relation access {plan.name!r} requires a tuple-shaped database"
+            )
+        return database.get(plan.name)
+    if isinstance(plan, Attribute):
+        source = evaluate(plan.source, database)
+        if not isinstance(source, TupleObject):
+            raise AlgebraError(
+                f"attribute access {plan.name!r} applied to non-tuple {source.to_text()}"
+            )
+        return source.get(plan.name)
+    if isinstance(plan, Select):
+        return ops.select_object(evaluate(plan.source, database), plan.predicate)
+    if isinstance(plan, SelectPattern):
+        return ops.pattern_select(evaluate(plan.source, database), plan.pattern)
+    if isinstance(plan, Project):
+        return ops.project_object(evaluate(plan.source, database), plan.attributes)
+    if isinstance(plan, Rename):
+        return ops.rename_attributes(evaluate(plan.source, database), plan.mapping)
+    if isinstance(plan, MapTuple):
+        return ops.map_elements(evaluate(plan.source, database), plan.function)
+    if isinstance(plan, Join):
+        return ops.join_on(
+            evaluate(plan.left, database),
+            evaluate(plan.right, database),
+            plan.pairs,
+            prefix_left=plan.prefix_left,
+            prefix_right=plan.prefix_right,
+        )
+    if isinstance(plan, Nest):
+        return ops.nest_object(evaluate(plan.source, database), plan.attributes, plan.into)
+    if isinstance(plan, Unnest):
+        return ops.unnest_object(evaluate(plan.source, database), plan.attribute)
+    if isinstance(plan, Union):
+        return union(evaluate(plan.left, database), evaluate(plan.right, database))
+    if isinstance(plan, Intersect):
+        return intersection(evaluate(plan.left, database), evaluate(plan.right, database))
+    raise AlgebraError(f"unknown algebra node: {plan!r}")

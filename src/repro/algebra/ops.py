@@ -1,0 +1,207 @@
+"""First-order algebra operators on complex objects.
+
+Every operator is a pure function.  Collection-valued operators expect a set
+object (the natural carrier of a "relation" in the paper's model, whether or
+not its elements are flat) and return a set object; they are deliberately
+forgiving about heterogeneous elements — elements to which an operator does
+not apply are simply dropped, mirroring how the calculus silently ignores
+non-matching sub-objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.errors import AlgebraError
+from repro.core.lattice import intersection, union
+from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
+from repro.core.order import is_subobject
+
+__all__ = [
+    "select_object",
+    "pattern_select",
+    "project_object",
+    "rename_attributes",
+    "map_elements",
+    "join_on",
+    "nest_object",
+    "unnest_object",
+    "flatten",
+]
+
+
+def _require_set(value: ComplexObject, operation: str) -> SetObject:
+    if not isinstance(value, SetObject):
+        raise AlgebraError(f"{operation} expects a set object, got {value.to_text()}")
+    return value
+
+
+def select_object(
+    collection: ComplexObject, predicate: Callable[[ComplexObject], bool]
+) -> SetObject:
+    """Selection by an arbitrary Python predicate over the elements."""
+    elements = _require_set(collection, "select").elements
+    return SetObject(element for element in elements if predicate(element))
+
+
+def pattern_select(collection: ComplexObject, pattern: ComplexObject) -> SetObject:
+    """Selection by pattern: keep the elements of which ``pattern`` is a sub-object.
+
+    ``pattern_select(r1, obj({"b": "b"}))`` is the algebraic counterpart of the
+    calculus selection of Example 4.1(1).
+    """
+    elements = _require_set(collection, "pattern select").elements
+    return SetObject(element for element in elements if is_subobject(pattern, element))
+
+
+def project_object(collection: ComplexObject, attributes: Sequence[str]) -> SetObject:
+    """Projection of a set of tuples onto ``attributes`` (non-tuples are dropped)."""
+    names = tuple(attributes)
+    elements = _require_set(collection, "project").elements
+    projected = []
+    for element in elements:
+        if not isinstance(element, TupleObject):
+            continue
+        projected.append(TupleObject({name: element.get(name) for name in names}))
+    return SetObject(projected)
+
+
+def rename_attributes(
+    collection: ComplexObject, mapping: Mapping[str, str]
+) -> SetObject:
+    """Rename top-level attributes of every tuple element."""
+    elements = _require_set(collection, "rename").elements
+    renamed = []
+    for element in elements:
+        if not isinstance(element, TupleObject):
+            renamed.append(element)
+            continue
+        renamed.append(
+            TupleObject({mapping.get(name, name): value for name, value in element.items()})
+        )
+    return SetObject(renamed)
+
+
+def map_elements(
+    collection: ComplexObject, function: Callable[[ComplexObject], ComplexObject]
+) -> SetObject:
+    """Apply ``function`` to every element and collect the results."""
+    elements = _require_set(collection, "map").elements
+    return SetObject(function(element) for element in elements)
+
+
+def join_on(
+    left: ComplexObject,
+    right: ComplexObject,
+    pairs: Sequence,
+    *,
+    prefix_left: str = "",
+    prefix_right: str = "",
+) -> SetObject:
+    """Join two sets of tuples on equality of attribute pairs.
+
+    ``pairs`` is a sequence of ``(left_attribute, right_attribute)`` names.
+    The joined tuple carries the union of both tuples' attributes; when both
+    sides define the same attribute name the values are joined in the lattice
+    (equal values stay, conflicting values make the attribute ⊤ and therefore
+    the whole tuple ⊤ — callers who want to keep both should pass prefixes).
+    Join attribute values must be non-⊥ to pair up, mirroring both SQL null
+    semantics and the strict calculus semantics.
+    """
+    left_elements = _require_set(left, "join").elements
+    right_elements = _require_set(right, "join").elements
+    results = []
+    for first in left_elements:
+        if not isinstance(first, TupleObject):
+            continue
+        for second in right_elements:
+            if not isinstance(second, TupleObject):
+                continue
+            if not _join_condition_holds(first, second, pairs):
+                continue
+            combined = {}
+            for name, value in first.items():
+                combined[f"{prefix_left}{name}"] = value
+            for name, value in second.items():
+                key = f"{prefix_right}{name}"
+                if key in combined:
+                    combined[key] = union(combined[key], value)
+                else:
+                    combined[key] = value
+            results.append(TupleObject(combined))
+    return SetObject(results)
+
+
+def _join_condition_holds(first: TupleObject, second: TupleObject, pairs: Sequence) -> bool:
+    for left_attr, right_attr in pairs:
+        left_value = first.get(left_attr)
+        right_value = second.get(right_attr)
+        if left_value.is_bottom or right_value.is_bottom:
+            return False
+        if intersection(left_value, right_value).is_bottom:
+            return False
+    return True
+
+
+def nest_object(
+    collection: ComplexObject, attributes: Sequence[str], into: str
+) -> SetObject:
+    """Group a set of tuples on the non-nested attributes (the NF² nest, lifted).
+
+    The values of ``attributes`` of each group are gathered into a set of
+    tuples stored under the ``into`` attribute.
+    """
+    names = tuple(attributes)
+    elements = _require_set(collection, "nest").elements
+    groups = {}
+    for element in elements:
+        if not isinstance(element, TupleObject):
+            continue
+        key_attrs = tuple(
+            (name, element.get(name)) for name in element.attributes if name not in names
+        )
+        inner = TupleObject({name: element.get(name) for name in names})
+        groups.setdefault(key_attrs, []).append(inner)
+    results = []
+    for key_attrs, gathered in groups.items():
+        attributes_map = dict(key_attrs)
+        attributes_map[into] = SetObject(gathered)
+        results.append(TupleObject(attributes_map))
+    return SetObject(results)
+
+
+def unnest_object(collection: ComplexObject, attribute: str) -> SetObject:
+    """Flatten a set-valued ``attribute`` of every tuple element (NF² unnest, lifted)."""
+    elements = _require_set(collection, "unnest").elements
+    results = []
+    for element in elements:
+        if not isinstance(element, TupleObject):
+            continue
+        inner = element.get(attribute)
+        if not isinstance(inner, SetObject):
+            raise AlgebraError(
+                f"cannot unnest attribute {attribute!r} of {element.to_text()}: not a set"
+            )
+        rest = element.without(attribute)
+        for member in inner:
+            if isinstance(member, TupleObject):
+                combined = rest.as_dict()
+                combined.update(member.as_dict())
+                results.append(TupleObject(combined))
+            else:
+                combined = rest.as_dict()
+                combined[attribute] = member
+                results.append(TupleObject(combined))
+    return SetObject(results)
+
+
+def flatten(collection: ComplexObject) -> SetObject:
+    """Union a set of sets into a single set (non-set elements pass through)."""
+    elements = _require_set(collection, "flatten").elements
+    flattened = []
+    for element in elements:
+        if isinstance(element, SetObject):
+            flattened.extend(element.elements)
+        else:
+            flattened.append(element)
+    return SetObject(flattened)

@@ -1,0 +1,249 @@
+"""Translate "relational shape" calculus rules into algebra plans.
+
+Every rule in the paper's Example 4.2 has the same conjunctive shape::
+
+    [r: {HEAD_PATTERN}] :- [r1: {PATTERN1}, r2: {PATTERN2}, ...]
+
+where each ``PATTERNi`` is a flat tuple of variables and constants over one
+named relation of the database and ``HEAD_PATTERN`` is a flat tuple (or a bare
+variable) built from the body's variables and fresh constants.  For that
+fragment the calculus coincides with select–project–join–rename plans, and the
+translator makes the correspondence executable:
+
+* constants in a body pattern become pattern selections,
+* variables become (renamed) output columns,
+* variables shared between two body patterns become join conditions,
+* the head pattern becomes the final projection/renaming, and
+* the head's surrounding structure (the relation name it assigns to) is
+  rebuilt around the computed set.
+
+Rules outside the fragment (nested patterns, recursion through the head,
+set-valued head nesting, several patterns per relation attribute) raise
+:class:`TranslationError`; the calculus evaluates them directly.  The
+``bench_rules_vs_algebra`` benchmark and the integration tests use the
+translator to confirm that both evaluation routes agree on the fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import AlgebraError
+from repro.core.objects import ComplexObject, SetObject, TupleObject
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Join,
+    MapTuple,
+    Project,
+    Relation,
+    Rename,
+    Select,
+    SelectPattern,
+    evaluate,
+)
+from repro.calculus.rules import Rule
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+
+__all__ = ["TranslationError", "RulePlan", "translate_rule"]
+
+
+class TranslationError(AlgebraError):
+    """The rule is outside the translatable conjunctive fragment."""
+
+
+@dataclass(frozen=True)
+class _BodyAtom:
+    """One body conjunct: a flat pattern over one relation of the database."""
+
+    relation: str
+    constants: Tuple[Tuple[str, ComplexObject], ...]
+    variables: Tuple[Tuple[str, str], ...]  # (attribute, variable name)
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """A translated rule: an algebra plan plus the head reconstruction recipe."""
+
+    rule: Rule
+    plan: AlgebraExpression
+    head_relation: Optional[str]
+    output_columns: Tuple[str, ...]
+
+    def apply(self, database: ComplexObject) -> ComplexObject:
+        """Evaluate the plan and rebuild the rule head around the result set."""
+        result_set = evaluate(self.plan, database)
+        if self.head_relation is None:
+            return result_set
+        return TupleObject({self.head_relation: result_set})
+
+
+def translate_rule(rule: Rule) -> RulePlan:
+    """Translate ``rule`` into a :class:`RulePlan`; raises :class:`TranslationError`."""
+    if rule.is_fact:
+        raise TranslationError("facts need no algebra plan")
+    atoms = _parse_body(rule.body)
+    head_relation, head_pattern = _parse_head(rule.head)
+    plan, columns = _build_join_plan(atoms)
+    plan, output_columns = _apply_head(plan, columns, head_pattern)
+    return RulePlan(
+        rule=rule, plan=plan, head_relation=head_relation, output_columns=output_columns
+    )
+
+
+# -- body ---------------------------------------------------------------------------
+def _parse_body(body: Formula) -> List[_BodyAtom]:
+    if not isinstance(body, TupleFormula):
+        raise TranslationError("the body must be a tuple of relation patterns")
+    atoms: List[_BodyAtom] = []
+    for relation_name, value in body.items():
+        if not isinstance(value, SetFormula) or len(value.elements) != 1:
+            raise TranslationError(
+                f"relation {relation_name!r} must be matched by exactly one set pattern"
+            )
+        pattern = value.elements[0]
+        if not isinstance(pattern, TupleFormula):
+            raise TranslationError(
+                f"the pattern for relation {relation_name!r} must be a flat tuple"
+            )
+        constants: List[Tuple[str, ComplexObject]] = []
+        variables: List[Tuple[str, str]] = []
+        for attribute, child in pattern.items():
+            if isinstance(child, Constant):
+                constants.append((attribute, child.value))
+            elif isinstance(child, Variable):
+                variables.append((attribute, child.name))
+            else:
+                raise TranslationError(
+                    f"nested pattern under {relation_name}.{attribute} is not translatable"
+                )
+        atoms.append(
+            _BodyAtom(
+                relation=relation_name,
+                constants=tuple(constants),
+                variables=tuple(variables),
+            )
+        )
+    if not atoms:
+        raise TranslationError("the body references no relation")
+    return atoms
+
+
+def _atom_plan(atom: _BodyAtom) -> Tuple[AlgebraExpression, Tuple[str, ...]]:
+    """Plan for one body atom: select constants, enforce repeated variables, rename."""
+    plan: AlgebraExpression = Relation(atom.relation)
+    if atom.constants:
+        plan = SelectPattern(plan, TupleObject(dict(atom.constants)))
+    # A variable used twice inside the same pattern requires value equality.
+    by_variable: Dict[str, List[str]] = {}
+    for attribute, variable in atom.variables:
+        by_variable.setdefault(variable, []).append(attribute)
+    for variable, attributes in by_variable.items():
+        if len(attributes) > 1:
+            plan = Select(plan, _equal_attributes_predicate(tuple(attributes)))
+    # Keep one column per variable, named after the variable.
+    keep = {attributes[0]: variable for variable, attributes in by_variable.items()}
+    plan = Project(plan, tuple(keep))
+    plan = Rename(plan, keep)
+    return plan, tuple(sorted(by_variable))
+
+
+def _equal_attributes_predicate(attributes: Tuple[str, ...]):
+    def predicate(element: ComplexObject) -> bool:
+        if not isinstance(element, TupleObject):
+            return False
+        first = element.get(attributes[0])
+        if first.is_bottom:
+            return False
+        return all(element.get(name) == first for name in attributes[1:])
+
+    return predicate
+
+
+def _build_join_plan(atoms: Sequence[_BodyAtom]) -> Tuple[AlgebraExpression, Tuple[str, ...]]:
+    plan, columns = _atom_plan(atoms[0])
+    known = set(columns)
+    for atom in atoms[1:]:
+        right_plan, right_columns = _atom_plan(atom)
+        shared = sorted(known & set(right_columns))
+        pairs = [(name, name) for name in shared]
+        if not pairs:
+            # A cross product: join with an always-true condition (no pairs).
+            pairs = []
+        plan = Join(plan, right_plan, pairs)
+        known |= set(right_columns)
+    return plan, tuple(sorted(known))
+
+
+# -- head ---------------------------------------------------------------------------
+def _parse_head(head: Formula) -> Tuple[Optional[str], Formula]:
+    """Split the head into (relation name or None, element pattern)."""
+    if isinstance(head, SetFormula):
+        return None, _single_element(head, "the head set")
+    if isinstance(head, TupleFormula):
+        if len(head) != 1:
+            raise TranslationError("the head must assign to exactly one relation")
+        ((relation_name, value),) = head.items()
+        if not isinstance(value, SetFormula):
+            raise TranslationError("the head relation must be set-valued")
+        return relation_name, _single_element(value, f"the head relation {relation_name!r}")
+    raise TranslationError("the head must be a set or a one-relation tuple")
+
+
+def _single_element(formula: SetFormula, what: str) -> Formula:
+    if len(formula.elements) != 1:
+        raise TranslationError(f"{what} must contain exactly one pattern")
+    return formula.elements[0]
+
+
+def _apply_head(
+    plan: AlgebraExpression, columns: Tuple[str, ...], pattern: Formula
+) -> Tuple[AlgebraExpression, Tuple[str, ...]]:
+    if isinstance(pattern, Variable):
+        if pattern.name not in columns:
+            raise TranslationError(f"head variable {pattern.name} is not produced by the body")
+        # A bare-variable head collects the variable's *values*, not one-column
+        # tuples, so the projected column is unwrapped.
+        projected = Project(plan, (pattern.name,))
+        unwrapped = MapTuple(projected, _extract_attribute_function(pattern.name))
+        return unwrapped, (pattern.name,)
+    if not isinstance(pattern, TupleFormula):
+        raise TranslationError("the head pattern must be a flat tuple or a variable")
+    variable_columns: Dict[str, str] = {}
+    constant_columns: Dict[str, ComplexObject] = {}
+    for attribute, child in pattern.items():
+        if isinstance(child, Variable):
+            if child.name not in columns:
+                raise TranslationError(
+                    f"head variable {child.name} is not produced by the body"
+                )
+            variable_columns[attribute] = child.name
+        elif isinstance(child, Constant):
+            constant_columns[attribute] = child.value
+        else:
+            raise TranslationError("nested head patterns are not translatable")
+    result = Project(plan, tuple(variable_columns.values()))
+    result = Rename(result, {var: attr for attr, var in variable_columns.items()})
+    if constant_columns:
+        result = MapTuple(result, _add_constants_function(constant_columns))
+    return result, tuple(sorted(set(variable_columns) | set(constant_columns)))
+
+
+def _extract_attribute_function(name: str):
+    def extract(element: ComplexObject) -> ComplexObject:
+        if isinstance(element, TupleObject):
+            return element.get(name)
+        return element
+
+    return extract
+
+
+def _add_constants_function(constants: Dict[str, ComplexObject]):
+    def add_constants(element: ComplexObject) -> ComplexObject:
+        if not isinstance(element, TupleObject):
+            return element
+        combined = element.as_dict()
+        combined.update(constants)
+        return TupleObject(combined)
+
+    return add_constants

@@ -1,0 +1,170 @@
+"""The matching engine: enumerate the substitutions behind ``E(O)``.
+
+Definition 4.2 interprets a formula against an object as
+
+    ``E(O) = ⋃ { σE | σ a substitution such that σE ≤ O }``
+
+The set of substitutions is infinite (any variable may be bound to any
+object), so a literal reading is not executable.  The engine exploits two
+facts:
+
+1. **Instantiation is monotone** in the substitution: shrinking a binding can
+   only shrink ``σE`` in the sub-object order, and therefore never breaks
+   ``σE ≤ O``.
+2. **The union absorbs dominated contributions**: if ``σE ≤ σ'E`` then adding
+   ``σE`` to the union changes nothing.
+
+It is therefore enough to enumerate the *derivation-maximal* substitutions: a
+recursive walk of formula and object chooses, for every element of a set
+formula, a witness element of the corresponding set object (or lets a bare
+variable vanish as ⊥), records for every variable occurrence the largest
+object it may be bound to at that occurrence, and intersects (greatest lower
+bound) the per-occurrence bounds of each variable.  Every substitution valid
+for Definition 4.2 is dominated pointwise by one of the enumerated
+substitutions, so the union over the enumerated ones equals the union over all
+of them.  ``tests/test_calculus_matching.py`` cross-checks this claim against
+the brute-force oracle of :func:`repro.calculus.interpretation.interpret_bruteforce`.
+
+**Strict vs literal semantics.**  Read literally, Definition 4.2 lets a
+substitution bind a variable to ⊥.  For a join formula such as Example 4.1(2)
+(``[R1: {[A:X, B:Y]}, R2: {[C:Y, D:Z]}]``) a ⊥ binding for the join variable
+``Y`` erases the join condition — ``[A: 2]`` is a sub-object of
+``[A: 2, B: y]`` even when no R2 tuple matches ``y`` — so the literal reading
+also returns the join-attribute-stripped projections of *non-matching*
+tuples.  That contradicts the paper's own glosses of Examples 4.1 and 4.2
+("join of R1 and R2 with join attributes B = C", "selection on A = a", ...),
+which clearly intend the familiar relational behaviour.  The library therefore
+defaults to the **strict** semantics — substitutions may not bind a variable
+to ⊥ — which reproduces every glossed example, and exposes the literal
+semantics through ``allow_bottom=True`` on every entry point.  The choice is
+recorded as a deviation in ``DESIGN.md``; monotonicity (Lemma 4.1) holds under
+both semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.core.objects import BOTTOM, TOP, ComplexObject, SetObject, TupleObject
+from repro.calculus.substitution import Substitution
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.core.order import is_subobject
+
+__all__ = ["match", "match_all", "count_matches"]
+
+
+def match(
+    formula: Formula, target: ComplexObject, *, allow_bottom: bool = False
+) -> Iterator[Substitution]:
+    """Yield the derivation-maximal substitutions ``σ`` with ``σE ≤ target``.
+
+    With the default ``allow_bottom=False`` (strict semantics) substitutions
+    that bind any variable to ⊥ are discarded; pass ``allow_bottom=True`` for
+    the literal reading of Definition 4.2 (see the module docstring).
+    Duplicate substitutions may be produced when several derivations lead to
+    the same bindings; :func:`match_all` deduplicates.
+    """
+    if not isinstance(formula, Formula):
+        raise TypeError(f"match expects a Formula, got {type(formula).__name__}")
+    if not isinstance(target, ComplexObject):
+        raise TypeError(f"match expects a ComplexObject target, got {type(target).__name__}")
+    candidates = _match(formula, target)
+    if not allow_bottom:
+        candidates = [c for c in candidates if not _has_bottom_binding(c)]
+    return iter(candidates)
+
+
+def match_all(
+    formula: Formula, target: ComplexObject, *, allow_bottom: bool = False
+) -> List[Substitution]:
+    """Return the deduplicated list of derivation-maximal substitutions."""
+    seen = set()
+    results: List[Substitution] = []
+    for candidate in match(formula, target, allow_bottom=allow_bottom):
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        results.append(candidate)
+    return results
+
+
+def count_matches(
+    formula: Formula, target: ComplexObject, *, allow_bottom: bool = False
+) -> int:
+    """Return the number of distinct derivation-maximal substitutions."""
+    return len(match_all(formula, target, allow_bottom=allow_bottom))
+
+
+def _has_bottom_binding(substitution: Substitution) -> bool:
+    return any(value.is_bottom for _, value in substitution.items())
+
+
+def _match(formula: Formula, target: ComplexObject) -> List[Substitution]:
+    # ⊤ dominates every instantiation, so every variable may be bound to ⊤.
+    if target.is_top:
+        return [Substitution({name: TOP for name in formula.variables()})]
+
+    if isinstance(formula, Variable):
+        # The largest object the variable can take at this occurrence is the
+        # target itself.
+        return [Substitution({formula.name: target})]
+
+    if isinstance(formula, Constant):
+        # A ground constant matches exactly when it is a sub-object of the
+        # target; it constrains no variable.
+        if is_subobject(formula.value, target):
+            return [Substitution()]
+        return []
+
+    if isinstance(formula, TupleFormula):
+        if not isinstance(target, TupleObject):
+            # A tuple formula always instantiates to a tuple object, which can
+            # only be a sub-object of a tuple (or ⊤, handled above).
+            return []
+        # Thread the per-attribute alternatives through a running product,
+        # meeting (glb) the bindings of shared variables.
+        partials: List[Substitution] = [Substitution()]
+        for name, child in formula.items():
+            child_matches = _match(child, target.get(name))
+            if not child_matches:
+                return []
+            partials = [
+                partial.meet(candidate) for partial in partials for candidate in child_matches
+            ]
+        return partials
+
+    if isinstance(formula, SetFormula):
+        if not isinstance(target, SetObject):
+            return []
+        partials = [Substitution()]
+        for child in formula.elements:
+            alternatives = _set_element_alternatives(child, target)
+            if not alternatives:
+                return []
+            partials = [
+                partial.meet(candidate) for partial in partials for candidate in alternatives
+            ]
+        return partials
+
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _set_element_alternatives(child: Formula, target: SetObject) -> List[Substitution]:
+    """Alternatives for one element formula of a set formula.
+
+    Each element of the target is a possible witness.  In addition, an element
+    formula whose instantiation can be ⊥ — a bare variable bound to ⊥, or the
+    constant ⊥ itself — can *vanish* from the instantiated set (⊥ is dropped
+    from sets by convention), which matches even the empty set.  The vanish
+    alternative is only emitted when no witness exists, because with a witness
+    available the vanishing binding is dominated and contributes nothing.
+    """
+    alternatives: List[Substitution] = []
+    for element in target.elements:
+        alternatives.extend(_match(child, element))
+    if not alternatives:
+        if isinstance(child, Variable):
+            alternatives.append(Substitution({child.name: BOTTOM}))
+        elif isinstance(child, Constant) and child.value.is_bottom:
+            alternatives.append(Substitution())
+    return alternatives

@@ -1,0 +1,137 @@
+"""Programs: a facade bundling a database object, facts and rules.
+
+The paper models the whole database as a single complex object and expresses
+computation as the closure of that object under a set of rules (Example 4.5
+expresses "descendants of Abraham" this way).  :class:`Program` packages that
+workflow:
+
+* facts (ground rules) seed the database;
+* rules derive new structure;
+* :meth:`Program.evaluate` computes the closure of the seed object under the
+  rules with the divergence guards of :mod:`repro.calculus.fixpoint`;
+* :meth:`Program.query` interprets a formula against the evaluated closure.
+
+Programs can be built from Python structures or parsed from the paper's
+concrete syntax via :meth:`Program.from_source` (which delegates to
+:mod:`repro.parser`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.lattice import union, union_all
+from repro.core.objects import BOTTOM, ComplexObject
+from repro.calculus.fixpoint import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_MAX_NODES,
+    ClosureResult,
+    close,
+)
+from repro.calculus.interpretation import interpret
+from repro.calculus.rules import Rule, RuleSet
+from repro.calculus.safety import RuleDiagnostics, analyze_rules
+from repro.calculus.terms import Formula, formula as to_formula
+
+__all__ = ["Program"]
+
+
+class Program:
+    """A deductive program over complex objects.
+
+    Parameters
+    ----------
+    rules:
+        Rules and facts (facts are rules without a body).
+    database:
+        Optional seed object; defaults to ⊥ (the empty database), in which
+        case facts alone provide the initial content.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        database: Optional[ComplexObject] = None,
+    ):
+        self._rules = RuleSet([r for r in rules if not r.is_fact])
+        self._facts = tuple(r for r in rules if r.is_fact)
+        self._database = database if database is not None else BOTTOM
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls, source: str, database: Optional[ComplexObject] = None
+    ) -> "Program":
+        """Parse a program written in the paper's concrete syntax.
+
+        Each clause ends with a period; clauses without ``:-`` are facts.
+        The import is deferred so the calculus package does not depend on the
+        parser package at import time.
+        """
+        from repro.parser import parse_program
+
+        return cls(parse_program(source), database=database)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def rules(self) -> RuleSet:
+        """The proper (non-fact) rules."""
+        return self._rules
+
+    @property
+    def facts(self) -> Sequence[Rule]:
+        """The facts (ground, bodiless rules)."""
+        return self._facts
+
+    @property
+    def database(self) -> ComplexObject:
+        """The seed database object."""
+        return self._database
+
+    def with_database(self, database: ComplexObject) -> "Program":
+        """Return a copy of the program over a different seed object."""
+        return Program(tuple(self._facts) + tuple(self._rules), database=database)
+
+    def with_rules(self, rules: Iterable[Rule]) -> "Program":
+        """Return a copy with additional rules/facts appended."""
+        combined: List[Rule] = list(self._facts) + list(self._rules) + list(rules)
+        return Program(combined, database=self._database)
+
+    # -- analysis -----------------------------------------------------------------
+    def diagnostics(self) -> List[RuleDiagnostics]:
+        """Static diagnostics for every rule (see :mod:`repro.calculus.safety`)."""
+        return analyze_rules(list(self._facts) + list(self._rules))
+
+    # -- evaluation ---------------------------------------------------------------
+    def seed(self) -> ComplexObject:
+        """The database joined with every fact's contribution."""
+        contributions = [fact.apply(BOTTOM) for fact in self._facts]
+        return union(self._database, union_all(contributions))
+
+    def evaluate(
+        self,
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_depth=DEFAULT_MAX_DEPTH,
+    ) -> ClosureResult:
+        """Compute the closure of the seeded database under the rules."""
+        return close(
+            self.seed(),
+            self._rules,
+            max_iterations=max_iterations,
+            max_nodes=max_nodes,
+            max_depth=max_depth,
+        )
+
+    def query(self, query_formula, **guards) -> ComplexObject:
+        """Evaluate the program and interpret ``query_formula`` against the closure."""
+        closure = self.evaluate(**guards)
+        return interpret(to_formula(query_formula), closure.value)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {len(self._facts)} facts, {len(self._rules)} rules,"
+            f" database={self._database.to_text()}>"
+        )

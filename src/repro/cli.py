@@ -1,0 +1,143 @@
+"""Command-line front end for the complex-object calculus.
+
+The CLI makes the library usable without writing Python: objects, formulae and
+programs are given in the paper's concrete syntax, either inline or in files.
+
+Subcommands
+-----------
+``parse``     parse an object and pretty-print it (checks well-formedness).
+``query``     interpret a formula against a database object (Definition 4.2).
+``apply``     apply a single rule once to a database object (Definition 4.4).
+``run``       evaluate a program (facts + rules) to its closure and optionally
+              interpret a query against the result (Example 4.5 end to end).
+``check``     run the static rule diagnostics over a program.
+
+Examples
+--------
+::
+
+    python -m repro parse "[name: peter, children: {max, susan}]"
+    python -m repro query --database db.obj "[r1: {[name: X]}]"
+    python -m repro run program.co --database family.obj --query "[doa: X]"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.errors import ComplexObjectError
+from repro.calculus.fixpoint import close
+from repro.calculus.interpretation import interpret
+from repro.calculus.program import Program
+from repro.calculus.safety import analyze_rules
+from repro.core.objects import BOTTOM
+from repro.parser import parse_formula, parse_object, parse_program, parse_rule
+from repro.parser.printer import pretty
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_source(value: str) -> str:
+    """Treat ``value`` as a filename when prefixed with '@', else as inline text."""
+    if value.startswith("@"):
+        with open(value[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return value
+
+
+def _load_database(value: Optional[str]):
+    if value is None:
+        return BOTTOM
+    return parse_object(_read_source(value))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A Calculus for Complex Objects (Bancilhon & Khoshafian, 1986)",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    parse_command = subcommands.add_parser("parse", help="parse and pretty-print an object")
+    parse_command.add_argument("object", help="object text, or @file")
+    parse_command.add_argument("--compact", action="store_true", help="one-line output")
+
+    query_command = subcommands.add_parser("query", help="interpret a formula (E(O))")
+    query_command.add_argument("formula", help="formula text, or @file")
+    query_command.add_argument("--database", "-d", required=True, help="object text, or @file")
+    query_command.add_argument(
+        "--allow-bottom", action="store_true", help="use the literal Definition 4.2 semantics"
+    )
+
+    apply_command = subcommands.add_parser("apply", help="apply one rule to an object (r(O))")
+    apply_command.add_argument("rule", help="rule text, or @file")
+    apply_command.add_argument("--database", "-d", required=True, help="object text, or @file")
+
+    run_command = subcommands.add_parser("run", help="evaluate a program to its closure")
+    run_command.add_argument("program", help="program text, or @file")
+    run_command.add_argument("--database", "-d", help="object text, or @file (default ⊥)")
+    run_command.add_argument("--query", "-q", help="formula to interpret against the closure")
+    run_command.add_argument(
+        "--max-iterations", type=int, default=200, help="divergence guard (iterations)"
+    )
+
+    check_command = subcommands.add_parser("check", help="static diagnostics over a program")
+    check_command.add_argument("program", help="program text, or @file")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
+    """Entry point; returns the process exit code (0 success, 1 user error)."""
+    stream = output if output is not None else sys.stdout
+    arguments = build_parser().parse_args(argv)
+    try:
+        if arguments.command == "parse":
+            value = parse_object(_read_source(arguments.object))
+            rendered = value.to_text() if arguments.compact else pretty(value)
+            print(rendered, file=stream)
+        elif arguments.command == "query":
+            database = _load_database(arguments.database)
+            formula = parse_formula(_read_source(arguments.formula))
+            result = interpret(formula, database, allow_bottom=arguments.allow_bottom)
+            print(pretty(result), file=stream)
+        elif arguments.command == "apply":
+            database = _load_database(arguments.database)
+            rule = parse_rule(_read_source(arguments.rule))
+            print(pretty(rule.apply(database)), file=stream)
+        elif arguments.command == "run":
+            program = Program(
+                parse_program(_read_source(arguments.program)),
+                database=_load_database(arguments.database),
+            )
+            result = program.evaluate(max_iterations=arguments.max_iterations)
+            print(f"% closure reached after {result.iterations} iterations", file=stream)
+            if arguments.query:
+                answer = interpret(parse_formula(_read_source(arguments.query)), result.value)
+                print(pretty(answer), file=stream)
+            else:
+                print(pretty(result.value), file=stream)
+        elif arguments.command == "check":
+            rules = parse_program(_read_source(arguments.program))
+            reports = analyze_rules(rules)
+            for report in reports:
+                status = "fact" if report.is_fact else (
+                    "MAY DIVERGE" if report.may_diverge else "ok"
+                )
+                print(f"{status:12s} {report.rule.to_text()}", file=stream)
+                for warning in report.warnings:
+                    print(f"             warning: {warning}", file=stream)
+    except ComplexObjectError as error:
+        print(f"error: {error}", file=stream)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=stream)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Exhaustive enumeration of the sub-object lattice of a finite object.
+
+For a finite object ``O`` the set of *reduced* sub-objects of ``O`` is finite
+(though exponentially large): an atom has two sub-objects (itself and ⊥), a
+tuple's sub-objects pick a sub-object of each attribute value independently,
+and a set's sub-objects are the reduced sets whose elements are each dominated
+by some element of the original set.
+
+The enumeration is the brute-force oracle behind two families of tests:
+
+* the calculus tests compare the optimized matching engine against a literal
+  reading of Definition 4.2 (``E(O) = ⋃ {σE | σE ≤ O}`` quantified over every
+  substitution built from enumerated sub-objects);
+* the order/lattice property tests verify that ``union``/``intersection`` of
+  enumerated sub-objects are genuinely least/greatest among the enumerated
+  bounds.
+
+Because the lattice explodes combinatorially, :func:`all_subobjects` accepts a
+``limit`` and raises once it is exceeded; tests only call it on small objects.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator, List, Optional
+
+from repro.core.errors import ComplexObjectError
+from repro.core.objects import BOTTOM, Atom, Bottom, ComplexObject, SetObject, Top, TupleObject
+from repro.core.order import maximal_elements
+
+__all__ = ["all_subobjects", "count_subobjects", "iter_subobjects"]
+
+
+class EnumerationLimitExceeded(ComplexObjectError):
+    """Raised when the sub-object lattice is larger than the requested limit."""
+
+
+def all_subobjects(value: ComplexObject, limit: Optional[int] = 100_000) -> List[ComplexObject]:
+    """Return every reduced sub-object of ``value`` (⊤ excluded, ⊥ included).
+
+    Raises :class:`EnumerationLimitExceeded` when more than ``limit`` objects
+    would be produced; pass ``limit=None`` to disable the guard.
+    """
+    results: List[ComplexObject] = []
+    seen = set()
+    for candidate in iter_subobjects(value):
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        results.append(candidate)
+        if limit is not None and len(results) > limit:
+            raise EnumerationLimitExceeded(
+                f"object has more than {limit} sub-objects; refusing to enumerate"
+            )
+    return results
+
+
+def count_subobjects(value: ComplexObject, limit: Optional[int] = 100_000) -> int:
+    """Return the number of distinct reduced sub-objects of ``value``."""
+    return len(all_subobjects(value, limit=limit))
+
+
+def iter_subobjects(value: ComplexObject) -> Iterator[ComplexObject]:
+    """Yield the reduced sub-objects of ``value`` (possibly with duplicates)."""
+    if isinstance(value, Bottom):
+        yield BOTTOM
+        return
+    if isinstance(value, Top):
+        # Every object is a sub-object of ⊤; that set is infinite, so we only
+        # report the two distinguished bounds and leave the rest to callers.
+        yield BOTTOM
+        yield value
+        return
+    if isinstance(value, Atom):
+        yield BOTTOM
+        yield value
+        return
+    if isinstance(value, TupleObject):
+        yield BOTTOM
+        names = value.attributes
+        options = [all_subobjects_nolimit(value.get(name)) for name in names]
+        for choice in product(*options):
+            attributes = {
+                name: sub for name, sub in zip(names, choice) if not sub.is_bottom
+            }
+            yield TupleObject(attributes)
+        return
+    if isinstance(value, SetObject):
+        yield BOTTOM
+        # Candidate elements: every sub-object of every element, minus ⊥
+        # (which normalization drops from sets anyway).
+        candidates: List[ComplexObject] = []
+        seen = set()
+        for element in value:
+            for sub in iter_subobjects(element):
+                if sub.is_bottom or sub in seen:
+                    continue
+                seen.add(sub)
+                candidates.append(sub)
+        for size in range(0, len(candidates) + 1):
+            for combo in combinations(candidates, size):
+                reduced = maximal_elements(combo)
+                if len(reduced) != len(combo):
+                    # A non-reduced combination duplicates a smaller one.
+                    continue
+                yield SetObject.raw(reduced)
+        return
+    raise TypeError(f"not a complex object: {value!r}")
+
+
+def all_subobjects_nolimit(value: ComplexObject) -> List[ComplexObject]:
+    """Deduplicated list of sub-objects without a growth guard (internal)."""
+    results: List[ComplexObject] = []
+    seen = set()
+    for candidate in iter_subobjects(value):
+        if candidate not in seen:
+            seen.add(candidate)
+            results.append(candidate)
+    return results

@@ -1,0 +1,98 @@
+"""Object equality (Definition 2.2 of the paper) and normalization.
+
+Definition 2.2 states:
+
+(i)   two atomic objects are equal iff they are the same;
+(ii)  two tuple objects without ⊤-valued attributes are equal iff they take
+      equal values on every attribute (an absent attribute reads as ⊥, so a
+      ⊥-valued attribute is the same as an absent one);
+(iii) two set objects with non-⊤ elements are equal iff their elements are
+      pairwise equal, and adding or removing ⊥ does not change a set;
+(iv)  every object containing ⊤ equals ⊤.
+
+The default constructors in :mod:`repro.core.objects` already apply the ⊥/⊤
+conventions, so for objects built through them Python ``==`` *is* paper
+equality.  The functions here exist for *raw* objects (built with
+``TupleObject.raw`` / ``SetObject.raw``): :func:`normalize` applies the
+conventions recursively and :func:`objects_equal` compares the normal forms.
+
+Note that :func:`normalize` deliberately does **not** reduce sets: Definition
+2.2 distinguishes ``{[a: 1], [a: 1, b: 2]}`` from ``{[a: 1, b: 2]}`` even
+though the two are mutual sub-objects; reduction is a separate restriction on
+the object space (Definition 3.3, :mod:`repro.core.reduction`).
+"""
+
+from __future__ import annotations
+
+from repro.core.objects import (
+    BOTTOM,
+    TOP,
+    Atom,
+    Bottom,
+    ComplexObject,
+    SetObject,
+    Top,
+    TupleObject,
+)
+
+__all__ = ["normalize", "objects_equal", "contains_top", "contains_bottom"]
+
+
+def normalize(value: ComplexObject) -> ComplexObject:
+    """Return the normal form of ``value`` under the ⊥/⊤ conventions.
+
+    ⊥-valued attributes and ⊥ elements are removed, and any object containing
+    ⊤ collapses to ⊤.  The result is structurally canonical, so two objects are
+    equal in the sense of Definition 2.2 exactly when their normal forms
+    compare equal with ``==``.
+    """
+    if isinstance(value, (Atom, Top, Bottom)):
+        return value
+    if isinstance(value, TupleObject):
+        attributes = {}
+        for name, item in value.items():
+            normalized = normalize(item)
+            if normalized.is_top:
+                return TOP
+            if normalized.is_bottom:
+                continue
+            attributes[name] = normalized
+        return TupleObject.raw(attributes)
+    if isinstance(value, SetObject):
+        elements = []
+        for element in value:
+            normalized = normalize(element)
+            if normalized.is_top:
+                return TOP
+            if normalized.is_bottom:
+                continue
+            elements.append(normalized)
+        return SetObject.raw(elements)
+    raise TypeError(f"not a complex object: {value!r}")
+
+
+def objects_equal(left: ComplexObject, right: ComplexObject) -> bool:
+    """Equality in the sense of Definition 2.2, valid for raw objects too."""
+    return normalize(left) == normalize(right)
+
+
+def contains_top(value: ComplexObject) -> bool:
+    """Return ``True`` when ``value`` contains ⊤ anywhere (so it equals ⊤)."""
+    if value.is_top:
+        return True
+    if isinstance(value, TupleObject):
+        return any(contains_top(item) for _, item in value.items())
+    if isinstance(value, SetObject):
+        return any(contains_top(element) for element in value)
+    return False
+
+
+def contains_bottom(value: ComplexObject) -> bool:
+    """Return ``True`` when ``value`` contains ⊥ anywhere (including being ⊥)."""
+    if value.is_bottom:
+        return True
+    if isinstance(value, TupleObject):
+        return any(contains_bottom(item) for _, item in value.items())
+    if isinstance(value, SetObject):
+        return any(contains_bottom(element) for element in value)
+    return False

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the complex-object library.
+
+All library-specific exceptions derive from :class:`ComplexObjectError` so a
+caller can catch everything raised by the package with a single handler while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ComplexObjectError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class NotAnObjectError(ComplexObjectError, TypeError):
+    """A Python value could not be converted into a complex object.
+
+    Raised by the convenience constructors in :mod:`repro.core.builder` when
+    they encounter a value outside the model of Definition 2.1 (for example a
+    ``None``, a function, or a dictionary with non-string keys).
+    """
+
+
+class NormalizationError(ComplexObjectError, ValueError):
+    """An object violates a structural invariant that normalization assumes.
+
+    This is an internal-consistency error: it indicates a raw object was
+    constructed with components that are not complex objects at all.
+    """
+
+
+class DivergenceError(ComplexObjectError, RuntimeError):
+    """A fixpoint computation exceeded its resource guards.
+
+    The calculus of Section 4 admits rule sets with no finite closure
+    (Example 4.6 of the paper).  :func:`repro.calculus.fixpoint.close` raises
+    this exception when the iteration, size, or depth guard trips, and records
+    the partially computed object on the ``partial`` attribute so callers can
+    inspect how far the computation got.
+    """
+
+    def __init__(self, message: str, partial=None, iterations: int = 0):
+        super().__init__(message)
+        self.partial = partial
+        self.iterations = iterations
+
+
+class ParseError(ComplexObjectError, ValueError):
+    """The concrete-syntax parser rejected its input.
+
+    Carries the offending position so error messages can point at the exact
+    character where parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        location = ""
+        if text:
+            line = text.count("\n", 0, position) + 1
+            column = position - (text.rfind("\n", 0, position) + 1) + 1
+            location = f" at line {line}, column {column}"
+        super().__init__(f"{message}{location}")
+        self.text = text
+        self.position = position
+
+
+class SchemaError(ComplexObjectError, ValueError):
+    """An object or formula does not conform to a declared type."""
+
+
+class AlgebraError(ComplexObjectError, ValueError):
+    """An algebra expression is ill-formed or was applied to an unsuitable object."""
+
+
+class StoreError(ComplexObjectError, RuntimeError):
+    """The object store could not complete a request."""
+
+
+class TransactionError(StoreError):
+    """A transaction was used after commit/abort or violated isolation rules."""

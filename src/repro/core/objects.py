@@ -1,0 +1,516 @@
+"""Complex objects (Definition 2.1 of the paper).
+
+Objects are built recursively from
+
+* atomic objects (integers, floats, strings, booleans) — :class:`Atom`;
+* two special objects, ``TOP`` (the inconsistent object, written ⊤) and
+  ``BOTTOM`` (the undefined object, written ⊥) — :class:`Top` /
+  :class:`Bottom`;
+* tuple objects ``[a1: o1, ..., an: on]`` — :class:`TupleObject`;
+* set objects ``{o1, ..., on}`` — :class:`SetObject`.
+
+Every object is **immutable and hashable**.  The public constructors apply the
+paper's conventions automatically (end of Section 2 and Definition 3.3):
+
+* a ⊥-valued attribute is the same as an absent attribute, so ⊥ values are
+  dropped from tuples;
+* ⊥ is dropped from sets;
+* any object containing ⊤ is ⊤;
+* sets are *reduced*: no element may be a sub-object of another element
+  (Definition 3.3), which is the restriction under which the sub-object
+  relation is a partial order (Theorem 3.2).
+
+The raw classmethods (:meth:`TupleObject.raw`, :meth:`SetObject.raw`) bypass
+the conventions; they exist so the library can state and test the paper's
+counterexamples (Example 3.2) and the equality axioms themselves
+(Definition 2.2) on non-normalized objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.atoms import AtomValue, atom_key, atom_sort, is_atom_value
+from repro.core.errors import NormalizationError
+
+__all__ = [
+    "ComplexObject",
+    "Atom",
+    "Top",
+    "Bottom",
+    "TupleObject",
+    "SetObject",
+    "TOP",
+    "BOTTOM",
+]
+
+# Kind ranks used by the canonical total order over objects (sort keys).  The
+# order between kinds is arbitrary but fixed; it only has to be *total* so set
+# objects can be stored deterministically.
+_RANK_BOTTOM = 0
+_RANK_ATOM = 1
+_RANK_TUPLE = 2
+_RANK_SET = 3
+_RANK_TOP = 4
+
+
+class ComplexObject:
+    """Abstract base class of every complex object.
+
+    Concrete subclasses are :class:`Atom`, :class:`Top`, :class:`Bottom`,
+    :class:`TupleObject` and :class:`SetObject`.  Instances are immutable;
+    equality and hashing are structural on the canonical representation.
+    """
+
+    __slots__ = ("_key", "_hash")
+
+    kind: str = "abstract"
+
+    # -- classification helpers -------------------------------------------------
+    @property
+    def is_atom(self) -> bool:
+        """``True`` for atomic objects."""
+        return self.kind == "atom"
+
+    @property
+    def is_tuple(self) -> bool:
+        """``True`` for tuple objects."""
+        return self.kind == "tuple"
+
+    @property
+    def is_set(self) -> bool:
+        """``True`` for set objects."""
+        return self.kind == "set"
+
+    @property
+    def is_top(self) -> bool:
+        """``True`` for the inconsistent object ⊤."""
+        return self.kind == "top"
+
+    @property
+    def is_bottom(self) -> bool:
+        """``True`` for the undefined object ⊥."""
+        return self.kind == "bottom"
+
+    # -- canonical ordering ------------------------------------------------------
+    def sort_key(self):
+        """Return a totally ordered, hashable key for this object.
+
+        The key is used to store set elements canonically (sorted, distinct)
+        so that structurally equal objects have identical representations,
+        which in turn makes ``==`` and ``hash`` implement the paper's equality
+        on normalized objects.
+        """
+        key = self._key
+        if key is None:
+            key = self._compute_key()
+            object.__setattr__(self, "_key", key)
+        return key
+
+    def _compute_key(self):  # pragma: no cover - overridden by every subclass
+        raise NotImplementedError
+
+    # -- equality / hashing ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ComplexObject):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.sort_key())
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __lt__(self, other: "ComplexObject") -> bool:
+        """Canonical (arbitrary) total order; *not* the sub-object order."""
+        if not isinstance(other, ComplexObject):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    # -- immutability ------------------------------------------------------------
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} objects are immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"{type(self).__name__} objects are immutable")
+
+    # -- display -----------------------------------------------------------------
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.to_text()}>"
+
+    def to_text(self) -> str:
+        """Render the object in the paper's concrete syntax.
+
+        The rendering round-trips through :func:`repro.parser.parse_object`.
+        """
+        raise NotImplementedError
+
+
+def _init_cache(instance: ComplexObject) -> None:
+    """Initialise the lazily computed key/hash slots, bypassing immutability."""
+    object.__setattr__(instance, "_key", None)
+    object.__setattr__(instance, "_hash", None)
+
+
+class Top(ComplexObject):
+    """The inconsistent object ⊤ (Definition 2.1(ii)).
+
+    ⊤ is the greatest element of the sub-object lattice: every object is a
+    sub-object of ⊤, and any object containing ⊤ collapses to ⊤.  The class is
+    a singleton; use the module-level constant :data:`TOP`.
+    """
+
+    __slots__ = ()
+    kind = "top"
+    _instance: Optional["Top"] = None
+
+    def __new__(cls) -> "Top":
+        if cls._instance is None:
+            instance = super().__new__(cls)
+            _init_cache(instance)
+            cls._instance = instance
+        return cls._instance
+
+    def _compute_key(self):
+        return (_RANK_TOP,)
+
+    def to_text(self) -> str:
+        return "top"
+
+
+class Bottom(ComplexObject):
+    """The undefined object ⊥ (Definition 2.1(ii)).
+
+    ⊥ is the least element of the sub-object lattice; it also plays the role of
+    the null value: a ⊥-valued attribute is indistinguishable from an absent
+    attribute.  The class is a singleton; use the module-level constant
+    :data:`BOTTOM`.
+    """
+
+    __slots__ = ()
+    kind = "bottom"
+    _instance: Optional["Bottom"] = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            instance = super().__new__(cls)
+            _init_cache(instance)
+            cls._instance = instance
+        return cls._instance
+
+    def _compute_key(self):
+        return (_RANK_BOTTOM,)
+
+    def to_text(self) -> str:
+        return "bottom"
+
+
+#: The unique inconsistent object ⊤.
+TOP = Top()
+#: The unique undefined object ⊥.
+BOTTOM = Bottom()
+
+
+class Atom(ComplexObject):
+    """An atomic object: an integer, float, string or boolean wrapper.
+
+    Atoms of different sorts are different objects even when the underlying
+    Python values compare equal (``Atom(1) != Atom(1.0) != Atom(True)``),
+    mirroring the paper's "equal iff they are the same".
+    """
+
+    __slots__ = ("value",)
+    kind = "atom"
+
+    def __new__(cls, value: AtomValue) -> "Atom":
+        if not is_atom_value(value):
+            raise NormalizationError(
+                f"atomic objects must be int, float, str or bool, got {type(value).__name__}"
+            )
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        object.__setattr__(instance, "value", value)
+        return instance
+
+    @property
+    def sort(self) -> str:
+        """The sort of the atom: ``"bool"``, ``"int"``, ``"float"`` or ``"string"``."""
+        return atom_sort(self.value)
+
+    def _compute_key(self):
+        return (_RANK_ATOM,) + atom_key(self.value)
+
+    def to_text(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return _render_string(self.value)
+        return repr(self.value)
+
+
+_BARE_STRING_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _render_string(value: str) -> str:
+    """Render a string atom, quoting it unless it is a bare lowercase identifier.
+
+    The paper writes string constants as bare identifiers starting with a lower
+    case letter (``john``, ``austin``).  Anything else is quoted so rendering
+    always round-trips through the parser.
+    """
+    if value and value[0].isalpha() and value[0].islower() and set(value) <= _BARE_STRING_OK:
+        if value not in ("top", "bottom", "true", "false"):
+            return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+class TupleObject(ComplexObject):
+    """A tuple object ``[a1: o1, ..., an: on]`` (Definition 2.1(iii)).
+
+    Attribute names are strings; attribute values are complex objects.  Missing
+    attributes read as ⊥ (``O.a = ⊥ for all a not in {a1..an}``), which the
+    :meth:`get` accessor implements.  The default constructor applies the
+    paper's conventions: ⊥-valued attributes are dropped and a ⊤-valued
+    attribute collapses the whole tuple to ⊤ (so the constructor may return
+    :data:`TOP` rather than a :class:`TupleObject`).
+    """
+
+    __slots__ = ("_attrs",)
+    kind = "tuple"
+
+    def __new__(cls, attributes: Optional[Mapping[str, ComplexObject]] = None, **kwargs):
+        mapping: Dict[str, ComplexObject] = {}
+        if attributes:
+            mapping.update(attributes)
+        if kwargs:
+            mapping.update(kwargs)
+        cleaned: Dict[str, ComplexObject] = {}
+        for name, value in mapping.items():
+            _check_attribute(name, value)
+            if value.is_top:
+                return TOP
+            if value.is_bottom:
+                continue
+            cleaned[name] = value
+        return cls._build(cleaned)
+
+    @classmethod
+    def raw(cls, attributes: Mapping[str, ComplexObject]) -> "TupleObject":
+        """Build a tuple without applying the ⊥/⊤ conventions.
+
+        Only intended for tests of Definition 2.2 and for the normalization
+        function itself; regular code should use the default constructor.
+        """
+        mapping: Dict[str, ComplexObject] = {}
+        for name, value in attributes.items():
+            _check_attribute(name, value)
+            mapping[name] = value
+        return cls._build(mapping)
+
+    @classmethod
+    def _build(cls, attributes: Dict[str, ComplexObject]) -> "TupleObject":
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        ordered = tuple(sorted(attributes.items(), key=lambda item: item[0]))
+        object.__setattr__(instance, "_attrs", ordered)
+        return instance
+
+    # -- mapping-style access ----------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names present in the tuple, in canonical order."""
+        return tuple(name for name, _ in self._attrs)
+
+    def get(self, name: str) -> ComplexObject:
+        """Return the value of attribute ``name``; ⊥ when absent (O.a = ⊥)."""
+        for attr, value in self._attrs:
+            if attr == name:
+                return value
+        return BOTTOM
+
+    def __getitem__(self, name: str) -> ComplexObject:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(attr == name for attr, _ in self._attrs)
+
+    def items(self) -> Tuple[Tuple[str, ComplexObject], ...]:
+        """The ``(attribute, value)`` pairs in canonical order."""
+        return self._attrs
+
+    def as_dict(self) -> Dict[str, ComplexObject]:
+        """A fresh dict of the tuple's attributes (safe to mutate)."""
+        return dict(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def replace(self, **changes: ComplexObject) -> ComplexObject:
+        """Return a copy with the given attributes replaced (⊥ removes one)."""
+        mapping = self.as_dict()
+        mapping.update(changes)
+        return TupleObject(mapping)
+
+    def without(self, *names: str) -> "TupleObject":
+        """Return a copy with the given attributes removed."""
+        mapping = {k: v for k, v in self._attrs if k not in names}
+        return TupleObject._build(mapping)
+
+    def _compute_key(self):
+        return (
+            _RANK_TUPLE,
+            tuple((name, value.sort_key()) for name, value in self._attrs),
+        )
+
+    def to_text(self) -> str:
+        inner = ", ".join(f"{name}: {value.to_text()}" for name, value in self._attrs)
+        return f"[{inner}]"
+
+
+class SetObject(ComplexObject):
+    """A set object ``{o1, ..., on}`` (Definition 2.1(iv)).
+
+    Elements are complex objects of arbitrary, possibly heterogeneous kinds —
+    the model is schema-less.  The default constructor applies the paper's
+    conventions (⊥ dropped, ⊤ propagates) and *reduces* the set: no retained
+    element is a sub-object of another retained element (Definition 3.3).
+    Elements are stored sorted under the canonical order, so structural
+    equality coincides with the paper's set equality.
+    """
+
+    __slots__ = ("_elements",)
+    kind = "set"
+
+    def __new__(cls, elements: Iterable[ComplexObject] = ()):  # noqa: D102 - documented above
+        collected = []
+        for element in elements:
+            _check_element(element)
+            if element.is_top:
+                return TOP
+            if element.is_bottom:
+                continue
+            collected.append(element)
+        reduced = _reduce_elements(collected)
+        return cls._build(reduced)
+
+    @classmethod
+    def raw(cls, elements: Iterable[ComplexObject]) -> "SetObject":
+        """Build a set without ⊥/⊤ conventions and without reduction.
+
+        Duplicate elements (structural equality) are still merged, because a
+        set cannot contain the same object twice.  This constructor exists so
+        the paper's non-reduced counterexamples (Example 3.2) can be built.
+        """
+        collected = []
+        for element in elements:
+            _check_element(element)
+            collected.append(element)
+        return cls._build(collected)
+
+    @classmethod
+    def _build(cls, elements: Iterable[ComplexObject]) -> "SetObject":
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        unique = {}
+        for element in elements:
+            unique[element.sort_key()] = element
+        ordered = tuple(unique[key] for key in sorted(unique))
+        object.__setattr__(instance, "_elements", ordered)
+        return instance
+
+    # -- collection-style access ---------------------------------------------------
+    @property
+    def elements(self) -> Tuple[ComplexObject, ...]:
+        """The elements in canonical order."""
+        return self._elements
+
+    def __iter__(self) -> Iterator[ComplexObject]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        return isinstance(element, ComplexObject) and any(
+            element == member for member in self._elements
+        )
+
+    def add(self, element: ComplexObject) -> "SetObject":
+        """Return a new set with ``element`` added (and the result re-reduced)."""
+        return SetObject(self._elements + (element,))
+
+    def discard(self, element: ComplexObject) -> "SetObject":
+        """Return a new set without ``element`` (no error if absent)."""
+        return SetObject._build(e for e in self._elements if e != element)
+
+    def _compute_key(self):
+        return (_RANK_SET, tuple(element.sort_key() for element in self._elements))
+
+    def to_text(self) -> str:
+        inner = ", ".join(element.to_text() for element in self._elements)
+        return "{" + inner + "}"
+
+
+def _check_attribute(name: str, value: object) -> None:
+    if not isinstance(name, str) or not name:
+        raise NormalizationError(f"attribute names must be non-empty strings, got {name!r}")
+    if not isinstance(value, ComplexObject):
+        raise NormalizationError(
+            f"attribute {name!r} must map to a ComplexObject, got {type(value).__name__};"
+            " use repro.obj() to convert plain Python values"
+        )
+
+
+def _check_element(element: object) -> None:
+    if not isinstance(element, ComplexObject):
+        raise NormalizationError(
+            f"set elements must be ComplexObject instances, got {type(element).__name__};"
+            " use repro.obj() to convert plain Python values"
+        )
+
+
+def _reduce_elements(elements):
+    """Drop elements that are sub-objects of some other element.
+
+    The sub-object test lives in :mod:`repro.core.order`, which imports this
+    module; the import is therefore deferred to call time to break the cycle.
+    """
+    if len(elements) <= 1:
+        return elements
+    from repro.core.order import is_subobject
+
+    unique = {}
+    for element in elements:
+        unique[element.sort_key()] = element
+    candidates = list(unique.values())
+    kept = []
+    for index, element in enumerate(candidates):
+        dominated = False
+        for other_index, other in enumerate(candidates):
+            if index == other_index:
+                continue
+            if is_subobject(element, other):
+                # Keep exactly one representative of a mutual-subobject pair
+                # (possible when the *elements* themselves are not reduced):
+                # the earlier one survives, the later one is dropped.
+                if is_subobject(other, element) and index < other_index:
+                    continue
+                dominated = True
+                break
+        if not dominated:
+            kept.append(element)
+    return kept

@@ -1,0 +1,161 @@
+"""The sub-object relationship (Definition 3.1, Theorems 3.1–3.3).
+
+``O ≤ O'`` ("O is a sub-object of O'") is defined recursively:
+
+(i)   for tuples, ``O ≤ O'`` iff ``O.a ≤ O'.a`` for every attribute ``a``
+      (absent attributes read as ⊥);
+(ii)  for sets, ``O ≤ O'`` iff every element of ``O`` is a sub-object of some
+      element of ``O'``;
+(iii) every object is a sub-object of itself;
+(iv)  every object is a sub-object of ⊤, and ⊥ is a sub-object of every object.
+
+The relation is reflexive and transitive on all objects (Theorem 3.1) and
+antisymmetric on *reduced* objects (Theorem 3.2), hence a partial order
+(Theorem 3.3).  The property-based tests in ``tests/test_properties_order.py``
+check exactly these statements, including the failure of antisymmetry on
+non-reduced objects (Example 3.2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, List, Optional
+
+from repro.core.objects import Atom, Bottom, ComplexObject, SetObject, Top, TupleObject
+
+__all__ = [
+    "is_subobject",
+    "subobject",
+    "is_strict_subobject",
+    "compare",
+    "maximal_elements",
+    "minimal_elements",
+    "clear_order_cache",
+]
+
+# The sub-object test is called extremely often (reduction, lattice operations,
+# the matching engine and the fixpoint engine are all built on it), and the
+# set/set case re-examines the same pairs repeatedly.  Objects are immutable
+# and hashable, so the relation can safely be memoized on object pairs.
+_CACHE_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _is_subobject_cached(left: ComplexObject, right: ComplexObject) -> bool:
+    # Axiom (iv): ⊥ ≤ everything, everything ≤ ⊤.
+    if isinstance(left, Bottom) or isinstance(right, Top):
+        return True
+    # Nothing other than ⊥ is below ⊥, nothing other than ⊤ is above ⊤.
+    if isinstance(right, Bottom) or isinstance(left, Top):
+        return False
+    # Atoms: only equal atoms are comparable (axiom (iii) restricted to atoms).
+    if isinstance(left, Atom) or isinstance(right, Atom):
+        return left == right
+    # Tuples (rule (i)): every attribute of the left tuple must be dominated.
+    # Attributes absent on the left read as ⊥ and are dominated trivially;
+    # attributes absent on the right read as ⊥ and can only dominate ⊥, which
+    # normalized tuples never store, so iterating over the left's attributes
+    # is sufficient.
+    if isinstance(left, TupleObject) and isinstance(right, TupleObject):
+        for name, value in left.items():
+            if not _is_subobject_cached(value, right.get(name)):
+                return False
+        return True
+    # Sets (rule (ii)): every element of the left set must be dominated by
+    # some element of the right set.
+    if isinstance(left, SetObject) and isinstance(right, SetObject):
+        right_elements = right.elements
+        for element in left:
+            if not any(_is_subobject_cached(element, other) for other in right_elements):
+                return False
+        return True
+    # Mixed kinds (tuple vs set, etc.) are incomparable.
+    return False
+
+
+def is_subobject(left: ComplexObject, right: ComplexObject) -> bool:
+    """Return ``True`` when ``left ≤ right`` in the sub-object order."""
+    if not isinstance(left, ComplexObject) or not isinstance(right, ComplexObject):
+        raise TypeError("is_subobject expects two complex objects")
+    if left is right:
+        return True
+    return _is_subobject_cached(left, right)
+
+
+#: Alias matching the paper's vocabulary (``subobject(o, o')`` reads "o is a
+#: sub-object of o'").
+subobject = is_subobject
+
+
+def is_strict_subobject(left: ComplexObject, right: ComplexObject) -> bool:
+    """Return ``True`` when ``left ≤ right`` and ``left ≠ right``.
+
+    On reduced objects this is the strict part of the partial order; on
+    non-reduced objects two distinct objects may still dominate each other.
+    """
+    return left != right and is_subobject(left, right)
+
+
+def compare(left: ComplexObject, right: ComplexObject) -> Optional[int]:
+    """Three-way comparison under the sub-object order.
+
+    Returns ``-1`` when ``left < right``, ``0`` when the two objects dominate
+    each other (equal, for reduced objects), ``1`` when ``left > right`` and
+    ``None`` when they are incomparable.
+    """
+    below = is_subobject(left, right)
+    above = is_subobject(right, left)
+    if below and above:
+        return 0
+    if below:
+        return -1
+    if above:
+        return 1
+    return None
+
+
+def maximal_elements(objects: Iterable[ComplexObject]) -> List[ComplexObject]:
+    """Return the elements not strictly dominated by any other element.
+
+    Exactly the elements a set object retains after reduction; exposed as a
+    helper because query results and store maintenance both need it.
+    """
+    items = list(dict.fromkeys(objects))
+    kept: List[ComplexObject] = []
+    for index, candidate in enumerate(items):
+        dominated = False
+        for other_index, other in enumerate(items):
+            if index == other_index:
+                continue
+            if is_subobject(candidate, other) and not (
+                is_subobject(other, candidate) and index < other_index
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    return kept
+
+
+def minimal_elements(objects: Iterable[ComplexObject]) -> List[ComplexObject]:
+    """Return the elements that do not strictly dominate any other element."""
+    items = list(dict.fromkeys(objects))
+    kept: List[ComplexObject] = []
+    for index, candidate in enumerate(items):
+        dominates = False
+        for other_index, other in enumerate(items):
+            if index == other_index:
+                continue
+            if is_subobject(other, candidate) and not (
+                is_subobject(candidate, other) and index < other_index
+            ):
+                dominates = True
+                break
+        if not dominates:
+            kept.append(candidate)
+    return kept
+
+
+def clear_order_cache() -> None:
+    """Drop the memoized sub-object results (used by benchmarks for cold runs)."""
+    _is_subobject_cached.cache_clear()

@@ -1,0 +1,53 @@
+"""Reduced objects (Definition 3.3 of the paper).
+
+A set object is *reduced* when it does not contain two distinct elements one
+of which is a sub-object of the other; an object is reduced when every set
+occurring in it is reduced (atoms, ⊥ and ⊤ are reduced, a tuple is reduced
+when all its attribute values are).  The paper restricts the object space to
+reduced objects because antisymmetry of the sub-object relation fails without
+the restriction (Example 3.2); from Definition 3.3 onward "object" means
+"reduced object", and the lattice theorems hold on that space.
+
+The default constructors already produce reduced objects, so these functions
+matter for objects built with the raw constructors and for documenting the
+restriction explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.core.objects import ComplexObject, SetObject, TupleObject
+from repro.core.order import is_strict_subobject, maximal_elements
+
+__all__ = ["is_reduced", "reduce_object"]
+
+
+def is_reduced(value: ComplexObject) -> bool:
+    """Return ``True`` when ``value`` is reduced in the sense of Definition 3.3."""
+    if isinstance(value, TupleObject):
+        return all(is_reduced(item) for _, item in value.items())
+    if isinstance(value, SetObject):
+        if not all(is_reduced(element) for element in value):
+            return False
+        elements = value.elements
+        for index, element in enumerate(elements):
+            for other in elements[index + 1 :]:
+                if is_strict_subobject(element, other) or is_strict_subobject(other, element):
+                    return False
+        return True
+    return True
+
+
+def reduce_object(value: ComplexObject) -> ComplexObject:
+    """Return the reduced version of ``value``.
+
+    Children are reduced first, then every set drops the elements that are
+    sub-objects of other elements ("the reduced version of a set S is
+    constructed through eliminating from S the elements which are sub-objects
+    of other elements in S", Definition 3.4).
+    """
+    if isinstance(value, TupleObject):
+        return TupleObject({name: reduce_object(item) for name, item in value.items()})
+    if isinstance(value, SetObject):
+        reduced_children = [reduce_object(element) for element in value]
+        return SetObject.raw(maximal_elements(reduced_children))
+    return value

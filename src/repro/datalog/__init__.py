@@ -1,0 +1,34 @@
+"""A classical Datalog (Horn-clause) engine.
+
+The paper positions its calculus as "an extension of Horn clauses to the case
+of complex objects"; Example 4.5 (the descendants of Abraham) is the classic
+Datalog transitive-closure program.  This package implements the flat
+baseline that comparison needs:
+
+* :mod:`repro.datalog.terms` — constants, variables and predicate atoms;
+* :mod:`repro.datalog.rules` — Horn clauses and programs;
+* :mod:`repro.datalog.engine` — naive and semi-naive bottom-up evaluation.
+
+The engine is deliberately independent of the complex-object machinery so the
+benchmark comparison (calculus closure vs Datalog evaluation) measures two
+genuinely different implementations of the same query.
+"""
+
+from repro.datalog.engine import DatalogEngine, evaluate, evaluate_naive
+from repro.datalog.rules import Clause, DatalogProgram
+from repro.datalog.terms import Constant, PredicateAtom, Term, Variable, atom, constant, variable
+
+__all__ = [
+    "Clause",
+    "Constant",
+    "DatalogEngine",
+    "DatalogProgram",
+    "PredicateAtom",
+    "Term",
+    "Variable",
+    "atom",
+    "constant",
+    "evaluate",
+    "evaluate_naive",
+    "variable",
+]

@@ -1,0 +1,137 @@
+"""Horn clauses and Datalog programs."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.datalog.terms import Constant, PredicateAtom, Variable
+
+__all__ = ["Clause", "DatalogProgram"]
+
+
+class Clause:
+    """A Horn clause ``head :- body1, ..., bodyN`` (a fact when the body is empty).
+
+    Safety (every head variable occurs in the body) is enforced at
+    construction, mirroring Definition 4.3 of the complex-object calculus.
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: PredicateAtom, body: Sequence[PredicateAtom] = ()):
+        body_atoms: Tuple[PredicateAtom, ...] = tuple(body)
+        if not isinstance(head, PredicateAtom):
+            raise TypeError("clause heads must be predicate atoms")
+        for atom in body_atoms:
+            if not isinstance(atom, PredicateAtom):
+                raise TypeError("clause bodies must contain predicate atoms")
+        body_vars: Set[str] = set()
+        for atom in body_atoms:
+            body_vars |= atom.variables()
+        unsafe = head.variables() - body_vars
+        if unsafe:
+            missing = ", ".join(sorted(unsafe))
+            raise ValueError(f"unsafe clause; head variables not in the body: {missing}")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body_atoms)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Clause is immutable")
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> FrozenSet[str]:
+        names: Set[str] = set(self.head.variables())
+        for atom in self.body:
+            names |= atom.variables()
+        return frozenset(names)
+
+    def __eq__(self, other):
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self):
+        return hash((self.head, self.body))
+
+    def __repr__(self):
+        if not self.body:
+            return f"{self.head!r}."
+        rendered = ", ".join(repr(atom) for atom in self.body)
+        return f"{self.head!r} :- {rendered}."
+
+
+class DatalogProgram:
+    """A set of clauses, split into facts (the EDB) and proper rules (the IDB)."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        collected = tuple(clauses)
+        for clause in collected:
+            if not isinstance(clause, Clause):
+                raise TypeError("DatalogProgram expects Clause instances")
+        object.__setattr__(self, "clauses", collected)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("DatalogProgram is immutable")
+
+    @property
+    def facts(self) -> List[Clause]:
+        return [clause for clause in self.clauses if clause.is_fact]
+
+    @property
+    def rules(self) -> List[Clause]:
+        return [clause for clause in self.clauses if not clause.is_fact]
+
+    def predicates(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for clause in self.clauses:
+            names.add(clause.head.predicate)
+            for atom in clause.body:
+                names.add(atom.predicate)
+        return frozenset(names)
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by at least one proper rule."""
+        return frozenset(clause.head.predicate for clause in self.rules)
+
+    def dependency_graph(self) -> Dict[str, Set[str]]:
+        """Map each rule-defined predicate to the predicates its bodies read."""
+        graph: Dict[str, Set[str]] = {}
+        for clause in self.rules:
+            reads = graph.setdefault(clause.head.predicate, set())
+            for atom in clause.body:
+                reads.add(atom.predicate)
+        return graph
+
+    def is_recursive(self) -> bool:
+        """``True`` when some predicate (transitively) depends on itself."""
+        graph = self.dependency_graph()
+
+        def reachable(start: str) -> Set[str]:
+            seen: Set[str] = set()
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for nxt in graph.get(current, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return seen
+
+        return any(name in reachable(name) for name in graph)
+
+    def extend(self, clauses: Iterable[Clause]) -> "DatalogProgram":
+        return DatalogProgram(tuple(self.clauses) + tuple(clauses))
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __repr__(self):
+        return f"<DatalogProgram {len(self.facts)} facts, {len(self.rules)} rules>"

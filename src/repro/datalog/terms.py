@@ -1,0 +1,141 @@
+"""Terms of the Datalog baseline: constants, variables and predicate atoms.
+
+This is deliberately a *flat* first-order language (no function symbols, no
+nesting): the point of the baseline is to compare the paper's complex-object
+calculus against the ordinary Horn-clause machinery it generalises.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+__all__ = ["Term", "Constant", "Variable", "PredicateAtom", "constant", "variable", "atom"]
+
+
+class Term:
+    """Base class for Datalog terms (constants and variables)."""
+
+    __slots__ = ()
+
+
+class Constant(Term):
+    """A constant symbol (any hashable Python value, typically str or int)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other):
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return self.value == other.value and type(self.value) is type(other.value)
+
+    def __hash__(self):
+        return hash(("const", type(self.value).__name__, self.value))
+
+    def __repr__(self):
+        return f"Constant({self.value!r})"
+
+
+class Variable(Term):
+    """A variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("variable names must be non-empty strings")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other):
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+
+class PredicateAtom:
+    """An atom ``predicate(term1, ..., termN)``."""
+
+    __slots__ = ("predicate", "terms")
+
+    def __init__(self, predicate: str, terms):
+        if not predicate or not isinstance(predicate, str):
+            raise ValueError("predicate names must be non-empty strings")
+        converted: Tuple[Term, ...] = tuple(_as_term(term) for term in terms)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", converted)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("PredicateAtom is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(isinstance(term, Constant) for term in self.terms)
+
+    def variables(self):
+        return frozenset(term.name for term in self.terms if isinstance(term, Variable))
+
+    def substitute(self, bindings) -> "PredicateAtom":
+        """Replace bound variables with their constants."""
+        replaced = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term.name in bindings:
+                replaced.append(Constant(bindings[term.name]))
+            else:
+                replaced.append(term)
+        return PredicateAtom(self.predicate, replaced)
+
+    def __eq__(self, other):
+        if not isinstance(other, PredicateAtom):
+            return NotImplemented
+        return self.predicate == other.predicate and self.terms == other.terms
+
+    def __hash__(self):
+        return hash((self.predicate, self.terms))
+
+    def __repr__(self):
+        rendered = ", ".join(
+            term.name if isinstance(term, Variable) else repr(term.value) for term in self.terms
+        )
+        return f"{self.predicate}({rendered})"
+
+
+def _as_term(value: Union[Term, object]) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        # Prolog convention, consistent with the complex-object calculus.
+        return Variable(value)
+    return Constant(value)
+
+
+def constant(value) -> Constant:
+    """Build a constant term."""
+    return Constant(value)
+
+
+def variable(name: str) -> Variable:
+    """Build a variable term."""
+    return Variable(name)
+
+
+def atom(predicate: str, *terms) -> PredicateAtom:
+    """Build a predicate atom; string arguments follow the Prolog convention."""
+    return PredicateAtom(predicate, terms)

@@ -1,0 +1,36 @@
+"""Concrete syntax for complex objects, formulae, rules and programs.
+
+The grammar follows the paper's notation as closely as plain text allows:
+
+* tuples are written ``[name: peter, age: 25]``;
+* sets are written ``{john, mary, susan}``;
+* string constants are bare lower-case identifiers (``john``) or double-quoted
+  strings (``"New York"``);
+* ``top`` and ``bottom`` denote ⊤ and ⊥, ``true``/``false`` the booleans;
+* identifiers starting with an upper-case letter (or ``_``) are variables —
+  only legal in formulae, not in ground objects;
+* rules are written ``head :- body.`` and facts ``head.`` (the trailing period
+  is optional when parsing a single rule, mandatory inside a program);
+* ``%`` starts a comment that runs to the end of the line.
+"""
+
+from repro.parser.lexer import Token, TokenType, tokenize
+from repro.parser.parser import (
+    parse_formula,
+    parse_object,
+    parse_program,
+    parse_rule,
+)
+from repro.parser.printer import pretty, to_source
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "parse_formula",
+    "parse_object",
+    "parse_program",
+    "parse_rule",
+    "pretty",
+    "to_source",
+    "tokenize",
+]

@@ -1,0 +1,178 @@
+"""Tokenizer for the paper's concrete syntax.
+
+The lexer is a small hand-written scanner (no external dependencies) that
+produces a flat list of :class:`Token` objects.  It recognises:
+
+* punctuation: ``[ ] { } , :`` and the rule arrow ``:-`` and the clause
+  terminator ``.``;
+* numbers: integers (``25``, ``-3``) and floats (``2.5``, ``-0.5``, ``1e-3``);
+* identifiers: ``john`` (constant) or ``X1`` (variable — the distinction is
+  made by the parser, the lexer only reports IDENT);
+* quoted strings with ``\\"`` and ``\\\\`` escapes;
+* ``%`` line comments and arbitrary whitespace, both skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Iterator, List
+
+from repro.core.errors import ParseError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+@unique
+class TokenType(Enum):
+    """Kinds of lexical tokens."""
+
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    COLON = ":"
+    ARROW = ":-"
+    PERIOD = "."
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    IDENT = "ident"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    text: str
+    value: object
+    position: int
+
+
+_PUNCTUATION = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` and return the token list terminated by an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        # Whitespace and comments carry no information.
+        if char.isspace():
+            index += 1
+            continue
+        if char == "%":
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char in _PUNCTUATION:
+            yield Token(_PUNCTUATION[char], char, char, index)
+            index += 1
+            continue
+        if char == ":":
+            if index + 1 < length and text[index + 1] == "-":
+                yield Token(TokenType.ARROW, ":-", ":-", index)
+                index += 2
+            else:
+                yield Token(TokenType.COLON, ":", ":", index)
+                index += 1
+            continue
+        if char == '"':
+            token, index = _scan_string(text, index)
+            yield token
+            continue
+        if char.isdigit() or (
+            char in "+-" and index + 1 < length and (text[index + 1].isdigit() or text[index + 1] == ".")
+        ):
+            token, index = _scan_number(text, index)
+            yield token
+            continue
+        if char == ".":
+            # A bare period terminates a clause; periods inside numbers are
+            # consumed by the number scanner above.
+            yield Token(TokenType.PERIOD, ".", ".", index)
+            index += 1
+            continue
+        if char.isalpha() or char == "_":
+            token, index = _scan_identifier(text, index)
+            yield token
+            continue
+        raise ParseError(f"unexpected character {char!r}", text, index)
+    yield Token(TokenType.EOF, "", None, length)
+
+
+def _scan_string(text: str, start: int) -> tuple:
+    index = start + 1
+    pieces: List[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "\\":
+            if index + 1 >= len(text):
+                raise ParseError("unterminated escape sequence", text, index)
+            escape = text[index + 1]
+            if escape == "n":
+                pieces.append("\n")
+            elif escape == "t":
+                pieces.append("\t")
+            else:
+                pieces.append(escape)
+            index += 2
+            continue
+        if char == '"':
+            value = "".join(pieces)
+            return Token(TokenType.STRING, text[start : index + 1], value, start), index + 1
+        pieces.append(char)
+        index += 1
+    raise ParseError("unterminated string literal", text, start)
+
+
+def _scan_number(text: str, start: int) -> tuple:
+    index = start
+    if text[index] in "+-":
+        index += 1
+    digits_start = index
+    while index < len(text) and text[index].isdigit():
+        index += 1
+    is_float = False
+    if index < len(text) and text[index] == "." and index + 1 < len(text) and text[index + 1].isdigit():
+        is_float = True
+        index += 1
+        while index < len(text) and text[index].isdigit():
+            index += 1
+    if index < len(text) and text[index] in "eE":
+        lookahead = index + 1
+        if lookahead < len(text) and text[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < len(text) and text[lookahead].isdigit():
+            is_float = True
+            index = lookahead
+            while index < len(text) and text[index].isdigit():
+                index += 1
+    literal = text[start:index]
+    if index == digits_start:
+        raise ParseError(f"malformed number {literal!r}", text, start)
+    if is_float:
+        return Token(TokenType.FLOAT, literal, float(literal), start), index
+    return Token(TokenType.INTEGER, literal, int(literal), start), index
+
+
+def _scan_identifier(text: str, start: int) -> tuple:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    literal = text[start:index]
+    return Token(TokenType.IDENT, literal, literal, start), index

@@ -1,0 +1,222 @@
+"""Recursive-descent parser for objects, formulae, rules and programs.
+
+Grammar (EBNF, whitespace and comments implicit):
+
+.. code-block:: text
+
+    program   ::= { clause }
+    clause    ::= rule | fact
+    rule      ::= term ":-" term "."
+    fact      ::= term "."
+    term      ::= tuple | set | scalar
+    tuple     ::= "[" [ pair { "," pair } ] "]"
+    pair      ::= attribute ":" term
+    attribute ::= IDENT | STRING
+    set       ::= "{" [ term { "," term } ] "}"
+    scalar    ::= INTEGER | FLOAT | STRING | IDENT
+
+An IDENT in term position is interpreted by the Prolog convention: ``top``,
+``bottom``, ``true`` and ``false`` are the special constants, an identifier
+starting with an upper-case letter or ``_`` is a variable (only legal in
+formulae), anything else is a string constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.errors import ParseError
+from repro.core.objects import BOTTOM, TOP, Atom, ComplexObject, SetObject, TupleObject
+from repro.calculus.rules import Rule
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.parser.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_object", "parse_formula", "parse_rule", "parse_program"]
+
+
+def parse_object(text: str) -> ComplexObject:
+    """Parse a ground complex object written in the paper's notation.
+
+    Variables are rejected: an object is a formula without variables
+    (Definition 4.1 shares its syntax with Definition 2.1).
+    """
+    parser = _Parser(text, allow_variables=False)
+    formula = parser.parse_single_term()
+    return _to_object(formula)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a well-formed formula (objects with Prolog-style variables)."""
+    parser = _Parser(text, allow_variables=True)
+    return parser.parse_single_term()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule ``head :- body.`` or fact ``head.`` (period optional)."""
+    parser = _Parser(text, allow_variables=True)
+    rule = parser.parse_clause(require_period=False)
+    parser.expect_end()
+    return rule
+
+
+def parse_program(text: str) -> List[Rule]:
+    """Parse a whole program: a sequence of period-terminated clauses."""
+    parser = _Parser(text, allow_variables=True)
+    clauses: List[Rule] = []
+    while not parser.at_end():
+        clauses.append(parser.parse_clause(require_period=True))
+    return clauses
+
+
+class _Parser:
+    """Stateful cursor over the token list; one instance per parse call."""
+
+    def __init__(self, text: str, allow_variables: bool):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.allow_variables = allow_variables
+
+    # -- token plumbing -----------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {token_type.value!r} but found {token.text or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().type is TokenType.EOF
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", self.text, token.position
+            )
+
+    # -- grammar ------------------------------------------------------------------
+    def parse_single_term(self) -> Formula:
+        term = self.parse_term()
+        self.expect_end()
+        return term
+
+    def parse_clause(self, require_period: bool) -> Rule:
+        head = self.parse_term()
+        body: Optional[Formula] = None
+        if self.peek().type is TokenType.ARROW:
+            self.advance()
+            body = self.parse_term()
+        if self.peek().type is TokenType.PERIOD:
+            self.advance()
+        elif require_period:
+            token = self.peek()
+            raise ParseError("expected '.' at the end of the clause", self.text, token.position)
+        if body is None:
+            return Rule(_to_object(head))
+        return Rule(head, body)
+
+    def parse_term(self) -> Formula:
+        token = self.peek()
+        if token.type is TokenType.LBRACKET:
+            return self.parse_tuple()
+        if token.type is TokenType.LBRACE:
+            return self.parse_set()
+        return self.parse_scalar()
+
+    def parse_tuple(self) -> Formula:
+        self.expect(TokenType.LBRACKET)
+        attributes = {}
+        if self.peek().type is not TokenType.RBRACKET:
+            while True:
+                name_token = self.peek()
+                if name_token.type not in (TokenType.IDENT, TokenType.STRING):
+                    raise ParseError(
+                        "expected an attribute name", self.text, name_token.position
+                    )
+                self.advance()
+                name = str(name_token.value)
+                if name in attributes:
+                    raise ParseError(
+                        f"duplicate attribute name {name!r}", self.text, name_token.position
+                    )
+                self.expect(TokenType.COLON)
+                attributes[name] = self.parse_term()
+                if self.peek().type is TokenType.COMMA:
+                    self.advance()
+                    continue
+                break
+        self.expect(TokenType.RBRACKET)
+        return TupleFormula(attributes)
+
+    def parse_set(self) -> Formula:
+        self.expect(TokenType.LBRACE)
+        elements = []
+        if self.peek().type is not TokenType.RBRACE:
+            while True:
+                elements.append(self.parse_term())
+                if self.peek().type is TokenType.COMMA:
+                    self.advance()
+                    continue
+                break
+        self.expect(TokenType.RBRACE)
+        return SetFormula(elements)
+
+    def parse_scalar(self) -> Formula:
+        token = self.peek()
+        if token.type in (TokenType.INTEGER, TokenType.FLOAT):
+            self.advance()
+            return Constant(Atom(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Constant(Atom(str(token.value)))
+        if token.type is TokenType.IDENT:
+            self.advance()
+            name = str(token.value)
+            if name == "top":
+                return Constant(TOP)
+            if name == "bottom":
+                return Constant(BOTTOM)
+            if name == "true":
+                return Constant(Atom(True))
+            if name == "false":
+                return Constant(Atom(False))
+            if name[0].isupper() or name[0] == "_":
+                if not self.allow_variables:
+                    raise ParseError(
+                        f"variables are not allowed in ground objects: {name!r}",
+                        self.text,
+                        token.position,
+                    )
+                return Variable(name)
+            return Constant(Atom(name))
+        raise ParseError(
+            f"expected a term but found {token.text or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+
+def _to_object(formula: Formula) -> ComplexObject:
+    """Convert a variable-free formula into the complex object it denotes."""
+    if isinstance(formula, Constant):
+        return formula.value
+    if isinstance(formula, Variable):
+        raise ParseError(f"unexpected variable {formula.name!r} in a ground object")
+    if isinstance(formula, TupleFormula):
+        return TupleObject({name: _to_object(child) for name, child in formula.items()})
+    if isinstance(formula, SetFormula):
+        return SetObject(_to_object(child) for child in formula.elements)
+    raise TypeError(f"not a formula: {formula!r}")

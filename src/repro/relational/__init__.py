@@ -1,0 +1,66 @@
+"""Relational substrates used as baselines.
+
+The paper motivates complex objects by the shortcomings of first-normal-form
+relations (introduction: joins to rebuild hierarchical objects, artificial
+identifiers, awkward null values) and glosses every calculus example in
+relational-algebra vocabulary (selection, projection, join, intersection).
+This package provides the substrate those comparisons need:
+
+* :mod:`repro.relational.relation` — flat (1NF) relations;
+* :mod:`repro.relational.algebra` — the classical relational algebra;
+* :mod:`repro.relational.database` — a named collection of relations;
+* :mod:`repro.relational.nf2` — nested (NF²) relations with ``nest``/``unnest``
+  in the style of Jaeschke–Schek and Schek–Scholl (references [6] and [12] of
+  the paper);
+* :mod:`repro.relational.bridge` — loss-free conversions between relational
+  databases / nested relations and complex objects, so the same data can be
+  queried through the calculus and through the algebra and the results
+  compared.
+"""
+
+from repro.relational.algebra import (
+    difference,
+    equijoin,
+    intersect,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    union as relation_union,
+)
+from repro.relational.bridge import (
+    database_to_object,
+    nested_to_object,
+    object_to_database,
+    object_to_nested,
+    object_to_relation,
+    relation_to_object,
+)
+from repro.relational.database import RelationalDatabase
+from repro.relational.nf2 import NestedRelation, nest, unnest
+from repro.relational.relation import Relation, Row
+
+__all__ = [
+    "NestedRelation",
+    "Relation",
+    "RelationalDatabase",
+    "Row",
+    "database_to_object",
+    "difference",
+    "equijoin",
+    "intersect",
+    "natural_join",
+    "nest",
+    "nested_to_object",
+    "object_to_database",
+    "object_to_nested",
+    "object_to_relation",
+    "product",
+    "project",
+    "relation_to_object",
+    "relation_union",
+    "rename",
+    "select",
+    "unnest",
+]

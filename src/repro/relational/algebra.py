@@ -1,0 +1,179 @@
+"""The classical (1NF) relational algebra.
+
+Implemented operators: selection, projection, renaming, cartesian product,
+natural join, equi-join, union, difference and intersection — everything the
+paper's Examples 4.1 and 4.2 gloss in relational terms, so integration tests
+and benchmarks can compare a calculus query against its relational plan on the
+same data (after conversion through :mod:`repro.relational.bridge`).
+
+All operators are pure functions returning new :class:`Relation` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.relational.relation import Relation, Row
+
+__all__ = [
+    "select",
+    "project",
+    "rename",
+    "product",
+    "natural_join",
+    "equijoin",
+    "union",
+    "difference",
+    "intersect",
+]
+
+
+def select(
+    relation: Relation,
+    predicate: Optional[Callable[[Row], bool]] = None,
+    **equals,
+) -> Relation:
+    """Selection σ.
+
+    Either pass a row predicate or keyword equality constraints:
+    ``select(r1, b="b")`` is the paper's Example 4.1(1) selection on ``B = b``.
+    """
+    if predicate is None and not equals:
+        return relation
+
+    def keep(row: Row) -> bool:
+        if predicate is not None and not predicate(row):
+            return False
+        return all(row.get(name) == value for name, value in equals.items())
+
+    return Relation(relation.attributes, (row for row in relation.rows if keep(row)),
+                    name=relation.name)
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Projection π onto ``attributes`` (duplicates collapse, as sets do)."""
+    names = tuple(attributes)
+    missing = set(names) - set(relation.attributes)
+    if missing:
+        unknown = ", ".join(sorted(missing))
+        raise ValueError(f"cannot project on unknown attributes: {unknown}")
+    return Relation(names, (row.project(names) for row in relation.rows), name=relation.name)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Renaming ρ: rename attributes according to ``mapping``."""
+    unknown = set(mapping) - set(relation.attributes)
+    if unknown:
+        names = ", ".join(sorted(unknown))
+        raise ValueError(f"cannot rename unknown attributes: {names}")
+    new_attrs = tuple(mapping.get(name, name) for name in relation.attributes)
+    return Relation(new_attrs, (row.rename(mapping) for row in relation.rows),
+                    name=relation.name)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product ×; attribute sets must be disjoint."""
+    overlap = set(left.attributes) & set(right.attributes)
+    if overlap:
+        shared = ", ".join(sorted(overlap))
+        raise ValueError(f"cartesian product requires disjoint schemas; shared: {shared}")
+    attributes = tuple(left.attributes) + tuple(right.attributes)
+    rows = []
+    for first in left.rows:
+        for second in right.rows:
+            combined = first.as_dict()
+            combined.update(second.as_dict())
+            rows.append(combined)
+    return Relation(attributes, rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Natural join ⋈ on the shared attributes (product when none are shared)."""
+    shared = [name for name in left.attributes if name in set(right.attributes)]
+    attributes = tuple(left.attributes) + tuple(
+        name for name in right.attributes if name not in shared
+    )
+    rows = []
+    # Hash join on the shared attributes: index the smaller side.
+    build, probe, build_is_left = (left, right, True)
+    if len(right) < len(left):
+        build, probe, build_is_left = (right, left, False)
+    index = {}
+    for row in build.rows:
+        key = tuple(row.get(name) for name in shared)
+        index.setdefault(key, []).append(row)
+    for row in probe.rows:
+        key = tuple(row.get(name) for name in shared)
+        for partner in index.get(key, ()):
+            first, second = (partner, row) if build_is_left else (row, partner)
+            merged = first.merge(second)
+            if merged is not None:
+                rows.append(merged.project(attributes))
+    return Relation(attributes, rows)
+
+
+def equijoin(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence,
+) -> Relation:
+    """Equi-join on explicit attribute pairs ``[(left_attr, right_attr), ...]``.
+
+    The paper's Example 4.2(3) ("join of R1 and R2 with join attributes
+    B = C") is ``equijoin(r1, r2, [("b", "c")])``.  Attributes shared by name
+    between the two operands are not implicitly equated; overlapping names are
+    rejected to avoid ambiguity.
+    """
+    overlap = set(left.attributes) & set(right.attributes)
+    if overlap:
+        shared = ", ".join(sorted(overlap))
+        raise ValueError(
+            f"equijoin operands must have disjoint schemas (rename first); shared: {shared}"
+        )
+    left_keys = [pair[0] for pair in pairs]
+    right_keys = [pair[1] for pair in pairs]
+    attributes = tuple(left.attributes) + tuple(right.attributes)
+    index = {}
+    for row in right.rows:
+        key = tuple(row.get(name) for name in right_keys)
+        index.setdefault(key, []).append(row)
+    rows = []
+    for row in left.rows:
+        key = tuple(row.get(name) for name in left_keys)
+        if any(part is None for part in key):
+            # Null never joins, matching SQL and matching the calculus where a
+            # missing attribute reads as ⊥ and cannot equal an atom.
+            continue
+        for partner in index.get(key, ()):
+            combined = row.as_dict()
+            combined.update(partner.as_dict())
+            rows.append(combined)
+    return Relation(attributes, rows)
+
+
+def _require_same_schema(left: Relation, right: Relation, operation: str) -> None:
+    if set(left.attributes) != set(right.attributes):
+        raise ValueError(
+            f"{operation} requires identical schemas: {left.attributes} vs {right.attributes}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union ∪ of two union-compatible relations."""
+    _require_same_schema(left, right, "union")
+    return Relation(left.attributes, list(left.rows) + [row.project(left.attributes)
+                                                        for row in right.rows])
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference −."""
+    _require_same_schema(left, right, "difference")
+    right_rows = {row.project(left.attributes) for row in right.rows}
+    return Relation(left.attributes, (row for row in left.rows if row not in right_rows))
+
+
+def intersect(left: Relation, right: Relation) -> Relation:
+    """Set intersection ∩ (the paper's Example 4.2(5) baseline)."""
+    _require_same_schema(left, right, "intersection")
+    right_rows = {row.project(left.attributes) for row in right.rows}
+    return Relation(left.attributes, (row for row in left.rows if row in right_rows))

@@ -1,0 +1,152 @@
+"""Conversions between relational structures and complex objects.
+
+The paper repeatedly identifies relational structures with particular complex
+objects (Example 2.1: "a relation is an object", "a relational database is an
+object"); this module makes the identification executable in both directions
+so calculus queries and relational-algebra plans can be compared on the same
+data:
+
+* a 1NF relation ↔ a set object of flat tuple objects;
+* a relational database ↔ a tuple object whose attributes are relations;
+* an NF² nested relation ↔ a set object of tuple objects whose values may be
+  set objects of tuple objects, recursively.
+
+Null values map to ⊥ (i.e. the attribute is simply absent in the complex
+object), which is exactly how the paper proposes to handle missing
+information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.objects import Atom, Bottom, ComplexObject, SetObject, TupleObject
+from repro.relational.database import RelationalDatabase
+from repro.relational.nf2 import NestedRelation, NestedRow
+from repro.relational.relation import Relation, Row
+
+__all__ = [
+    "relation_to_object",
+    "object_to_relation",
+    "database_to_object",
+    "object_to_database",
+    "nested_to_object",
+    "object_to_nested",
+]
+
+
+def relation_to_object(relation: Relation) -> SetObject:
+    """Convert a flat relation into a set of flat tuple objects."""
+    tuples = []
+    for row in relation.rows:
+        attributes = {
+            name: Atom(value) for name, value in row.items() if value is not None
+        }
+        tuples.append(TupleObject(attributes))
+    return SetObject(tuples)
+
+
+def object_to_relation(
+    value: ComplexObject,
+    attributes: Optional[Sequence[str]] = None,
+    name: str = "",
+) -> Relation:
+    """Convert a set of flat tuple objects back into a relation.
+
+    The schema is the union of the attribute names present in the elements
+    unless ``attributes`` pins it explicitly; attributes absent from a tuple
+    become nulls.  Raises ``ValueError`` when the object is not a set of flat
+    tuples of atoms (i.e. when it is genuinely non-first-normal-form).
+    """
+    if not isinstance(value, SetObject):
+        raise ValueError(f"expected a set object, got {type(value).__name__}")
+    rows = []
+    discovered = []
+    for element in value:
+        if not isinstance(element, TupleObject):
+            raise ValueError("only sets of tuple objects convert to relations")
+        row = {}
+        for attr, item in element.items():
+            if not isinstance(item, Atom):
+                raise ValueError(
+                    f"attribute {attr!r} is not atomic; the object is not in first normal form"
+                )
+            row[attr] = item.value
+            if attr not in discovered:
+                discovered.append(attr)
+        rows.append(row)
+    schema = tuple(attributes) if attributes is not None else tuple(sorted(discovered))
+    return Relation(schema, rows, name=name)
+
+
+def database_to_object(database: RelationalDatabase) -> ComplexObject:
+    """Convert a relational database into the single complex object of the paper."""
+    return TupleObject(
+        {name: relation_to_object(relation) for name, relation in database.items()}
+    )
+
+
+def object_to_database(value: ComplexObject) -> RelationalDatabase:
+    """Convert a tuple-of-relations object back into a relational database."""
+    if not isinstance(value, TupleObject):
+        raise ValueError(f"expected a tuple object, got {type(value).__name__}")
+    relations = {}
+    for name, item in value.items():
+        relations[name] = object_to_relation(item, name=name)
+    return RelationalDatabase(relations)
+
+
+def nested_to_object(relation: NestedRelation) -> SetObject:
+    """Convert an NF² relation into a set object of (possibly nested) tuples."""
+    return SetObject(_nested_row_to_object(row) for row in relation.rows)
+
+
+def _nested_row_to_object(row: NestedRow) -> TupleObject:
+    attributes = {}
+    for name, value in row.items():
+        if value is None:
+            continue
+        if isinstance(value, NestedRelation):
+            attributes[name] = nested_to_object(value)
+        else:
+            attributes[name] = Atom(value)
+    return TupleObject(attributes)
+
+
+def object_to_nested(value: ComplexObject) -> NestedRelation:
+    """Convert a set object of tuples (with set-of-tuple values) into an NF² relation.
+
+    Single-column value sets (sets of atoms) become sub-relations over the
+    conventional attribute ``value``, mirroring
+    :meth:`repro.relational.nf2.NestedRelation.from_values`.
+    """
+    if not isinstance(value, SetObject):
+        raise ValueError(f"expected a set object, got {type(value).__name__}")
+    rows = []
+    attributes = []
+    for element in value:
+        if not isinstance(element, TupleObject):
+            raise ValueError("only sets of tuple objects convert to nested relations")
+        row = {}
+        for attr, item in element.items():
+            row[attr] = _object_value_to_nested(item)
+            if attr not in attributes:
+                attributes.append(attr)
+        rows.append(row)
+    return NestedRelation(tuple(sorted(attributes)), rows)
+
+
+def _object_value_to_nested(item: ComplexObject):
+    if isinstance(item, Atom):
+        return item.value
+    if isinstance(item, Bottom):
+        return None
+    if isinstance(item, SetObject):
+        if all(isinstance(element, TupleObject) for element in item):
+            return object_to_nested(item)
+        if all(isinstance(element, Atom) for element in item):
+            return NestedRelation(("value",), ({"value": element.value} for element in item))
+        raise ValueError("heterogeneous sets cannot be represented as nested relations")
+    raise ValueError(
+        f"{type(item).__name__} values cannot be represented in the NF² model"
+    )

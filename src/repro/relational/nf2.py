@@ -1,0 +1,218 @@
+"""Nested (NF², non-first-normal-form) relations with ``nest`` and ``unnest``.
+
+The related work the paper builds on — Jaeschke & Schek [6], Zaniolo [14],
+Schek & Scholl [12] — relaxes first normal form by letting attribute values be
+sets or whole sub-relations.  This module implements that intermediate model:
+
+* a :class:`NestedRelation` is a set of nested rows; a nested row maps
+  attribute names to atomic values, to ``None``, or to nested relations;
+* :func:`nest` groups rows on the non-nested attributes and collects the
+  grouped columns into a sub-relation;
+* :func:`unnest` flattens a relation-valued attribute back out.
+
+Nested relations sit strictly between the flat baseline and the paper's fully
+general complex objects (which additionally allow heterogeneous sets, sets of
+sets, and top-level atoms); the bridge converts them into complex objects so
+the same data can be queried with the calculus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.atoms import is_atom_value
+
+__all__ = ["NestedRelation", "NestedRow", "nest", "unnest"]
+
+
+class NestedRow:
+    """An immutable nested row: values are atoms, ``None`` or nested relations."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, values: Mapping[str, object]):
+        cleaned = {}
+        for name, value in values.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"attribute names must be non-empty strings: {name!r}")
+            if value is None or is_atom_value(value) or isinstance(value, NestedRelation):
+                cleaned[name] = value
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                # Convenience: a collection of dicts builds a sub-relation, a
+                # collection of atoms builds a single-column sub-relation.
+                cleaned[name] = NestedRelation.from_values(value)
+            else:
+                raise TypeError(
+                    f"nested rows hold atoms, None or NestedRelation values;"
+                    f" attribute {name!r} got {type(value).__name__}"
+                )
+        items = tuple(sorted(cleaned.items(), key=lambda item: item[0]))
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("NestedRow is immutable")
+
+    def get(self, name: str, default=None):
+        for key, value in self._items:
+            if key == name:
+                return value
+        return default
+
+    def __getitem__(self, name: str):
+        value = self.get(name, _MISSING)
+        if value is _MISSING:
+            raise KeyError(name)
+        return value
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(key for key, _ in self._items)
+
+    def items(self):
+        return self._items
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NestedRow):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"NestedRow({inner})"
+
+
+_MISSING = object()
+
+
+class NestedRelation:
+    """A set of :class:`NestedRow` objects over a fixed attribute list."""
+
+    __slots__ = ("attributes", "_rows", "_hash")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Mapping[str, object]] = ()):
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attribute names in schema: {attrs}")
+        materialized: List[NestedRow] = []
+        for row in rows:
+            if isinstance(row, NestedRow):
+                data = row.as_dict()
+            else:
+                data = dict(row)
+            unknown = set(data) - set(attrs)
+            if unknown:
+                extra = ", ".join(sorted(unknown))
+                raise ValueError(f"row has attributes outside the schema: {extra}")
+            materialized.append(NestedRow({name: data.get(name) for name in attrs}))
+        frozen = frozenset(materialized)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_rows", frozen)
+        object.__setattr__(self, "_hash", hash((attrs, frozen)))
+
+    @classmethod
+    def from_values(cls, values: Iterable[object]) -> "NestedRelation":
+        """Build a sub-relation from a collection of dicts or of atoms.
+
+        A collection of atoms becomes a single-column relation over the
+        conventional attribute name ``value``.
+        """
+        values = list(values)
+        if values and all(isinstance(value, Mapping) for value in values):
+            attributes: List[str] = []
+            for value in values:
+                for name in value:
+                    if name not in attributes:
+                        attributes.append(name)
+            return cls(attributes, values)
+        return cls(("value",), ({"value": value} for value in values))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("NestedRelation is immutable")
+
+    # -- collection protocol --------------------------------------------------------
+    @property
+    def rows(self) -> FrozenSet[NestedRow]:
+        return self._rows
+
+    def __iter__(self) -> Iterator[NestedRow]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NestedRelation):
+            return NotImplemented
+        return set(self.attributes) == set(other.attributes) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<NestedRelation ({', '.join(self.attributes)}) with {len(self)} rows>"
+
+
+def nest(relation: NestedRelation, attributes: Sequence[str], into: str) -> NestedRelation:
+    """Group ``relation`` on everything except ``attributes`` and collect them.
+
+    ``nest(children, ["child"], into="children")`` turns the flat
+    parent/child relation into the nested relation of the paper's Example 2.1
+    ("a nested relation is an object").  Groups are keyed on the remaining
+    attributes; each group's projected rows become the sub-relation stored
+    under ``into``.
+    """
+    nested_attrs = tuple(attributes)
+    missing = set(nested_attrs) - set(relation.attributes)
+    if missing:
+        unknown = ", ".join(sorted(missing))
+        raise ValueError(f"cannot nest unknown attributes: {unknown}")
+    if into in set(relation.attributes) - set(nested_attrs):
+        raise ValueError(f"target attribute {into!r} collides with a grouping attribute")
+    key_attrs = tuple(name for name in relation.attributes if name not in nested_attrs)
+    groups: Dict[Tuple, List[Dict[str, object]]] = {}
+    for row in relation.rows:
+        key = tuple(row.get(name) for name in key_attrs)
+        groups.setdefault(key, []).append({name: row.get(name) for name in nested_attrs})
+    result_rows = []
+    for key, grouped in groups.items():
+        row: Dict[str, object] = dict(zip(key_attrs, key))
+        row[into] = NestedRelation(nested_attrs, grouped)
+        result_rows.append(row)
+    return NestedRelation(key_attrs + (into,), result_rows)
+
+
+def unnest(relation: NestedRelation, attribute: str) -> NestedRelation:
+    """Flatten the relation-valued ``attribute`` back into the parent rows.
+
+    Rows whose sub-relation is empty disappear, exactly as in the classical
+    NF² algebra (unnest is not the exact inverse of nest in that case).
+    """
+    if attribute not in relation.attributes:
+        raise ValueError(f"unknown attribute {attribute!r}")
+    other_attrs = tuple(name for name in relation.attributes if name != attribute)
+    inner_attrs: Tuple[str, ...] = ()
+    for row in relation.rows:
+        value = row.get(attribute)
+        if isinstance(value, NestedRelation):
+            inner_attrs = value.attributes
+            break
+    overlap = set(other_attrs) & set(inner_attrs)
+    if overlap:
+        shared = ", ".join(sorted(overlap))
+        raise ValueError(f"unnesting would collide on attributes: {shared}")
+    result_rows = []
+    for row in relation.rows:
+        value = row.get(attribute)
+        if not isinstance(value, NestedRelation):
+            raise ValueError(f"attribute {attribute!r} is not relation-valued in every row")
+        for inner in value.rows:
+            flat: Dict[str, object] = {name: row.get(name) for name in other_attrs}
+            flat.update(inner.as_dict())
+            result_rows.append(flat)
+    return NestedRelation(other_attrs + inner_attrs, result_rows)

@@ -1,0 +1,190 @@
+"""First-normal-form relations.
+
+A :class:`Relation` is a set of rows over a fixed list of attributes whose
+values are atomic (int, float, str, bool) or ``None`` (the SQL-style null the
+paper's introduction complains about).  Rows are immutable and hashable, so a
+relation is genuinely a *set*: duplicate rows collapse, and set-based algebra
+operators (:mod:`repro.relational.algebra`) have their textbook semantics.
+
+This is the baseline system the paper argues against; it is implemented fully
+(not stubbed) because several benchmarks compare a calculus query against the
+equivalent relational plan and because the bridge converts between the two
+representations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.atoms import is_atom_value
+
+__all__ = ["Row", "Relation"]
+
+
+class Row:
+    """An immutable row: a mapping from attribute names to atomic values or ``None``."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, values: Mapping[str, object]):
+        cleaned = {}
+        for name, value in values.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"attribute names must be non-empty strings: {name!r}")
+            if value is not None and not is_atom_value(value):
+                raise TypeError(
+                    f"1NF rows only hold atomic values or None; attribute {name!r}"
+                    f" got {type(value).__name__}"
+                )
+            cleaned[name] = value
+        items = tuple(sorted(cleaned.items()))
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Row is immutable")
+
+    def get(self, name: str, default=None):
+        for key, value in self._items:
+            if key == name:
+                return value
+        return default
+
+    def __getitem__(self, name: str):
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self._items)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(key for key, _ in self._items)
+
+    def items(self) -> Tuple[Tuple[str, object], ...]:
+        return self._items
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._items)
+
+    def project(self, names: Sequence[str]) -> "Row":
+        """Return the row restricted to ``names`` (missing attributes become null)."""
+        return Row({name: self.get(name) for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Row":
+        """Return the row with attributes renamed according to ``mapping``."""
+        return Row({mapping.get(name, name): value for name, value in self._items})
+
+    def merge(self, other: "Row") -> Optional["Row"]:
+        """Combine two rows; ``None`` when they disagree on a shared attribute."""
+        combined = self.as_dict()
+        for name, value in other.items():
+            if name in combined and combined[name] != value:
+                return None
+            combined[name] = value
+        return Row(combined)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"Row({inner})"
+
+
+class Relation:
+    """A named, schema-carrying set of :class:`Row` objects."""
+
+    __slots__ = ("name", "attributes", "_rows")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Mapping[str, object]] = (),
+        name: str = "",
+    ):
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attribute names in schema: {attrs}")
+        materialized: List[Row] = []
+        for row in rows:
+            materialized.append(self._coerce_row(row, attrs))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_rows", frozenset(materialized))
+
+    @staticmethod
+    def _coerce_row(row: Mapping[str, object], attrs: Tuple[str, ...]) -> Row:
+        if isinstance(row, Row):
+            data = row.as_dict()
+        else:
+            data = dict(row)
+        unknown = set(data) - set(attrs)
+        if unknown:
+            extra = ", ".join(sorted(unknown))
+            raise ValueError(f"row has attributes outside the schema: {extra}")
+        return Row({name: data.get(name) for name in attrs})
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Relation is immutable")
+
+    # -- collection protocol --------------------------------------------------------
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        # Deterministic iteration order keeps printed output and tests stable.
+        return iter(sorted(self._rows, key=lambda row: tuple(map(_sortable, row.items()))))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row) -> bool:
+        if isinstance(row, Mapping) and not isinstance(row, Row):
+            row = Row({name: row.get(name) for name in self.attributes})
+        return row in self._rows
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return set(self.attributes) == set(other.attributes) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.attributes), self._rows))
+
+    def __repr__(self) -> str:
+        label = self.name or "relation"
+        return f"<Relation {label}({', '.join(self.attributes)}) with {len(self)} rows>"
+
+    # -- convenience ----------------------------------------------------------------
+    def with_name(self, name: str) -> "Relation":
+        return Relation(self.attributes, self._rows, name=name)
+
+    def add(self, row: Mapping[str, object]) -> "Relation":
+        """Return a new relation with ``row`` inserted."""
+        return Relation(self.attributes, list(self._rows) + [row], name=self.name)
+
+    def remove(self, row: Mapping[str, object]) -> "Relation":
+        """Return a new relation without ``row`` (no error if absent)."""
+        target = self._coerce_row(row, self.attributes)
+        return Relation(
+            self.attributes,
+            (existing for existing in self._rows if existing != target),
+            name=self.name,
+        )
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Rows as plain dictionaries, in deterministic order."""
+        return [row.as_dict() for row in self]
+
+
+def _sortable(item: Tuple[str, object]) -> Tuple[str, str, str]:
+    name, value = item
+    return (name, type(value).__name__, repr(value))

@@ -1,0 +1,67 @@
+"""Typing / schema extension (the paper's future-work item 4).
+
+The paper deliberately leaves its model schema-less and lists "how one can
+introduce typing (schema) in our model" as an open issue.  This package
+implements that extension in the spirit of Kuper & Vardi's logical data model
+(references [7, 8] of the paper):
+
+* :mod:`repro.schema.types` — a type language mirroring the object
+  constructors: atom types (per sort), tuple types (open or closed), set
+  types, unions, ``any`` and ``empty``;
+* :mod:`repro.schema.inference` — infer the most specific natural type of an
+  object and join types of heterogeneous collections;
+* :mod:`repro.schema.check` — conformance checking of objects, formulae and
+  rules against a declared schema, with precise error paths.
+
+Nothing in the core model depends on this package; it layers on top, exactly
+as the paper suggests a schema discipline would.
+"""
+
+from repro.schema.check import TypeCheckIssue, check_formula, check_object, check_rule, conforms
+from repro.schema.inference import infer_type, join_types
+from repro.schema.types import (
+    AnyType,
+    AtomType,
+    EmptyType,
+    SchemaType,
+    SetType,
+    TupleType,
+    UnionType,
+    any_type,
+    atom_type,
+    boolean,
+    empty_type,
+    float_type,
+    integer,
+    set_type,
+    string,
+    tuple_type,
+    union_type,
+)
+
+__all__ = [
+    "AnyType",
+    "AtomType",
+    "EmptyType",
+    "SchemaType",
+    "SetType",
+    "TupleType",
+    "TypeCheckIssue",
+    "UnionType",
+    "any_type",
+    "atom_type",
+    "boolean",
+    "check_formula",
+    "check_object",
+    "check_rule",
+    "conforms",
+    "empty_type",
+    "float_type",
+    "infer_type",
+    "integer",
+    "join_types",
+    "set_type",
+    "string",
+    "tuple_type",
+    "union_type",
+]

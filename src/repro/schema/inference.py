@@ -1,0 +1,104 @@
+"""Type inference: recover a schema from schema-less objects.
+
+The paper's model attaches no type to objects; a practical system layered on
+top usually wants to *discover* one (e.g. to build indexes or validate later
+updates).  :func:`infer_type` computes the most specific natural type of an
+object; :func:`join_types` computes a least general common type of two types,
+which is how heterogeneous sets are summarised (the join of ``[name: string,
+age: int]`` and ``[name: string, address: string]`` is a tuple type whose
+``age`` and ``address`` fields are optional).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.objects import Atom, Bottom, ComplexObject, SetObject, Top, TupleObject
+from repro.schema.types import (
+    AnyType,
+    AtomType,
+    EmptyType,
+    SchemaType,
+    SetType,
+    TupleType,
+    UnionType,
+)
+
+__all__ = ["infer_type", "join_types"]
+
+
+def infer_type(value: ComplexObject) -> SchemaType:
+    """Return the most specific natural type of ``value``.
+
+    ⊥ gets :class:`EmptyType`, ⊤ gets :class:`AnyType` (nothing more specific
+    exists for the inconsistent object), atoms get their sort, tuples get a
+    closed tuple type with every present attribute required, and sets get a
+    set type over the join of their element types (``EmptyType`` for the empty
+    set).
+    """
+    if isinstance(value, Bottom):
+        return EmptyType()
+    if isinstance(value, Top):
+        return AnyType()
+    if isinstance(value, Atom):
+        return AtomType(value.sort)
+    if isinstance(value, TupleObject):
+        fields = {name: infer_type(item) for name, item in value.items()}
+        return TupleType(fields, required=tuple(fields), open=False)
+    if isinstance(value, SetObject):
+        element: SchemaType = EmptyType()
+        for item in value:
+            element = join_types(element, infer_type(item))
+        return SetType(element)
+    raise TypeError(f"not a complex object: {value!r}")
+
+
+def join_types(left: SchemaType, right: SchemaType) -> SchemaType:
+    """Return a least general type to which both operands' objects conform.
+
+    The join mirrors the object lattice: equal types join to themselves,
+    ``EmptyType`` is neutral, ``AnyType`` absorbing, atom types of different
+    sorts join to the unrestricted atom type, tuple types join field-wise
+    (fields present on only one side become optional), set types join their
+    element types, and anything else falls back to a union.
+    """
+    if left == right:
+        return left
+    if isinstance(left, EmptyType):
+        return right
+    if isinstance(right, EmptyType):
+        return left
+    if isinstance(left, AnyType) or isinstance(right, AnyType):
+        return AnyType()
+    if isinstance(left, AtomType) and isinstance(right, AtomType):
+        if left.sort is None or right.sort is None or left.sort != right.sort:
+            return AtomType(None)
+        return AtomType(left.sort)
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        return _join_tuple_types(left, right)
+    if isinstance(left, SetType) and isinstance(right, SetType):
+        return SetType(join_types(left.element, right.element))
+    if isinstance(left, UnionType) or isinstance(right, UnionType):
+        alternatives: List[SchemaType] = []
+        for candidate in (left, right):
+            if isinstance(candidate, UnionType):
+                alternatives.extend(candidate.alternatives)
+            else:
+                alternatives.append(candidate)
+        return UnionType(alternatives)
+    return UnionType([left, right])
+
+
+def _join_tuple_types(left: TupleType, right: TupleType) -> TupleType:
+    fields: Dict[str, SchemaType] = {}
+    for name in set(left.attribute_names()) | set(right.attribute_names()):
+        left_field = left.field(name)
+        right_field = right.field(name)
+        if left_field is None:
+            fields[name] = right_field
+        elif right_field is None:
+            fields[name] = left_field
+        else:
+            fields[name] = join_types(left_field, right_field)
+    required = (set(left.required) & set(right.required)) & set(fields)
+    return TupleType(fields, required=tuple(sorted(required)), open=left.open or right.open)

@@ -1,0 +1,290 @@
+"""The type language of the schema extension.
+
+Types mirror the object constructors of Definition 2.1:
+
+* :class:`AtomType` — atomic values, optionally restricted to one sort
+  (``int``, ``float``, ``string``, ``bool``);
+* :class:`TupleType` — tuple objects with a declared attribute typing;
+  *closed* tuple types reject undeclared attributes, *open* ones allow them;
+* :class:`SetType` — set objects whose elements all conform to one element
+  type;
+* :class:`UnionType` — any of several alternatives (how heterogeneous sets are
+  typed);
+* :class:`AnyType` — every object (the ⊤ of the type lattice);
+* :class:`EmptyType` — only ⊥ conforms (the ⊥ of the type lattice).
+
+⊥ conforms to every type (a missing value is acceptable anywhere, which is the
+paper's reading of null values); ⊤ conforms to none except ``any``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.atoms import BOOL_SORT, FLOAT_SORT, INT_SORT, STRING_SORT
+
+__all__ = [
+    "SchemaType",
+    "AnyType",
+    "EmptyType",
+    "AtomType",
+    "TupleType",
+    "SetType",
+    "UnionType",
+    "any_type",
+    "empty_type",
+    "atom_type",
+    "integer",
+    "float_type",
+    "string",
+    "boolean",
+    "tuple_type",
+    "set_type",
+    "union_type",
+]
+
+_VALID_SORTS = (BOOL_SORT, INT_SORT, FLOAT_SORT, STRING_SORT)
+
+
+class SchemaType:
+    """Abstract base class of schema types; immutable and hashable."""
+
+    __slots__ = ()
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.to_text()}>"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SchemaType):
+            return NotImplemented
+        return self._signature() == other._signature()
+
+    def __hash__(self) -> int:
+        return hash(self._signature())
+
+    def _signature(self):
+        raise NotImplementedError
+
+
+class AnyType(SchemaType):
+    """The universal type: every object conforms."""
+
+    __slots__ = ()
+
+    def to_text(self) -> str:
+        return "any"
+
+    def _signature(self):
+        return ("any",)
+
+
+class EmptyType(SchemaType):
+    """The empty type: only ⊥ conforms (useful as a neutral element for joins)."""
+
+    __slots__ = ()
+
+    def to_text(self) -> str:
+        return "empty"
+
+    def _signature(self):
+        return ("empty",)
+
+
+class AtomType(SchemaType):
+    """Atomic values; ``sort=None`` accepts every sort."""
+
+    __slots__ = ("sort",)
+
+    def __init__(self, sort: Optional[str] = None):
+        if sort is not None and sort not in _VALID_SORTS:
+            valid = ", ".join(_VALID_SORTS)
+            raise ValueError(f"unknown atom sort {sort!r}; expected one of {valid}")
+        object.__setattr__(self, "sort", sort)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("AtomType is immutable")
+
+    def to_text(self) -> str:
+        return self.sort if self.sort else "atom"
+
+    def _signature(self):
+        return ("atom", self.sort)
+
+
+class TupleType(SchemaType):
+    """Tuple objects with per-attribute types.
+
+    ``required`` lists the attributes that must be present (non-⊥); the other
+    declared attributes are optional.  ``open=True`` tolerates attributes that
+    the type does not declare; ``open=False`` rejects them.
+    """
+
+    __slots__ = ("fields", "required", "open")
+
+    def __init__(
+        self,
+        fields: Mapping[str, SchemaType],
+        required: Iterable[str] = (),
+        open: bool = False,
+    ):
+        cleaned: Dict[str, SchemaType] = {}
+        for name, value in fields.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"attribute names must be non-empty strings: {name!r}")
+            if not isinstance(value, SchemaType):
+                raise TypeError(f"field {name!r} must map to a SchemaType")
+            cleaned[name] = value
+        required_names = tuple(sorted(set(required)))
+        unknown = set(required_names) - set(cleaned)
+        if unknown:
+            missing = ", ".join(sorted(unknown))
+            raise ValueError(f"required attributes not declared in fields: {missing}")
+        object.__setattr__(self, "fields", tuple(sorted(cleaned.items())))
+        object.__setattr__(self, "required", required_names)
+        object.__setattr__(self, "open", bool(open))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("TupleType is immutable")
+
+    def field(self, name: str) -> Optional[SchemaType]:
+        for attr, value in self.fields:
+            if attr == name:
+                return value
+        return None
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def to_text(self) -> str:
+        parts = []
+        required = set(self.required)
+        for name, value in self.fields:
+            marker = "" if name in required else "?"
+            parts.append(f"{name}{marker}: {value.to_text()}")
+        if self.open:
+            parts.append("...")
+        return "[" + ", ".join(parts) + "]"
+
+    def _signature(self):
+        return (
+            "tuple",
+            tuple((name, value._signature()) for name, value in self.fields),
+            self.required,
+            self.open,
+        )
+
+
+class SetType(SchemaType):
+    """Set objects whose elements all conform to ``element``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: SchemaType):
+        if not isinstance(element, SchemaType):
+            raise TypeError("SetType expects a SchemaType element")
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("SetType is immutable")
+
+    def to_text(self) -> str:
+        return "{" + self.element.to_text() + "}"
+
+    def _signature(self):
+        return ("set", self.element._signature())
+
+
+class UnionType(SchemaType):
+    """Any of several alternative types."""
+
+    __slots__ = ("alternatives",)
+
+    def __init__(self, alternatives: Iterable[SchemaType]):
+        collected = []
+        for alternative in alternatives:
+            if not isinstance(alternative, SchemaType):
+                raise TypeError("UnionType expects SchemaType alternatives")
+            # Flatten nested unions so equality is structural.
+            if isinstance(alternative, UnionType):
+                collected.extend(alternative.alternatives)
+            else:
+                collected.append(alternative)
+        unique = []
+        for alternative in collected:
+            if alternative not in unique:
+                unique.append(alternative)
+        if not unique:
+            raise ValueError("UnionType needs at least one alternative")
+        ordered = tuple(sorted(unique, key=lambda t: t.to_text()))
+        object.__setattr__(self, "alternatives", ordered)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("UnionType is immutable")
+
+    def to_text(self) -> str:
+        return " | ".join(alternative.to_text() for alternative in self.alternatives)
+
+    def _signature(self):
+        return ("union", tuple(a._signature() for a in self.alternatives))
+
+
+# -- convenience constructors ------------------------------------------------------
+def any_type() -> AnyType:
+    """The universal type."""
+    return AnyType()
+
+
+def empty_type() -> EmptyType:
+    """The type to which only ⊥ conforms."""
+    return EmptyType()
+
+
+def atom_type(sort: Optional[str] = None) -> AtomType:
+    """An atom type, optionally restricted to one sort."""
+    return AtomType(sort)
+
+
+def integer() -> AtomType:
+    """The integer atom type."""
+    return AtomType(INT_SORT)
+
+
+def float_type() -> AtomType:
+    """The float atom type."""
+    return AtomType(FLOAT_SORT)
+
+
+def string() -> AtomType:
+    """The string atom type."""
+    return AtomType(STRING_SORT)
+
+
+def boolean() -> AtomType:
+    """The boolean atom type."""
+    return AtomType(BOOL_SORT)
+
+
+def tuple_type(
+    fields: Mapping[str, SchemaType], required: Iterable[str] = (), open: bool = False
+) -> TupleType:
+    """A tuple type; see :class:`TupleType`."""
+    return TupleType(fields, required=required, open=open)
+
+
+def set_type(element: SchemaType) -> SetType:
+    """A set type with the given element type."""
+    return SetType(element)
+
+
+def union_type(*alternatives: SchemaType) -> SchemaType:
+    """A union type (collapses to the single alternative when given just one)."""
+    union = UnionType(alternatives)
+    if len(union.alternatives) == 1:
+        return union.alternatives[0]
+    return union

@@ -1,0 +1,67 @@
+"""A persistent object store for complex objects.
+
+The paper treats the whole database as one complex object but leaves storage,
+updates ("we have no primitives for updating the object space", future-work
+item 3) and physical design out of scope.  This package supplies that
+substrate so the calculus can be used as an actual database system:
+
+* :mod:`repro.store.codec` — serialization of complex objects to/from a plain
+  JSON-compatible form and the concrete text syntax;
+* :mod:`repro.store.paths` + :mod:`repro.store.updates` — attribute-path
+  navigation and functional update primitives (assign, insert, remove) that
+  always return new objects;
+* :mod:`repro.store.storage` — in-memory and append-only file-backed storage
+  engines with crash-safe reload;
+* :mod:`repro.store.index` — path indexes over stored collections to
+  accelerate pattern selections;
+* :mod:`repro.store.transactions` — minimal multi-statement transactions with
+  commit/abort;
+* :mod:`repro.store.database` — the :class:`~repro.store.database.ObjectDatabase`
+  facade tying everything together: named roots, calculus queries, rule
+  closure, schema enforcement and updates.
+"""
+
+from repro.store.codec import (
+    decode_json,
+    encode_json,
+    from_json_text,
+    loads_object,
+    dumps_object,
+    to_json_text,
+)
+from repro.store.database import ObjectDatabase
+from repro.store.index import PathIndex
+from repro.store.paths import Path, get_path, has_path, iter_paths
+from repro.store.storage import FileStorage, MemoryStorage, StorageEngine
+from repro.store.transactions import Transaction
+from repro.store.updates import (
+    assign_path,
+    insert_element,
+    merge_object,
+    remove_element,
+    remove_path,
+)
+
+__all__ = [
+    "FileStorage",
+    "MemoryStorage",
+    "ObjectDatabase",
+    "Path",
+    "PathIndex",
+    "StorageEngine",
+    "Transaction",
+    "assign_path",
+    "decode_json",
+    "dumps_object",
+    "encode_json",
+    "from_json_text",
+    "get_path",
+    "has_path",
+    "insert_element",
+    "iter_paths",
+    "loads_object",
+    "merge_object",
+    "remove_element",
+    "remove_path",
+    "to_json_text",
+]

@@ -1,0 +1,276 @@
+"""The :class:`ObjectDatabase` facade.
+
+An object database is a named collection of complex objects on top of a
+storage engine, with:
+
+* calculus queries: :meth:`ObjectDatabase.query` interprets a formula against
+  one stored object (or against the whole database seen as a single tuple
+  object, exactly the paper's "the entire database can be modeled by a single
+  object"), and :meth:`ObjectDatabase.apply_rules` / :meth:`close_under`
+  evaluate rules and closures in place;
+* pattern search across objects: :meth:`find` returns the names of the stored
+  objects of which a pattern is a sub-object, using path indexes when one
+  covers the pattern;
+* schema enforcement: a type per name (optional) checked on every write;
+* functional updates with :mod:`repro.store.updates`, and multi-statement
+  transactions with :mod:`repro.store.transactions`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import SchemaError, StoreError
+from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
+from repro.core.order import is_subobject
+from repro.calculus.fixpoint import ClosureResult, close
+from repro.calculus.interpretation import interpret
+from repro.calculus.rules import Rule, RuleSet
+from repro.calculus.terms import Formula
+from repro.schema.check import check_object
+from repro.schema.types import SchemaType
+from repro.store.index import PathIndex
+from repro.store.paths import Path
+from repro.store.storage import MemoryStorage, StorageEngine
+from repro.store.transactions import Transaction
+from repro.store.updates import assign_path, insert_element, merge_object, remove_element
+
+__all__ = ["ObjectDatabase"]
+
+
+class ObjectDatabase:
+    """A named collection of complex objects with queries, indexes and updates."""
+
+    def __init__(self, storage: Optional[StorageEngine] = None):
+        self._storage = storage if storage is not None else MemoryStorage()
+        self._indexes: Dict[str, PathIndex] = {}
+        self._schemas: Dict[str, SchemaType] = {}
+
+    # -- basic CRUD -----------------------------------------------------------------
+    def put(self, name: str, value) -> ComplexObject:
+        """Store an object (plain Python values are converted) under ``name``."""
+        from repro.core.builder import obj
+
+        converted = obj(value)
+        schema = self._schemas.get(name)
+        if schema is not None:
+            issues = check_object(converted, schema)
+            if issues:
+                raise SchemaError(
+                    f"object for {name!r} violates its schema: {issues[0]}"
+                )
+        self._storage.write(name, converted)
+        for index in self._indexes.values():
+            index.add(name, converted)
+        return converted
+
+    def get(self, name: str, default=None) -> Optional[ComplexObject]:
+        """Return the object stored under ``name`` (or ``default``)."""
+        value = self._storage.read(name)
+        return default if value is None else value
+
+    def __getitem__(self, name: str) -> ComplexObject:
+        value = self._storage.read(name)
+        if value is None:
+            raise KeyError(name)
+        return value
+
+    def __contains__(self, name: str) -> bool:
+        return self._storage.read(name) is not None
+
+    def remove(self, name: str) -> None:
+        """Delete the object stored under ``name`` (no error when absent)."""
+        self._storage.delete(name)
+        for index in self._indexes.values():
+            index.remove(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """The stored names, sorted."""
+        return self._storage.names()
+
+    def items(self) -> Iterator[Tuple[str, ComplexObject]]:
+        """Iterate over ``(name, object)`` pairs."""
+        return self._storage.items()
+
+    def __len__(self) -> int:
+        return len(self._storage.names())
+
+    # -- the whole database as one object ----------------------------------------------
+    def as_object(self) -> ComplexObject:
+        """The entire database as a single tuple object (Section 4 of the paper)."""
+        return TupleObject({name: value for name, value in self.items()})
+
+    # -- schemas -------------------------------------------------------------------------
+    def declare_schema(self, name: str, schema: SchemaType) -> None:
+        """Attach a schema to ``name``; the current and future values must conform."""
+        current = self.get(name)
+        if current is not None:
+            issues = check_object(current, schema)
+            if issues:
+                raise SchemaError(
+                    f"existing object for {name!r} violates the declared schema: {issues[0]}"
+                )
+        self._schemas[name] = schema
+
+    def schema_of(self, name: str) -> Optional[SchemaType]:
+        """The declared schema of ``name`` (or ``None``)."""
+        return self._schemas.get(name)
+
+    # -- indexes --------------------------------------------------------------------------
+    def create_index(self, path: Union[Path, str]) -> PathIndex:
+        """Create (or return) a path index and populate it from the stored objects."""
+        key = str(path if isinstance(path, Path) else Path(path))
+        if key not in self._indexes:
+            index = PathIndex(key)
+            index.rebuild(self.items())
+            self._indexes[key] = index
+        return self._indexes[key]
+
+    def drop_index(self, path: Union[Path, str]) -> None:
+        """Remove a path index (no error when absent)."""
+        key = str(path if isinstance(path, Path) else Path(path))
+        self._indexes.pop(key, None)
+
+    def indexes(self) -> Tuple[str, ...]:
+        """The paths currently indexed."""
+        return tuple(sorted(self._indexes))
+
+    # -- queries --------------------------------------------------------------------------
+    def query(
+        self,
+        formula,
+        *,
+        against: Optional[str] = None,
+        allow_bottom: bool = False,
+    ) -> ComplexObject:
+        """Interpret a formula (Definition 4.2) against one object or the whole database.
+
+        ``formula`` may be a :class:`~repro.calculus.terms.Formula` or source
+        text in the paper's notation.  With ``against=None`` the formula is
+        interpreted against :meth:`as_object`.
+        """
+        parsed = self._as_formula(formula)
+        target = self.as_object() if against is None else self[against]
+        return interpret(parsed, target, allow_bottom=allow_bottom)
+
+    def find(
+        self, pattern: ComplexObject, *, path: Optional[Union[Path, str]] = None
+    ) -> List[str]:
+        """Names of the stored objects of which ``pattern`` is a sub-object.
+
+        When ``path`` names an index and ``pattern`` pins a value at that path,
+        the index narrows the candidates before the sub-object check; otherwise
+        every stored object is scanned.
+        """
+        candidates: Optional[Sequence[str]] = None
+        if path is not None:
+            key = str(path if isinstance(path, Path) else Path(path))
+            index = self._indexes.get(key)
+            if index is not None:
+                from repro.store.paths import get_path
+
+                located = get_path(pattern, key)
+                values = located.elements if isinstance(located, SetObject) else [located]
+                gathered: List[str] = []
+                for value in values:
+                    if value.is_bottom:
+                        continue
+                    gathered.extend(index.lookup(value))
+                candidates = sorted(set(gathered))
+        if candidates is None:
+            candidates = self.names()
+        return [
+            name
+            for name in candidates
+            if (stored := self.get(name)) is not None and is_subobject(pattern, stored)
+        ]
+
+    # -- rules ----------------------------------------------------------------------------
+    def apply_rules(
+        self,
+        rules: Union[Rule, RuleSet, Sequence[Rule]],
+        *,
+        against: Optional[str] = None,
+        allow_bottom: bool = False,
+    ) -> ComplexObject:
+        """Apply rules once (Definition 4.4) to one object or to the whole database."""
+        ruleset = rules if isinstance(rules, RuleSet) else RuleSet(
+            [rules] if isinstance(rules, Rule) else rules
+        )
+        target = self.as_object() if against is None else self[against]
+        return ruleset.apply(target, allow_bottom=allow_bottom)
+
+    def close_under(
+        self,
+        rules: Union[Rule, RuleSet, Sequence[Rule]],
+        *,
+        against: Optional[str] = None,
+        store_as: Optional[str] = None,
+        **guards,
+    ) -> ClosureResult:
+        """Compute the closure (Definition 4.6) and optionally store the result."""
+        target = self.as_object() if against is None else self[against]
+        result = close(target, rules, **guards)
+        if store_as is not None:
+            self.put(store_as, result.value)
+        return result
+
+    # -- updates ------------------------------------------------------------------------
+    def update(self, name: str, path: Union[Path, str], value) -> ComplexObject:
+        """Assign ``value`` at ``path`` inside the object stored under ``name``."""
+        from repro.core.builder import obj
+
+        current = self._require(name)
+        return self.put(name, assign_path(current, path, obj(value)))
+
+    def insert(self, name: str, path: Union[Path, str], element) -> ComplexObject:
+        """Insert ``element`` into the set at ``path`` inside ``name``."""
+        from repro.core.builder import obj
+
+        current = self._require(name)
+        return self.put(name, insert_element(current, path, obj(element)))
+
+    def discard(self, name: str, path: Union[Path, str], element) -> ComplexObject:
+        """Remove ``element`` from the set at ``path`` inside ``name``."""
+        from repro.core.builder import obj
+
+        current = self._require(name)
+        return self.put(name, remove_element(current, path, obj(element)))
+
+    def merge(self, name: str, other) -> ComplexObject:
+        """Lattice-union ``other`` into the object stored under ``name``."""
+        from repro.core.builder import obj
+
+        current = self.get(name, default=BOTTOM)
+        return self.put(name, merge_object(current, obj(other)))
+
+    # -- transactions ----------------------------------------------------------------------
+    def transaction(self) -> Transaction:
+        """Start a buffered transaction against this database."""
+        return Transaction(self)
+
+    # -- helpers ---------------------------------------------------------------------------
+    def _require(self, name: str) -> ComplexObject:
+        value = self.get(name)
+        if value is None:
+            raise StoreError(f"no object stored under {name!r}")
+        return value
+
+    @staticmethod
+    def _as_formula(formula) -> Formula:
+        if isinstance(formula, Formula):
+            return formula
+        if isinstance(formula, str):
+            from repro.parser import parse_formula
+
+            return parse_formula(formula)
+        from repro.calculus.terms import formula as to_formula
+
+        return to_formula(formula)
+
+    def close(self) -> None:
+        """Close the underlying storage engine."""
+        self._storage.close()
+
+    def __repr__(self) -> str:
+        return f"<ObjectDatabase {len(self)} objects, {len(self._indexes)} indexes>"

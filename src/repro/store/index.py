@@ -1,0 +1,81 @@
+"""Path indexes: accelerate pattern selections over stored collections.
+
+A :class:`PathIndex` maps the values found at one attribute path (descending
+through sets, see :func:`repro.store.paths.iter_paths`) to the names of the
+stored objects containing them.  The :class:`ObjectDatabase` consults its
+indexes before falling back to a scan when answering ``find`` queries, and the
+``bench_store`` benchmark measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+
+from repro.core.objects import ComplexObject, SetObject
+from repro.store.paths import Path, get_path
+
+__all__ = ["PathIndex"]
+
+
+class PathIndex:
+    """An inverted index from values at a path to object names."""
+
+    def __init__(self, path: Union[Path, str]):
+        self.path = path if isinstance(path, Path) else Path(path)
+        self._entries: Dict[ComplexObject, Set[str]] = {}
+        self._indexed: Set[str] = set()
+
+    def __repr__(self) -> str:
+        return f"<PathIndex on {self.path} covering {len(self._indexed)} objects>"
+
+    # -- maintenance ---------------------------------------------------------------
+    def add(self, name: str, value: ComplexObject) -> None:
+        """Index the stored object ``value`` under ``name``."""
+        self.remove(name)
+        for key in self._keys(value):
+            self._entries.setdefault(key, set()).add(name)
+        self._indexed.add(name)
+
+    def remove(self, name: str) -> None:
+        """Drop ``name`` from the index (no error when absent)."""
+        if name not in self._indexed:
+            return
+        empty_keys = []
+        for key, names in self._entries.items():
+            names.discard(name)
+            if not names:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del self._entries[key]
+        self._indexed.discard(name)
+
+    def rebuild(self, items: Iterable[Tuple[str, ComplexObject]]) -> None:
+        """Re-index the whole collection from scratch."""
+        self._entries.clear()
+        self._indexed.clear()
+        for name, value in items:
+            self.add(name, value)
+
+    def _keys(self, value: ComplexObject) -> Set[ComplexObject]:
+        located = get_path(value, self.path)
+        if isinstance(located, SetObject):
+            return set(located.elements)
+        if located.is_bottom:
+            return set()
+        return {located}
+
+    # -- queries --------------------------------------------------------------------
+    def lookup(self, key: ComplexObject) -> FrozenSet[str]:
+        """Names of the objects whose path value equals (or contains) ``key``."""
+        return frozenset(self._entries.get(key, set()))
+
+    def covers(self, name: str) -> bool:
+        """``True`` when ``name`` has been indexed."""
+        return name in self._indexed
+
+    def keys(self) -> Tuple[ComplexObject, ...]:
+        """Every distinct indexed key, in canonical order."""
+        return tuple(sorted(self._entries, key=lambda item: item.sort_key()))
+
+    def __len__(self) -> int:
+        return len(self._entries)

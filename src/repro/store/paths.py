@@ -1,0 +1,122 @@
+"""Attribute paths: navigation into nested objects.
+
+A :class:`Path` is a sequence of attribute names, written ``"family.children"``
+in text form.  Paths address tuple attributes only; set elements are not
+individually addressable (they have no names), but :func:`iter_paths` descends
+*through* sets so an index over the path ``"r1.name"`` sees the ``name``
+attribute of every element of the set stored at ``r1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
+
+__all__ = ["Path", "get_path", "has_path", "iter_paths"]
+
+
+class Path:
+    """An immutable attribute path."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Union[str, Sequence[str]]):
+        if isinstance(steps, str):
+            parts = tuple(part for part in steps.split(".") if part)
+        else:
+            parts = tuple(steps)
+        for part in parts:
+            if not isinstance(part, str) or not part:
+                raise ValueError(f"path steps must be non-empty strings: {part!r}")
+        object.__setattr__(self, "steps", parts)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Path is immutable")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, str):
+            other = Path(other)
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+    def __str__(self) -> str:
+        return ".".join(self.steps)
+
+    def child(self, step: str) -> "Path":
+        """Return the path extended by one attribute."""
+        return Path(self.steps + (step,))
+
+    def parent(self) -> "Path":
+        """Return the path without its last step (the empty path stays empty)."""
+        return Path(self.steps[:-1])
+
+    @property
+    def is_root(self) -> bool:
+        return not self.steps
+
+
+def _as_path(path: Union[Path, str, Sequence[str]]) -> Path:
+    return path if isinstance(path, Path) else Path(path)
+
+
+def get_path(value: ComplexObject, path: Union[Path, str]) -> ComplexObject:
+    """Follow ``path`` through tuple attributes; ⊥ when any step is missing.
+
+    When a step lands on a set object the step is applied to every element and
+    the results are collected into a set — so ``get_path(db, "r1.name")`` is
+    the set of names appearing in relation ``r1``.
+    """
+    current = value
+    for step in _as_path(path):
+        if isinstance(current, TupleObject):
+            current = current.get(step)
+        elif isinstance(current, SetObject):
+            gathered: List[ComplexObject] = []
+            for element in current:
+                if isinstance(element, TupleObject):
+                    item = element.get(step)
+                    if not item.is_bottom:
+                        gathered.append(item)
+            current = SetObject(gathered)
+        else:
+            return BOTTOM
+    return current
+
+
+def has_path(value: ComplexObject, path: Union[Path, str]) -> bool:
+    """``True`` when following ``path`` reaches something other than ⊥."""
+    result = get_path(value, path)
+    if isinstance(result, SetObject):
+        return len(result) > 0
+    return not result.is_bottom
+
+
+def iter_paths(value: ComplexObject, prefix: Path = None) -> Iterator[Tuple[Path, ComplexObject]]:
+    """Yield every ``(path, value)`` pair of tuple attributes, descending through sets.
+
+    The same path may be yielded several times with different values (once per
+    set element); this is exactly what the path index wants.
+    """
+    current_prefix = prefix if prefix is not None else Path(())
+    if isinstance(value, TupleObject):
+        for name, item in value.items():
+            child = current_prefix.child(name)
+            yield (child, item)
+            yield from iter_paths(item, child)
+    elif isinstance(value, SetObject):
+        for element in value:
+            yield from iter_paths(element, current_prefix)

@@ -1,0 +1,163 @@
+"""Storage engines: where named objects physically live.
+
+Two engines implement the same small interface (:class:`StorageEngine`):
+
+* :class:`MemoryStorage` — a plain dictionary; the default for tests,
+  examples and benchmarks;
+* :class:`FileStorage` — an append-only log of JSON records (one per write or
+  delete).  On open, the log is replayed to rebuild the current state, so a
+  crash between appends loses at most the interrupted record; ``compact()``
+  rewrites the log with just the live versions.
+
+The engines store *complex objects keyed by name*; everything smarter
+(indexes, transactions, schema checks, queries) lives above them in
+:class:`repro.store.database.ObjectDatabase`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import StoreError
+from repro.core.objects import ComplexObject
+from repro.store.codec import decode_json, encode_json
+
+__all__ = ["StorageEngine", "MemoryStorage", "FileStorage"]
+
+
+class StorageEngine:
+    """Interface of a storage engine: a named map of complex objects."""
+
+    def read(self, name: str) -> Optional[ComplexObject]:
+        """Return the object stored under ``name``, or ``None`` when absent."""
+        raise NotImplementedError
+
+    def write(self, name: str, value: ComplexObject) -> None:
+        """Store ``value`` under ``name``, replacing any previous version."""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove ``name`` (no error when absent)."""
+        raise NotImplementedError
+
+    def names(self) -> Tuple[str, ...]:
+        """The names currently stored, sorted."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[str, ComplexObject]]:
+        """Iterate over ``(name, object)`` pairs in name order."""
+        for name in self.names():
+            value = self.read(name)
+            if value is not None:
+                yield name, value
+
+    def close(self) -> None:
+        """Release any resources (files); the default does nothing."""
+
+
+class MemoryStorage(StorageEngine):
+    """An in-memory storage engine backed by a dictionary."""
+
+    def __init__(self):
+        self._objects: Dict[str, ComplexObject] = {}
+
+    def read(self, name: str) -> Optional[ComplexObject]:
+        return self._objects.get(name)
+
+    def write(self, name: str, value: ComplexObject) -> None:
+        if not isinstance(value, ComplexObject):
+            raise StoreError(f"only complex objects can be stored, got {type(value).__name__}")
+        self._objects[name] = value
+
+    def delete(self, name: str) -> None:
+        self._objects.pop(name, None)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._objects))
+
+
+class FileStorage(StorageEngine):
+    """An append-only, JSON-lines file storage engine.
+
+    Each line is a record ``{"op": "write"|"delete", "name": ..., "data": ...}``.
+    The constructor replays the log; writes are flushed immediately.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._objects: Dict[str, ComplexObject] = {}
+        self._replay()
+        # Open for appending only after a successful replay so a corrupt log
+        # is reported before any new data is appended to it.
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- log handling ------------------------------------------------------------
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreError(
+                        f"corrupt storage log {self.path!r} at line {line_number}: {error}"
+                    ) from error
+                self._apply_record(record, line_number)
+
+    def _apply_record(self, record: dict, line_number: int) -> None:
+        operation = record.get("op")
+        name = record.get("name")
+        if not isinstance(name, str):
+            raise StoreError(f"corrupt record (missing name) at line {line_number}")
+        if operation == "write":
+            self._objects[name] = decode_json(record.get("data"))
+        elif operation == "delete":
+            self._objects.pop(name, None)
+        else:
+            raise StoreError(f"corrupt record (unknown op {operation!r}) at line {line_number}")
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- StorageEngine interface ----------------------------------------------------
+    def read(self, name: str) -> Optional[ComplexObject]:
+        return self._objects.get(name)
+
+    def write(self, name: str, value: ComplexObject) -> None:
+        if not isinstance(value, ComplexObject):
+            raise StoreError(f"only complex objects can be stored, got {type(value).__name__}")
+        self._append({"op": "write", "name": name, "data": encode_json(value)})
+        self._objects[name] = value
+
+    def delete(self, name: str) -> None:
+        if name in self._objects:
+            self._append({"op": "delete", "name": name})
+            self._objects.pop(name, None)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._objects))
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only the latest version of each object."""
+        temporary = self.path + ".compact"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            for name in sorted(self._objects):
+                record = {"op": "write", "name": name, "data": encode_json(self._objects[name])}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(temporary, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()

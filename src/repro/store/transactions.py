@@ -1,0 +1,113 @@
+"""Minimal transactions over the object database.
+
+A :class:`Transaction` buffers writes and deletes against a snapshot of the
+database and applies them atomically on :meth:`commit` (all-or-nothing at the
+level of the in-process store; durability is the storage engine's job).  Reads
+inside the transaction see its own uncommitted writes first, then the
+snapshot.  A simple first-committer-wins conflict check rejects the commit if
+an object touched by the transaction was modified underneath it.
+
+This is intentionally lightweight — enough to give the update primitives of
+:mod:`repro.store.updates` a sane multi-statement envelope, which is all the
+paper's future-work item needs to be exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.errors import TransactionError
+from repro.core.objects import ComplexObject
+
+__all__ = ["Transaction"]
+
+_DELETED = object()
+
+
+class Transaction:
+    """A buffered, atomically-committed set of changes to an :class:`ObjectDatabase`."""
+
+    def __init__(self, database):
+        self._database = database
+        self._snapshot: Dict[str, Optional[ComplexObject]] = {}
+        self._writes: Dict[str, object] = {}
+        self._active = True
+
+    # -- context manager --------------------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self._active:
+            self.commit()
+        elif self._active:
+            self.abort()
+        return False
+
+    # -- transactional reads/writes ----------------------------------------------------
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransactionError("the transaction is no longer active")
+
+    def _remember_snapshot(self, name: str) -> None:
+        if name not in self._snapshot:
+            self._snapshot[name] = self._database.get(name, default=None)
+
+    def get(self, name: str, default=None):
+        """Read an object, seeing this transaction's own writes first."""
+        self._require_active()
+        if name in self._writes:
+            value = self._writes[name]
+            return default if value is _DELETED else value
+        self._remember_snapshot(name)
+        value = self._snapshot[name]
+        return default if value is None else value
+
+    def put(self, name: str, value: ComplexObject) -> None:
+        """Buffer a write."""
+        self._require_active()
+        if not isinstance(value, ComplexObject):
+            raise TransactionError(
+                f"only complex objects can be stored, got {type(value).__name__}"
+            )
+        self._remember_snapshot(name)
+        self._writes[name] = value
+
+    def delete(self, name: str) -> None:
+        """Buffer a delete."""
+        self._require_active()
+        self._remember_snapshot(name)
+        self._writes[name] = _DELETED
+
+    def touched(self) -> Set[str]:
+        """The names written or deleted by this transaction."""
+        return set(self._writes)
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def commit(self) -> None:
+        """Apply the buffered changes atomically; first-committer-wins conflicts."""
+        self._require_active()
+        for name in self._writes:
+            current = self._database.get(name, default=None)
+            if current is not self._snapshot.get(name) and current != self._snapshot.get(name):
+                self._active = False
+                raise TransactionError(
+                    f"write-write conflict on {name!r}: the object changed since the"
+                    " transaction first read it"
+                )
+        for name, value in self._writes.items():
+            if value is _DELETED:
+                self._database.remove(name)
+            else:
+                self._database.put(name, value)
+        self._active = False
+
+    def abort(self) -> None:
+        """Discard the buffered changes."""
+        self._require_active()
+        self._writes.clear()
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active

@@ -1,0 +1,112 @@
+"""Update primitives for complex objects (the paper's future-work item 3).
+
+All updates are *functional*: they return a new object and never mutate the
+input (complex objects are immutable).  Four primitives cover the usual needs
+of an object database:
+
+* :func:`assign_path` — set the value at an attribute path, creating the
+  intermediate tuples as needed;
+* :func:`remove_path` — delete the attribute at a path (assigning ⊥);
+* :func:`insert_element` / :func:`remove_element` — add or drop an element of
+  the set stored at a path;
+* :func:`merge_object` — lattice union with another object (the paper's own
+  "monotone update").
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.errors import StoreError
+from repro.core.lattice import union
+from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
+from repro.store.paths import Path
+
+__all__ = [
+    "assign_path",
+    "remove_path",
+    "insert_element",
+    "remove_element",
+    "merge_object",
+]
+
+
+def _as_path(path: Union[Path, str]) -> Path:
+    return path if isinstance(path, Path) else Path(path)
+
+
+def assign_path(
+    value: ComplexObject, path: Union[Path, str], new_value: ComplexObject
+) -> ComplexObject:
+    """Return a copy of ``value`` with ``new_value`` stored at ``path``.
+
+    Missing intermediate attributes are created as tuple objects; a non-tuple
+    in the middle of the path is an error (the caller is trying to descend
+    into an atom or a set).
+    """
+    steps = _as_path(path).steps
+    if not steps:
+        return new_value
+    return _assign(value, steps, new_value)
+
+
+def _assign(value: ComplexObject, steps, new_value: ComplexObject) -> ComplexObject:
+    head, rest = steps[0], steps[1:]
+    if value.is_bottom:
+        value = TupleObject({})
+    if not isinstance(value, TupleObject):
+        raise StoreError(
+            f"cannot descend into {value.to_text()} to assign attribute {head!r}"
+        )
+    child = value.get(head)
+    replacement = new_value if not rest else _assign(child, rest, new_value)
+    return value.replace(**{head: replacement})
+
+
+def remove_path(value: ComplexObject, path: Union[Path, str]) -> ComplexObject:
+    """Return a copy of ``value`` with the attribute at ``path`` removed."""
+    steps = _as_path(path).steps
+    if not steps:
+        return BOTTOM
+    return _assign(value, steps, BOTTOM)
+
+
+def insert_element(
+    value: ComplexObject, path: Union[Path, str], element: ComplexObject
+) -> ComplexObject:
+    """Insert ``element`` into the set stored at ``path`` (creating it if absent)."""
+    steps = _as_path(path).steps
+    current = value
+    for step in steps:
+        if not isinstance(current, TupleObject):
+            raise StoreError(f"cannot descend into {current.to_text()} at step {step!r}")
+        current = current.get(step)
+    if current.is_bottom:
+        target = SetObject([element])
+    elif isinstance(current, SetObject):
+        target = current.add(element)
+    else:
+        raise StoreError(f"value at {'.'.join(steps) or '<root>'} is not a set")
+    return assign_path(value, Path(steps), target)
+
+
+def remove_element(
+    value: ComplexObject, path: Union[Path, str], element: ComplexObject
+) -> ComplexObject:
+    """Remove ``element`` from the set stored at ``path`` (no error if absent)."""
+    steps = _as_path(path).steps
+    current = value
+    for step in steps:
+        if not isinstance(current, TupleObject):
+            raise StoreError(f"cannot descend into {current.to_text()} at step {step!r}")
+        current = current.get(step)
+    if current.is_bottom:
+        return value
+    if not isinstance(current, SetObject):
+        raise StoreError(f"value at {'.'.join(steps) or '<root>'} is not a set")
+    return assign_path(value, Path(steps), current.discard(element))
+
+
+def merge_object(value: ComplexObject, other: ComplexObject) -> ComplexObject:
+    """Lattice union of the stored object with ``other`` (a monotone update)."""
+    return union(value, other)

@@ -1,0 +1,47 @@
+"""Synthetic workload generators.
+
+The paper needs no external data, but its motivating applications (CAD,
+office automation, document retrieval, knowledge bases) and its examples
+(relations, nested relations, genealogies) suggest concrete data shapes.  The
+generators below synthesise those shapes with controlled size parameters and a
+seeded RNG, and every benchmark and property test draws its inputs from here
+(substitution note in ``DESIGN.md``: generated hierarchies stand in for the
+paper's motivating real-world CAD/office datasets, exercising the same
+nesting and recursion code paths).
+
+* :mod:`repro.workloads.objects` — random (reduced) complex objects with
+  controlled depth/fan-out, and redundancy-controlled sets for the reduction
+  benchmark;
+* :mod:`repro.workloads.relations` — flat relations with controlled
+  cardinality and join selectivity, in both relational and complex-object
+  form;
+* :mod:`repro.workloads.genealogy` — family trees in the exact shape of the
+  paper's Example 4.5, with flat, Datalog and complex-object views plus the
+  expected answer;
+* :mod:`repro.workloads.hierarchy` — part (bill-of-material) assemblies and
+  document collections, the deep-nesting workloads of the introduction.
+"""
+
+from repro.workloads.genealogy import Genealogy, make_genealogy
+from repro.workloads.hierarchy import make_document_collection, make_part_hierarchy
+from repro.workloads.objects import (
+    random_atom,
+    random_object,
+    random_set_with_redundancy,
+    random_tuple,
+)
+from repro.workloads.relations import JoinWorkload, make_join_workload, make_relation
+
+__all__ = [
+    "Genealogy",
+    "JoinWorkload",
+    "make_document_collection",
+    "make_genealogy",
+    "make_join_workload",
+    "make_part_hierarchy",
+    "make_relation",
+    "random_atom",
+    "random_object",
+    "random_set_with_redundancy",
+    "random_tuple",
+]

@@ -1,0 +1,124 @@
+"""Family-tree workloads in the shape of the paper's Example 4.5.
+
+The generator builds a rooted tree of people with a configurable number of
+generations and children per person and exposes four coordinated views of it:
+
+* the complex-object database ``[family: {[name: ..., children: {[name: ...]}]}]``
+  queried by the calculus closure of Example 4.5;
+* the flat parent/child relation for the relational baseline;
+* the Datalog program (``parent`` facts plus the two transitive-closure
+  clauses) for the Horn-clause baseline;
+* the expected set of descendants of the root, computed directly on the tree,
+  which every engine's answer is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.objects import ComplexObject, SetObject, TupleObject, Atom
+from repro.datalog.rules import Clause, DatalogProgram
+from repro.datalog.terms import PredicateAtom, constant, variable
+from repro.relational.relation import Relation
+
+__all__ = ["Genealogy", "make_genealogy"]
+
+
+@dataclass(frozen=True)
+class Genealogy:
+    """A generated family tree with its coordinated representations."""
+
+    root: str
+    people: Tuple[str, ...]
+    parent_of: Tuple[Tuple[str, str], ...]
+    family_object: ComplexObject
+    parent_relation: Relation
+    datalog_program: DatalogProgram
+    expected_descendants: FrozenSet[str]
+
+    @property
+    def generations(self) -> int:
+        """Number of generations below the root (0 when the root is childless)."""
+        depth: Dict[str, int] = {self.root: 0}
+        for parent, child in self.parent_of:
+            depth[child] = depth.get(parent, 0) + 1
+        return max(depth.values()) if depth else 0
+
+
+def make_genealogy(generations: int, fanout: int, root: str = "abraham") -> Genealogy:
+    """Build a complete ``fanout``-ary family tree with ``generations`` levels."""
+    if generations < 0:
+        raise ValueError("generations must be non-negative")
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    people: List[str] = [root]
+    parent_of: List[Tuple[str, str]] = []
+    current = [root]
+    counter = 0
+    for _ in range(generations):
+        next_level: List[str] = []
+        for parent in current:
+            for _ in range(fanout):
+                child = f"p{counter}"
+                counter += 1
+                people.append(child)
+                parent_of.append((parent, child))
+                next_level.append(child)
+        current = next_level
+
+    family_object = _family_object(people, parent_of)
+    parent_relation = Relation(
+        ("parent", "child"),
+        ({"parent": parent, "child": child} for parent, child in parent_of),
+        name="parent",
+    )
+    program = _datalog_program(root, parent_of)
+    descendants = frozenset(child for _, child in parent_of) | {root}
+    return Genealogy(
+        root=root,
+        people=tuple(people),
+        parent_of=tuple(parent_of),
+        family_object=family_object,
+        parent_relation=parent_relation,
+        datalog_program=program,
+        expected_descendants=descendants,
+    )
+
+
+def _family_object(people: List[str], parent_of: List[Tuple[str, str]]) -> ComplexObject:
+    children: Dict[str, List[str]] = {person: [] for person in people}
+    for parent, child in parent_of:
+        children[parent].append(child)
+    members = []
+    for person in people:
+        members.append(
+            TupleObject(
+                {
+                    "name": Atom(person),
+                    "children": SetObject(
+                        TupleObject({"name": Atom(child)}) for child in children[person]
+                    ),
+                }
+            )
+        )
+    return TupleObject({"family": SetObject(members)})
+
+
+def _datalog_program(root: str, parent_of: List[Tuple[str, str]]) -> DatalogProgram:
+    clauses: List[Clause] = [
+        Clause(PredicateAtom("parent", (constant(parent), constant(child))))
+        for parent, child in parent_of
+    ]
+    # doa(root).  doa(X) :- parent(Y, X), doa(Y).   -- Example 4.5, flattened.
+    clauses.append(Clause(PredicateAtom("doa", (constant(root),))))
+    clauses.append(
+        Clause(
+            PredicateAtom("doa", (variable("X"),)),
+            (
+                PredicateAtom("parent", (variable("Y"), variable("X"))),
+                PredicateAtom("doa", (variable("Y"),)),
+            ),
+        )
+    )
+    return DatalogProgram(clauses)

@@ -1,0 +1,156 @@
+"""Deep-hierarchy workloads: part assemblies and document collections.
+
+The paper's first motivation (CAD, office automation, document retrieval) is
+the cost of representing "arbitrary hierarchical objects" in first normal
+form: rebuilding one nested object requires a join per level and artificial
+identifiers.  These generators produce the two classic shapes of that
+argument:
+
+* a **bill of materials**: assemblies containing sub-assemblies down to leaf
+  parts, both as one nested complex object and as the flat
+  ``component(assembly_id, part_id, ...)`` relation a 1NF design forces;
+* a **document collection**: documents with nested sections and keyword sets,
+  used for heterogeneous-set and deep-query tests.
+
+The nested-vs-flat benchmark (B8) measures exactly the reconstruction cost the
+introduction talks about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.core.objects import Atom, ComplexObject, SetObject, TupleObject
+from repro.relational.database import RelationalDatabase
+from repro.relational.relation import Relation
+
+__all__ = ["PartHierarchy", "make_part_hierarchy", "make_document_collection"]
+
+
+def _as_rng(rng: Union[random.Random, int, None]) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng if rng is not None else 0)
+
+
+@dataclass(frozen=True)
+class PartHierarchy:
+    """A generated assembly tree, in nested and flattened form."""
+
+    root_id: int
+    levels: int
+    children_per_level: int
+    nested_object: ComplexObject
+    flat_database: RelationalDatabase
+    part_count: int
+
+
+def make_part_hierarchy(
+    levels: int,
+    children_per_level: int,
+    *,
+    rng: Union[random.Random, int, None] = None,
+) -> PartHierarchy:
+    """Build a complete assembly tree with ``levels`` levels of sub-parts.
+
+    The nested object has the shape
+    ``[part_id: ..., kind: ..., weight: ..., components: { ... }]``; the flat
+    database holds the same information as two relations, ``part(part_id,
+    kind, weight)`` and ``component(assembly_id, part_id)`` — the artificial
+    identifiers the paper's introduction complains about.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    if children_per_level < 1:
+        raise ValueError("children_per_level must be at least 1")
+    rng = _as_rng(rng)
+    part_rows: List[Dict[str, object]] = []
+    component_rows: List[Dict[str, object]] = []
+    counter = [0]
+
+    def build(level: int) -> Tuple[ComplexObject, int]:
+        part_id = counter[0]
+        counter[0] += 1
+        kind = "assembly" if level > 0 else "leaf"
+        weight = round(rng.uniform(0.1, 9.9), 2)
+        part_rows.append({"part_id": part_id, "kind": kind, "weight": weight})
+        children = []
+        if level > 0:
+            for _ in range(children_per_level):
+                child_object, child_id = build(level - 1)
+                children.append(child_object)
+                component_rows.append({"assembly_id": part_id, "part_id": child_id})
+        nested = TupleObject(
+            {
+                "part_id": Atom(part_id),
+                "kind": Atom(kind),
+                "weight": Atom(weight),
+                "components": SetObject(children),
+            }
+        )
+        return nested, part_id
+
+    nested_root, root_id = build(levels)
+    database = RelationalDatabase(
+        {
+            "part": Relation(("part_id", "kind", "weight"), part_rows, name="part"),
+            "component": Relation(
+                ("assembly_id", "part_id"), component_rows, name="component"
+            ),
+        }
+    )
+    return PartHierarchy(
+        root_id=root_id,
+        levels=levels,
+        children_per_level=children_per_level,
+        nested_object=nested_root,
+        flat_database=database,
+        part_count=len(part_rows),
+    )
+
+
+def make_document_collection(
+    documents: int,
+    sections_per_document: int,
+    keywords_per_section: int,
+    *,
+    rng: Union[random.Random, int, None] = None,
+) -> ComplexObject:
+    """A set of documents with nested sections and keyword sets.
+
+    The result has the shape
+    ``[docs: {[title: ..., author: ..., sections: {[heading: ...,
+    keywords: {...}, length: ...]}]}]`` and intentionally leaves some
+    attributes out of some documents (missing values) so schema inference and
+    heterogeneous-set handling get exercised on realistic data.
+    """
+    rng = _as_rng(rng)
+    authors = ("john", "mary", "susan", "peter")
+    words = ("lattice", "object", "calculus", "nested", "query", "join", "model", "index")
+    docs = []
+    for doc_index in range(documents):
+        sections = []
+        for section_index in range(sections_per_document):
+            keywords = SetObject(
+                Atom(rng.choice(words)) for _ in range(keywords_per_section)
+            )
+            sections.append(
+                TupleObject(
+                    {
+                        "heading": Atom(f"section{section_index}"),
+                        "keywords": keywords,
+                        "length": Atom(rng.randrange(1, 100)),
+                    }
+                )
+            )
+        attributes = {
+            "title": Atom(f"doc{doc_index}"),
+            "sections": SetObject(sections),
+        }
+        if rng.random() < 0.8:
+            # Missing author on some documents: the "null value" case.
+            attributes["author"] = Atom(rng.choice(authors))
+        docs.append(TupleObject(attributes))
+    return TupleObject({"docs": SetObject(docs)})

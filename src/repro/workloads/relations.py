@@ -1,0 +1,98 @@
+"""Flat relations with controlled size and join selectivity.
+
+The selection/join/intersection benchmarks (B4–B6) need the same logical data
+in two physical forms: as :class:`repro.relational.relation.Relation` values
+for the relational-algebra baseline and as a single complex object (a tuple of
+set-of-tuple relations) for the calculus.  :class:`JoinWorkload` packages both
+views plus the parameters that produced them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.objects import ComplexObject
+from repro.relational.bridge import database_to_object
+from repro.relational.database import RelationalDatabase
+from repro.relational.relation import Relation
+
+__all__ = ["make_relation", "JoinWorkload", "make_join_workload"]
+
+
+def _as_rng(rng: Union[random.Random, int, None]) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng if rng is not None else 0)
+
+
+def make_relation(
+    rows: int,
+    *,
+    name: str = "r",
+    key_attribute: str = "a",
+    value_attribute: str = "b",
+    value_domain: int = 10,
+    rng: Union[random.Random, int, None] = None,
+) -> Relation:
+    """A two-column relation ``name(key_attribute, value_attribute)``.
+
+    Keys are unique integers; values are drawn uniformly from a domain of
+    ``value_domain`` strings, so ``select(..., value=...)`` has selectivity
+    roughly ``1/value_domain``.
+    """
+    rng = _as_rng(rng)
+    domain = [f"v{index}" for index in range(value_domain)]
+    data = [
+        {key_attribute: index, value_attribute: rng.choice(domain)} for index in range(rows)
+    ]
+    return Relation((key_attribute, value_attribute), data, name=name)
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """Two relations sharing a join domain, in relational and object form."""
+
+    left: Relation
+    right: Relation
+    database: RelationalDatabase
+    as_object: ComplexObject
+    join_domain: int
+    rows: int
+
+
+def make_join_workload(
+    rows: int,
+    *,
+    join_domain: int = 20,
+    rng: Union[random.Random, int, None] = None,
+) -> JoinWorkload:
+    """Build the Example 4.2(3) join workload at a given scale.
+
+    ``r1(a, b)`` holds ``rows`` tuples whose ``b`` values are drawn from a
+    domain of ``join_domain`` symbols; ``r2(c, d)`` holds ``rows`` tuples whose
+    ``c`` values are drawn from the same domain.  Smaller domains mean more
+    join partners per tuple.
+    """
+    rng = _as_rng(rng)
+    domain = [f"k{index}" for index in range(join_domain)]
+    left = Relation(
+        ("a", "b"),
+        [{"a": index, "b": rng.choice(domain)} for index in range(rows)],
+        name="r1",
+    )
+    right = Relation(
+        ("c", "d"),
+        [{"c": rng.choice(domain), "d": index * 7 % 1000} for index in range(rows)],
+        name="r2",
+    )
+    database = RelationalDatabase({"r1": left, "r2": right})
+    return JoinWorkload(
+        left=left,
+        right=right,
+        database=database,
+        as_object=database_to_object(database),
+        join_domain=join_domain,
+        rows=rows,
+    )

@@ -1,0 +1,110 @@
+"""Unit tests for algebra expression trees (repro.algebra.expressions)."""
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.errors import AlgebraError
+from repro.core.objects import Atom, TupleObject
+from repro.algebra.expressions import (
+    Attribute,
+    Intersect,
+    Join,
+    Literal,
+    MapTuple,
+    Nest,
+    Project,
+    Relation,
+    Rename,
+    Root,
+    Select,
+    SelectPattern,
+    Union,
+    Unnest,
+    evaluate,
+)
+
+
+@pytest.fixture
+def database():
+    return parse_object(
+        "[r1: {[a: 1, b: x], [a: 2, b: y]}, r2: {[c: x, d: 10], [c: z, d: 20]}]"
+    )
+
+
+class TestLeaves:
+    def test_root(self, database):
+        assert evaluate(Root(), database) == database
+
+    def test_literal(self, database):
+        assert evaluate(Literal(obj([1])), database) == obj([1])
+
+    def test_relation_and_attribute(self, database):
+        assert evaluate(Relation("r1"), database) == database.get("r1")
+        assert evaluate(Attribute(Root(), "r2"), database) == database.get("r2")
+
+    def test_relation_requires_tuple_database(self):
+        with pytest.raises(AlgebraError):
+            evaluate(Relation("r1"), obj([1]))
+
+    def test_attribute_requires_tuple_source(self, database):
+        with pytest.raises(AlgebraError):
+            evaluate(Attribute(Relation("r1"), "a"), database)
+
+
+class TestOperators:
+    def test_select(self, database):
+        plan = Select(Relation("r1"), lambda t: t.get("b") == Atom("x"))
+        assert evaluate(plan, database) == parse_object("{[a: 1, b: x]}")
+
+    def test_select_pattern(self, database):
+        plan = SelectPattern(Relation("r1"), obj({"b": "x"}))
+        assert evaluate(plan, database) == parse_object("{[a: 1, b: x]}")
+
+    def test_project_and_rename(self, database):
+        plan = Rename(Project(Relation("r1"), ["a"]), {"a": "id"})
+        assert evaluate(plan, database) == parse_object("{[id: 1], [id: 2]}")
+
+    def test_map(self, database):
+        plan = MapTuple(Relation("r1"), lambda t: TupleObject({"a": t.get("a")}))
+        assert evaluate(plan, database) == parse_object("{[a: 1], [a: 2]}")
+
+    def test_join(self, database):
+        plan = Project(Join(Relation("r1"), Relation("r2"), [("b", "c")]), ["a", "d"])
+        assert evaluate(plan, database) == parse_object("{[a: 1, d: 10]}")
+
+    def test_nest_unnest(self):
+        database = parse_object("[kids: {[p: peter, c: max], [p: peter, c: susan]}]")
+        nested = evaluate(Nest(Relation("kids"), ["c"], "children"), database)
+        assert len(nested) == 1
+        rebuilt = evaluate(Unnest(Literal(nested), "children"), database)
+        assert rebuilt == database.get("kids")
+
+    def test_union_and_intersect(self, database):
+        union_plan = Union(Literal(obj([1, 2])), Literal(obj([2, 3])))
+        intersect_plan = Intersect(Literal(obj([1, 2])), Literal(obj([2, 3])))
+        assert evaluate(union_plan, database) == obj([1, 2, 3])
+        assert evaluate(intersect_plan, database) == obj([2])
+
+    def test_evaluate_method_on_nodes(self, database):
+        assert Relation("r1").evaluate(database) == database.get("r1")
+
+
+class TestPlanStructure:
+    def test_children_and_describe(self):
+        plan = Project(Select(Relation("r1"), lambda t: True), ["a"])
+        assert len(plan.children()) == 1
+        description = plan.describe()
+        assert "project" in description and "r1" in description
+
+    def test_join_describe(self):
+        plan = Join(Relation("r1"), Relation("r2"), [("b", "c")])
+        assert "b=c" in plan.describe()
+        assert len(plan.children()) == 2
+
+    def test_unknown_node_rejected(self, database):
+        class Bogus:
+            pass
+
+        with pytest.raises(AlgebraError):
+            evaluate(Bogus(), database)

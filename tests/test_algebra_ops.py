@@ -1,0 +1,126 @@
+"""Unit tests for the complex-object algebra operators (repro.algebra.ops)."""
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.errors import AlgebraError
+from repro.core.objects import Atom, TupleObject
+from repro.algebra.ops import (
+    flatten,
+    join_on,
+    map_elements,
+    nest_object,
+    pattern_select,
+    project_object,
+    rename_attributes,
+    select_object,
+    unnest_object,
+)
+
+
+@pytest.fixture
+def people():
+    return parse_object(
+        "{[name: peter, age: 25, city: austin],"
+        " [name: john, age: 7, city: paris],"
+        " [name: mary, age: 13, city: austin]}"
+    )
+
+
+class TestSelect:
+    def test_select_by_predicate(self, people):
+        adults = select_object(people, lambda t: t.get("age") == Atom(25))
+        assert adults == parse_object("{[name: peter, age: 25, city: austin]}")
+
+    def test_pattern_select(self, people):
+        austinites = pattern_select(people, obj({"city": "austin"}))
+        assert len(austinites) == 2
+
+    def test_pattern_select_empty_result(self, people):
+        assert len(pattern_select(people, obj({"city": "tokyo"}))) == 0
+
+    def test_requires_a_set(self):
+        with pytest.raises(AlgebraError):
+            select_object(obj({"a": 1}), lambda t: True)
+
+
+class TestProjectRenameMap:
+    def test_project(self, people):
+        names = project_object(people, ["name"])
+        assert names == parse_object("{[name: peter], [name: john], [name: mary]}")
+
+    def test_project_collapses_duplicates(self, people):
+        assert len(project_object(people, ["city"])) == 2
+
+    def test_project_missing_attribute_gives_partial_tuples(self):
+        collection = parse_object("{[a: 1], [b: 2]}")
+        assert project_object(collection, ["a"]) == parse_object("{[a: 1], []}")
+
+    def test_project_drops_non_tuples(self):
+        assert project_object(parse_object("{[a: 1], 5}"), ["a"]) == parse_object("{[a: 1]}")
+
+    def test_rename(self, people):
+        renamed = rename_attributes(people, {"city": "location"})
+        assert all("location" in element.attributes for element in renamed)
+
+    def test_map(self, people):
+        doubled = map_elements(people, lambda t: t.replace(age=Atom(0)))
+        assert all(element.get("age") == Atom(0) for element in doubled)
+
+
+class TestJoin:
+    def test_equality_join(self):
+        left = parse_object("{[a: 1, b: x], [a: 2, b: y]}")
+        right = parse_object("{[c: x, d: 10], [c: z, d: 20]}")
+        joined = join_on(left, right, [("b", "c")])
+        assert joined == parse_object("{[a: 1, b: x, c: x, d: 10]}")
+
+    def test_join_requires_non_bottom_values(self):
+        left = parse_object("{[a: 1]}")
+        right = parse_object("{[c: x, d: 10]}")
+        assert len(join_on(left, right, [("b", "c")])) == 0
+
+    def test_join_on_set_values_uses_overlap(self):
+        left = parse_object("{[a: 1, tags: {x, y}]}")
+        right = parse_object("{[tags2: {y, z}, d: 10]}")
+        assert len(join_on(left, right, [("tags", "tags2")])) == 1
+
+    def test_prefixes_keep_both_sides(self):
+        left = parse_object("{[id: 1, v: x]}")
+        right = parse_object("{[id: 2, v: x]}")
+        joined = join_on(left, right, [("v", "v")], prefix_left="l_", prefix_right="r_")
+        element = next(iter(joined))
+        assert element.get("l_id") == Atom(1)
+        assert element.get("r_id") == Atom(2)
+
+
+class TestNestUnnestFlatten:
+    def test_nest(self):
+        flat = parse_object(
+            "{[name: peter, child: max], [name: peter, child: susan], [name: john, child: mary]}"
+        )
+        nested = nest_object(flat, ["child"], into="children")
+        assert nested == parse_object(
+            "{[name: peter, children: {[child: max], [child: susan]}],"
+            " [name: john, children: {[child: mary]}]}"
+        )
+
+    def test_unnest_inverts_nest(self):
+        flat = parse_object("{[name: peter, child: max], [name: peter, child: susan]}")
+        nested = nest_object(flat, ["child"], into="children")
+        assert unnest_object(nested, "children") == flat
+
+    def test_unnest_atom_sets(self):
+        nested = parse_object("{[name: peter, children: {max, susan}]}")
+        flattened = unnest_object(nested, "children")
+        assert flattened == parse_object(
+            "{[name: peter, children: max], [name: peter, children: susan]}"
+        )
+
+    def test_unnest_requires_set_values(self):
+        with pytest.raises(AlgebraError):
+            unnest_object(parse_object("{[a: 1]}"), "a")
+
+    def test_flatten(self):
+        assert flatten(parse_object("{{1, 2}, {2, 3}, 4}")) == parse_object("{1, 2, 3, 4}")

@@ -1,0 +1,115 @@
+"""Unit tests for closures and divergence guards (repro.calculus.fixpoint)."""
+
+import itertools
+
+import pytest
+
+from repro import parse_object, parse_program, parse_rule
+from repro.core.errors import DivergenceError
+from repro.core.order import is_subobject
+from repro.calculus.fixpoint import close, closure_series
+from repro.calculus.rules import RuleSet
+
+
+@pytest.fixture
+def ancestors_setup(genealogy_small):
+    rules = parse_program(
+        """
+        [doa: {abraham}].
+        [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].
+        """
+    )
+    ruleset = RuleSet(rules)
+    return genealogy_small.family_object, ruleset, genealogy_small.expected_descendants
+
+
+class TestClose:
+    def test_closure_reaches_all_descendants(self, ancestors_setup):
+        database, rules, expected = ancestors_setup
+        result = close(database, rules)
+        names = {element.value for element in result.value.get("doa")}
+        assert names == set(expected)
+
+    def test_closure_is_closed_under_the_rules(self, ancestors_setup):
+        database, rules, _ = ancestors_setup
+        result = close(database, rules)
+        assert rules.is_closed(result.value)
+
+    def test_closure_contains_the_original_database(self, ancestors_setup):
+        database, rules, _ = ancestors_setup
+        result = close(database, rules)
+        assert is_subobject(database, result.value)
+
+    def test_iterations_reported(self, ancestors_setup):
+        database, rules, _ = ancestors_setup
+        result = close(database, rules)
+        # One application per generation plus the fact, then a fixpoint check.
+        assert result.iterations >= genealogy_generations(database)
+        assert result.converged
+
+    def test_closed_input_needs_zero_iterations(self):
+        database = parse_object("[r1: {1}, out: {1}]")
+        rule = parse_rule("[out: {X}] :- [r1: {X}]")
+        result = close(database, rule)
+        assert result.iterations == 0
+        assert result.value == database
+
+    def test_single_rule_accepted(self):
+        database = parse_object("[r1: {1, 2}]")
+        rule = parse_rule("[out: {X}] :- [r1: {X}]")
+        assert close(database, rule).value == parse_object("[r1: {1, 2}, out: {1, 2}]")
+
+    def test_non_inflationary_literal_series(self):
+        # With the literal series of Theorem 4.1 the database itself is not
+        # preserved; a self-maintaining rule set still converges.
+        database = parse_object("[r1: {1}]")
+        rules = RuleSet([parse_rule("[r1: {X}] :- [r1: {X}]")])
+        result = close(database, rules, inflationary=False)
+        assert result.value == database
+
+
+class TestDivergence:
+    def test_example_46_diverges(self):
+        program = parse_program(
+            """
+            [list: {1}].
+            [list: {[head: 1, tail: X]}] :- [list: {X}].
+            """
+        )
+        database = parse_object("[list: {1}]")
+        with pytest.raises(DivergenceError) as info:
+            close(database, RuleSet([r for r in program if not r.is_fact]), max_iterations=25)
+        assert info.value.partial is not None
+        assert info.value.iterations > 0
+
+    def test_depth_guard(self):
+        rules = RuleSet([parse_rule("[list: {[head: 1, tail: X]}] :- [list: {X}]")])
+        with pytest.raises(DivergenceError):
+            close(parse_object("[list: {1}]"), rules, max_depth=10)
+
+    def test_node_guard(self):
+        rules = RuleSet([parse_rule("[list: {[head: 1, tail: X]}] :- [list: {X}]")])
+        with pytest.raises(DivergenceError):
+            close(parse_object("[list: {1}]"), rules, max_nodes=50)
+
+
+class TestClosureSeries:
+    def test_series_is_monotone_and_converges(self, ancestors_setup):
+        database, rules, _ = ancestors_setup
+        series = list(closure_series(database, rules))
+        assert series[0] == database
+        for earlier, later in zip(series, series[1:]):
+            assert is_subobject(earlier, later)
+        assert series[-1] == close(database, rules).value
+
+    def test_series_is_infinite_for_diverging_programs(self):
+        rules = RuleSet([parse_rule("[list: {[head: 1, tail: X]}] :- [list: {X}]")])
+        series = closure_series(parse_object("[list: {1}]"), rules)
+        prefix = list(itertools.islice(series, 5))
+        assert len(prefix) == 5
+
+
+def genealogy_generations(family_object) -> int:
+    """Rough generation count used to sanity-check the iteration count."""
+    people = family_object.get("family")
+    return max(1, len(people).bit_length() - 1)

@@ -1,0 +1,99 @@
+"""Unit tests for formula interpretation (Definition 4.2, repro.calculus.interpretation)."""
+
+import pytest
+
+from repro import parse_formula, parse_object
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM
+from repro.core.order import is_subobject
+from repro.calculus.interpretation import (
+    interpret,
+    interpret_bruteforce,
+    matching_instantiations,
+)
+from repro.calculus.terms import formula, var
+
+
+class TestInterpretBasics:
+    def test_no_match_gives_bottom(self):
+        assert interpret(parse_formula("[r9: {X}]"), parse_object("[r1: {1}]")) is BOTTOM
+
+    def test_whole_database_variable(self):
+        database = parse_object("[r1: {1, 2}]")
+        assert interpret(var("X"), database) == database
+
+    def test_selection(self):
+        database = parse_object("[r1: {[a: 1, b: b], [a: 2, b: c], [a: 3, b: b]}]")
+        result = interpret(parse_formula("[r1: {[a: X, b: b]}]"), database)
+        assert result == parse_object("[r1: {[a: 1, b: b], [a: 3, b: b]}]")
+
+    def test_result_is_always_a_subobject(self, relational_db_object):
+        for source in (
+            "[r1: {[name: X]}]",
+            "[r1: {[name: X, age: Y]}, r2: {[name: X, address: Z]}]",
+            "[r1: X, r2: Y]",
+            "[r2: {[address: austin]}]",
+        ):
+            result = interpret(parse_formula(source), relational_db_object)
+            assert is_subobject(result, relational_db_object)
+
+    def test_formula_extracts_but_never_creates(self, relational_db_object):
+        # A well-formed formula can extract data but never generate new data:
+        # asking for an attribute that never occurs yields nothing.
+        result = interpret(parse_formula("[r1: {[salary: X]}]"), relational_db_object)
+        assert result is BOTTOM
+
+
+class TestInterpretAgainstBruteForce:
+    """The optimized engine agrees with the literal reading of Definition 4.2."""
+
+    CASES = [
+        ("[r1: {[a: X]}]", "[r1: {[a: 1], [a: 2, b: 3]}]"),
+        ("[r1: {[a: X, b: b]}]", "[r1: {[a: 1, b: b], [a: 2, b: c]}]"),
+        ("[r1: {X}, r2: {X}]", "[r1: {1, 2}, r2: {2, 3}]"),
+        ("[r1: {[a: X]}, r2: {[b: X]}]", "[r1: {[a: 1]}, r2: {[b: 1], [b: 2]}]"),
+        ("{X}", "{1, 2}"),
+        ("[a: X, b: Y]", "[a: 1, b: {2}]"),
+        ("[r: {[x: X, y: X]}]", "[r: {[x: 1, y: 1], [x: 1, y: 2]}]"),
+    ]
+
+    @pytest.mark.parametrize("query_source,db_source", CASES)
+    def test_strict_semantics_matches_bruteforce(self, query_source, db_source):
+        query = parse_formula(query_source)
+        database = parse_object(db_source)
+        assert interpret(query, database) == interpret_bruteforce(query, database)
+
+    @pytest.mark.parametrize("query_source,db_source", CASES)
+    def test_literal_semantics_matches_bruteforce(self, query_source, db_source):
+        query = parse_formula(query_source)
+        database = parse_object(db_source)
+        assert interpret(query, database, allow_bottom=True) == interpret_bruteforce(
+            query, database, allow_bottom=True
+        )
+
+    def test_bruteforce_refuses_huge_spaces(self):
+        query = parse_formula("[r1: {X}, r2: {Y}, r3: {Z}]")
+        database = parse_object(
+            "[r1: {[a: 1, b: 2, c: 3], [a: 4, b: 5, c: 6]},"
+            " r2: {[a: 1, b: 2, c: 3], [d: 1, e: 2, f: 3]},"
+            " r3: {[a: 1, b: 2, c: 3], [g: 1, h: 2, i: 3]}]"
+        )
+        with pytest.raises(ValueError):
+            interpret_bruteforce(query, database, max_combinations=10)
+
+
+class TestMatchingInstantiations:
+    def test_instantiations_are_deduplicated_subobjects(self):
+        database = parse_object("[r1: {[a: 1], [a: 2]}]")
+        query = parse_formula("[r1: {[a: X]}]")
+        results = list(matching_instantiations(query, database))
+        assert len(results) == len(set(results))
+        for result in results:
+            assert is_subobject(result, database)
+
+    def test_union_of_instantiations_is_interpretation(self):
+        from repro.core.lattice import union_all
+
+        database = parse_object("[r1: {[a: 1, b: b], [a: 3, b: b]}]")
+        query = parse_formula("[r1: {[a: X, b: b]}]")
+        assert union_all(matching_instantiations(query, database)) == interpret(query, database)

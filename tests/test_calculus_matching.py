@@ -1,0 +1,121 @@
+"""Unit tests for the matching engine (repro.calculus.matching)."""
+
+import pytest
+
+from repro import parse_formula, parse_object
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, TOP
+from repro.core.order import is_subobject
+from repro.calculus.matching import count_matches, match, match_all
+from repro.calculus.terms import formula, var
+
+
+class TestLeafMatching:
+    def test_variable_binds_to_target(self):
+        [sigma] = match_all(var("X"), obj({"a": 1}))
+        assert sigma["X"] == obj({"a": 1})
+
+    def test_constant_matches_when_subobject(self):
+        assert count_matches(formula(obj({"a": 1})), obj({"a": 1, "b": 2})) == 1
+        assert count_matches(formula(obj(1)), obj(1)) == 1
+        assert count_matches(formula(obj(1)), obj(2)) == 0
+
+    def test_everything_matches_top(self):
+        [sigma] = match_all(parse_formula("[a: X]"), TOP)
+        assert sigma["X"] is TOP
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            list(match("not a formula", obj(1)))
+        with pytest.raises(TypeError):
+            list(match(var("X"), "not an object"))
+
+
+class TestTupleMatching:
+    def test_attribute_values_bound(self):
+        [sigma] = match_all(parse_formula("[name: X, age: Y]"), parse_object("[name: peter, age: 25]"))
+        assert sigma["X"] == obj("peter")
+        assert sigma["Y"] == obj(25)
+
+    def test_constant_attribute_must_match(self):
+        target = parse_object("[name: peter, age: 25]")
+        assert count_matches(parse_formula("[name: peter, age: X]"), target) == 1
+        assert count_matches(parse_formula("[name: john, age: X]"), target) == 0
+
+    def test_tuple_formula_does_not_match_sets_or_atoms(self):
+        assert count_matches(parse_formula("[a: X]"), obj([1])) == 0
+        assert count_matches(parse_formula("[a: X]"), obj(1)) == 0
+
+    def test_missing_attribute_is_bottom_strict_vs_literal(self):
+        target = parse_object("[b: 2]")
+        # Strict semantics: X would have to be ⊥, so there is no match.
+        assert count_matches(parse_formula("[a: X, b: Y]"), target) == 0
+        # Literal semantics: X binds ⊥ and the match succeeds.
+        [sigma] = match_all(parse_formula("[a: X, b: Y]"), target, allow_bottom=True)
+        assert sigma["X"] is BOTTOM and sigma["Y"] == obj(2)
+
+
+class TestSetMatching:
+    def test_each_element_is_a_witness(self):
+        target = parse_object("{[a: 1], [a: 2]}")
+        bindings = {sigma["X"] for sigma in match_all(parse_formula("{[a: X]}"), target)}
+        assert bindings == {obj(1), obj(2)}
+
+    def test_two_variables_cross_product(self):
+        target = parse_object("{1, 2}")
+        assert count_matches(parse_formula("{X, Y}"), target) == 4
+
+    def test_set_formula_does_not_match_non_sets(self):
+        assert count_matches(parse_formula("{X}"), obj({"a": 1})) == 0
+        assert count_matches(parse_formula("{X}"), obj(1)) == 0
+
+    def test_empty_set_formula_matches_any_set(self):
+        assert count_matches(parse_formula("{}"), obj([1, 2])) == 1
+        assert count_matches(parse_formula("{}"), obj([])) == 1
+
+    def test_variable_against_empty_set_only_in_literal_mode(self):
+        assert count_matches(parse_formula("{X}"), obj([])) == 0
+        [sigma] = match_all(parse_formula("{X}"), obj([]), allow_bottom=True)
+        assert sigma["X"] is BOTTOM
+
+
+class TestSharedVariables:
+    def test_join_variable_intersects_witness_bounds(self):
+        database = parse_object("[r1: {[a: 1, b: x]}, r2: {[c: x, d: 10]}]")
+        query = parse_formula("[r1: {[a: A, b: X]}, r2: {[c: X, d: D]}]")
+        [sigma] = match_all(query, database)
+        assert sigma["X"] == obj("x")
+        assert sigma["A"] == obj(1)
+        assert sigma["D"] == obj(10)
+
+    def test_join_fails_when_no_common_value(self):
+        database = parse_object("[r1: {[a: 1, b: x]}, r2: {[c: y, d: 10]}]")
+        query = parse_formula("[r1: {[a: A, b: X]}, r2: {[c: X, d: D]}]")
+        assert count_matches(query, database) == 0
+        # Literal semantics still matches by letting X vanish.
+        assert count_matches(query, database, allow_bottom=True) == 1
+
+    def test_intersection_pattern_binds_glb(self):
+        database = parse_object("[r1: {[a: 1, b: 2]}, r2: {[a: 1, c: 3]}]")
+        query = parse_formula("[r1: {X}, r2: {X}]")
+        [sigma] = match_all(query, database)
+        assert sigma["X"] == obj({"a": 1})
+
+
+class TestSoundness:
+    def test_every_match_instantiates_to_a_subobject(self, relational_db_object):
+        queries = [
+            "[r1: {[name: X]}]",
+            "[r1: {[name: X, age: Y]}, r2: {[name: X, address: Z]}]",
+            "[r1: X, r2: Y]",
+            "[r1: {X}, r2: {X}]",
+        ]
+        for source in queries:
+            query = parse_formula(source)
+            for sigma in match_all(query, relational_db_object):
+                assert is_subobject(sigma.apply(query), relational_db_object)
+
+    def test_deduplication(self):
+        target = parse_object("{[a: 1], [a: 1, b: 2]}")
+        results = match_all(parse_formula("{[a: X]}"), target)
+        assert len(results) == len(set(results))

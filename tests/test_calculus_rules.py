@@ -1,0 +1,130 @@
+"""Unit tests for rules and rule sets (Definitions 4.3–4.5, repro.calculus.rules)."""
+
+import pytest
+
+from repro import parse_object, parse_rule
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM
+from repro.core.order import is_subobject
+from repro.calculus.rules import Rule, RuleSet, apply_rule, apply_rules
+from repro.calculus.terms import var
+
+
+class TestRuleConstruction:
+    def test_head_variables_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            Rule({"r": [var("X")]}, {"r1": [var("Y")]})
+
+    def test_facts_must_be_ground(self):
+        with pytest.raises(ValueError):
+            Rule({"r": [var("X")]})
+
+    def test_python_literal_construction(self):
+        rule = Rule({"r": [var("X")]}, {"r1": [var("X")], "r2": [var("X")]})
+        assert rule.variables() == {"X"}
+        assert not rule.is_fact
+
+    def test_fact_flag(self):
+        assert parse_rule("[doa: {abraham}].").is_fact
+
+    def test_equality_and_text(self):
+        rule = parse_rule("[r: {X}] :- [r1: {X}]")
+        assert rule == parse_rule("[r: {X}] :- [r1: {X}].")
+        assert rule.to_text() == "[r: {X}] :- [r1: {X}]."
+
+
+class TestRuleApplication:
+    def test_selection_and_renaming(self):
+        # Example 4.2(1): selection on B = b, projection on A, rename to C.
+        database = parse_object("[r1: {[a: 1, b: b], [a: 2, b: c]}]")
+        rule = parse_rule("[r: {[c: X]}] :- [r1: {[a: X, b: b]}]")
+        assert rule.apply(database) == parse_object("[r: {[c: 1]}]")
+
+    def test_projection_to_bare_set(self):
+        # Example 4.2(2)/(6): generate a set instead of assigning to a relation.
+        database = parse_object("[r1: {[a: 1, b: b], [a: 2, b: b]}]")
+        rule = parse_rule("{X} :- [r1: {[a: X, b: b]}]")
+        assert rule.apply(database) == parse_object("{1, 2}")
+
+    def test_join_rule(self):
+        # Example 4.2(3): join on B = C, project on A and D.
+        database = parse_object(
+            "[r1: {[a: 1, b: x], [a: 2, b: y]}, r2: {[c: x, d: 10], [c: z, d: 20]}]"
+        )
+        rule = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]")
+        assert rule.apply(database) == parse_object("[r: {[a: 1, d: 10]}]")
+
+    def test_join_rule_literal_semantics_differs(self):
+        database = parse_object(
+            "[r1: {[a: 1, b: x], [a: 2, b: y]}, r2: {[c: x, d: 10], [c: z, d: 20]}]"
+        )
+        rule = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]")
+        literal = rule.apply(database, allow_bottom=True)
+        strict = rule.apply(database)
+        assert is_subobject(strict, literal)
+        assert strict != literal
+
+    def test_rule_generates_new_structure(self):
+        database = parse_object("[r1: {[a: 1, b: 2]}]")
+        rule = parse_rule("[pairs: {[first: X, second: Y]}] :- [r1: {[a: X, b: Y]}]")
+        assert rule.apply(database) == parse_object("[pairs: {[first: 1, second: 2]}]")
+
+    def test_fact_applies_unconditionally(self):
+        fact = parse_rule("[doa: {abraham}].")
+        assert fact.apply(BOTTOM) == parse_object("[doa: {abraham}]")
+        assert fact.apply(parse_object("[x: 1]")) == parse_object("[doa: {abraham}]")
+
+    def test_no_match_gives_bottom(self):
+        rule = parse_rule("[r: {X}] :- [missing: {X}]")
+        assert rule.apply(parse_object("[r1: {1}]")) is BOTTOM
+
+    def test_callable_form(self):
+        database = parse_object("[r1: {1, 2}]")
+        rule = parse_rule("[r: {X}] :- [r1: {X}]")
+        assert rule(database) == apply_rule(rule, database)
+
+
+class TestRuleSet:
+    def test_union_of_rule_effects(self):
+        database = parse_object("[r1: {1}, r2: {2}]")
+        rules = RuleSet(
+            [parse_rule("[out: {X}] :- [r1: {X}]"), parse_rule("[out: {X}] :- [r2: {X}]")]
+        )
+        assert rules.apply(database) == parse_object("[out: {1, 2}]")
+
+    def test_accepts_head_body_pairs(self):
+        rules = RuleSet([({"r": [var("X")]}, {"r1": [var("X")]})])
+        assert len(rules) == 1
+
+    def test_is_closed(self):
+        database = parse_object("[r1: {1}, out: {1}]")
+        rules = RuleSet([parse_rule("[out: {X}] :- [r1: {X}]")])
+        assert rules.is_closed(database)
+        assert not rules.is_closed(parse_object("[r1: {1}]"))
+
+    def test_extend_and_iteration(self):
+        base = RuleSet([parse_rule("[a: {X}] :- [b: {X}]")])
+        extended = base.extend([parse_rule("[b: {X}] :- [c: {X}]")])
+        assert len(extended) == 2
+        assert len(list(extended)) == 2
+
+    def test_apply_rules_helper(self):
+        database = parse_object("[r1: {1}]")
+        rules = [parse_rule("[out: {X}] :- [r1: {X}]")]
+        assert apply_rules(rules, database) == parse_object("[out: {1}]")
+
+    def test_rejects_garbage_entries(self):
+        with pytest.raises(TypeError):
+            RuleSet([42])
+
+
+class TestMonotonicity:
+    def test_lemma_41_on_examples(self):
+        # Lemma 4.1: O1 ≤ O2 implies r(O1) ≤ r(O2).
+        small = parse_object("[r1: {[a: 1, b: x]}, r2: {[c: x, d: 10]}]")
+        large = parse_object(
+            "[r1: {[a: 1, b: x], [a: 2, b: y]}, r2: {[c: x, d: 10], [c: y, d: 20]}]"
+        )
+        assert is_subobject(small, large)
+        rule = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]")
+        assert is_subobject(rule.apply(small), rule.apply(large))

@@ -1,0 +1,72 @@
+"""Unit tests for static rule diagnostics (repro.calculus.safety)."""
+
+from repro import parse_rule
+from repro.calculus.safety import analyze_rule, analyze_rules, variable_depths
+from repro.calculus.terms import formula, var
+
+
+class TestVariableDepths:
+    def test_flat_variable(self):
+        assert variable_depths(var("X")) == {"X": 0}
+
+    def test_nesting_levels_counted(self):
+        depths = variable_depths(formula({"r": [{"a": var("X")}], "s": var("Y")}))
+        assert depths == {"X": 3, "Y": 1}
+
+    def test_deepest_occurrence_wins(self):
+        depths = variable_depths(formula({"a": var("X"), "b": [var("X")]}))
+        assert depths["X"] == 2
+
+    def test_constants_contribute_nothing(self):
+        assert variable_depths(formula({"a": 1, "b": [2, 3]})) == {}
+
+
+class TestAnalyzeRule:
+    def test_fact(self):
+        report = analyze_rule(parse_rule("[doa: {abraham}]."))
+        assert report.is_fact
+        assert not report.may_diverge
+
+    def test_safe_recursive_rule(self):
+        # Example 4.5: recursive but not structure-growing.
+        rule = parse_rule(
+            "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}]"
+        )
+        report = analyze_rule(rule)
+        assert report.recursive
+        assert not report.deepening_variables
+        assert not report.may_diverge
+
+    def test_diverging_rule_flagged(self):
+        # Example 4.6: recursive and re-embeds X one level deeper.
+        rule = parse_rule("[list: {[head: 1, tail: X]}] :- [list: {X}]")
+        report = analyze_rule(rule)
+        assert report.recursive
+        assert report.deepening_variables == ("X",)
+        assert report.may_diverge
+        assert report.warnings
+
+    def test_non_recursive_restructuring_rule_not_flagged(self):
+        rule = parse_rule("[out: {[wrapped: {X}]}] :- [r1: {X}]")
+        report = analyze_rule(rule)
+        assert not report.recursive
+        assert report.deepening_variables == ("X",)
+        assert not report.may_diverge
+
+    def test_join_rule_clean(self):
+        rule = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]")
+        report = analyze_rule(rule)
+        assert not report.recursive
+        assert not report.warnings
+
+
+class TestAnalyzeRules:
+    def test_analyzes_each_rule(self):
+        rules = [
+            parse_rule("[doa: {abraham}]."),
+            parse_rule("[list: {[head: 1, tail: X]}] :- [list: {X}]"),
+        ]
+        reports = analyze_rules(rules)
+        assert len(reports) == 2
+        assert reports[0].is_fact
+        assert reports[1].may_diverge

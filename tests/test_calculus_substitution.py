@@ -1,0 +1,86 @@
+"""Unit tests for substitutions and instantiation (repro.calculus.substitution)."""
+
+import pytest
+
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, TOP
+from repro.core.order import is_subobject
+from repro.calculus.substitution import Substitution, instantiate
+from repro.calculus.terms import formula, var
+
+
+class TestSubstitutionBasics:
+    def test_mapping_protocol(self):
+        sigma = Substitution({"X": obj(1), "Y": obj("a")})
+        assert sigma["X"] == obj(1)
+        assert sigma.get("Z") is None
+        assert "Y" in sigma and "Z" not in sigma
+        assert len(sigma) == 2
+        assert sorted(sigma) == ["X", "Y"]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Substitution()["X"]
+
+    def test_equality_and_hash(self):
+        assert Substitution({"X": obj(1)}) == Substitution({"X": obj(1)})
+        assert hash(Substitution({"X": obj(1)})) == hash(Substitution({"X": obj(1)}))
+        assert Substitution({"X": obj(1)}) != Substitution({"X": obj(2)})
+
+    def test_rejects_non_objects(self):
+        with pytest.raises(TypeError):
+            Substitution({"X": 1})
+
+    def test_bind_and_restrict(self):
+        sigma = Substitution({"X": obj(1)})
+        assert sigma.bind("Y", obj(2))["Y"] == obj(2)
+        assert "X" not in sigma.bind("Y", obj(2)).restrict(["Y"])
+
+
+class TestMeet:
+    def test_disjoint_domains_merge(self):
+        left = Substitution({"X": obj(1)})
+        right = Substitution({"Y": obj(2)})
+        merged = left.meet(right)
+        assert merged["X"] == obj(1) and merged["Y"] == obj(2)
+
+    def test_shared_variable_intersects(self):
+        left = Substitution({"X": obj({"a": 1, "b": 2})})
+        right = Substitution({"X": obj({"b": 2, "c": 3})})
+        assert left.meet(right)["X"] == obj({"b": 2})
+
+    def test_conflicting_atoms_meet_to_bottom(self):
+        assert Substitution({"X": obj(1)}).meet(Substitution({"X": obj(2)}))["X"] is BOTTOM
+
+
+class TestInstantiate:
+    def test_constants_untouched(self):
+        assert instantiate(formula({"a": 1}), Substitution()) == obj({"a": 1})
+
+    def test_variables_replaced(self):
+        target = formula({"r": [var("X")], "s": var("Y")})
+        sigma = Substitution({"X": obj(1), "Y": obj([2])})
+        assert instantiate(target, sigma) == obj({"r": [1], "s": [2]})
+
+    def test_unbound_variables_default_to_bottom(self):
+        target = formula({"a": var("X"), "b": 2})
+        assert instantiate(target, Substitution()) == obj({"b": 2})
+
+    def test_unbound_variables_can_be_errors(self):
+        with pytest.raises(KeyError):
+            instantiate(var("X"), Substitution(), default=None)
+
+    def test_top_binding_collapses(self):
+        assert instantiate(formula({"a": var("X")}), Substitution({"X": TOP})) is TOP
+
+    def test_monotone_in_the_substitution(self):
+        # The key property behind the matching engine: growing bindings grows
+        # the instantiation in the sub-object order.
+        target = formula({"r": [var("X")], "s": {"t": var("X")}})
+        small = Substitution({"X": obj({"a": 1})})
+        large = Substitution({"X": obj({"a": 1, "b": 2})})
+        assert is_subobject(instantiate(target, small), instantiate(target, large))
+
+    def test_apply_helper(self):
+        sigma = Substitution({"X": obj(3)})
+        assert sigma.apply(formula([var("X")])) == obj([3])

@@ -1,0 +1,114 @@
+"""Unit tests for well-formed formulae (repro.calculus.terms)."""
+
+import pytest
+
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, Atom
+from repro.calculus.terms import (
+    Constant,
+    SetFormula,
+    TupleFormula,
+    Variable,
+    formula,
+    var,
+)
+
+
+class TestVariable:
+    def test_name_and_variables(self):
+        assert var("X").name == "X"
+        assert var("X").variables() == {"X"}
+        assert not var("X").is_ground
+
+    def test_naming_convention_enforced(self):
+        with pytest.raises(ValueError):
+            Variable("lowercase")
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_underscore_allowed(self):
+        assert Variable("_x").name == "_x"
+
+    def test_equality(self):
+        assert var("X") == var("X")
+        assert var("X") != var("Y")
+        assert hash(var("X")) == hash(var("X"))
+
+
+class TestConstant:
+    def test_wraps_objects(self):
+        constant = Constant(obj(5))
+        assert constant.is_ground
+        assert constant.value == Atom(5)
+
+    def test_rejects_non_objects(self):
+        with pytest.raises(TypeError):
+            Constant(5)
+
+    def test_to_text(self):
+        assert Constant(obj({"a": 1})).to_text() == "[a: 1]"
+
+
+class TestTupleFormula:
+    def test_variables_collected(self):
+        tf = TupleFormula({"a": var("X"), "b": Constant(obj(1)), "c": var("Y")})
+        assert tf.variables() == {"X", "Y"}
+
+    def test_get_and_attributes(self):
+        tf = TupleFormula({"b": var("X"), "a": Constant(obj(1))})
+        assert tf.attributes == ("a", "b")
+        assert tf.get("b") == var("X")
+        assert tf.get("missing") is None
+
+    def test_equality_ignores_attribute_order(self):
+        assert TupleFormula({"a": var("X"), "b": var("Y")}) == TupleFormula(
+            {"b": var("Y"), "a": var("X")}
+        )
+
+    def test_rejects_non_formula_values(self):
+        with pytest.raises(TypeError):
+            TupleFormula({"a": 1})
+
+
+class TestSetFormula:
+    def test_variables_collected(self):
+        sf = SetFormula([var("X"), Constant(obj(2))])
+        assert sf.variables() == {"X"}
+        assert len(sf) == 2
+
+    def test_equality_ignores_element_order(self):
+        assert SetFormula([var("X"), Constant(obj(1))]) == SetFormula(
+            [Constant(obj(1)), var("X")]
+        )
+
+    def test_rejects_non_formula_elements(self):
+        with pytest.raises(TypeError):
+            SetFormula([1])
+
+
+class TestFormulaBuilder:
+    def test_python_literals(self):
+        built = formula({"r1": [{"a": var("X"), "b": "b"}]})
+        assert isinstance(built, TupleFormula)
+        assert built.variables() == {"X"}
+        inner = built.get("r1")
+        assert isinstance(inner, SetFormula)
+
+    def test_none_becomes_bottom_constant(self):
+        built = formula({"a": None})
+        assert built.get("a") == Constant(BOTTOM)
+
+    def test_existing_formulae_pass_through(self):
+        existing = var("X")
+        assert formula(existing) is existing
+
+    def test_objects_become_constants(self):
+        assert formula(obj([1, 2])) == Constant(obj([1, 2]))
+
+    def test_ground_formula_flag(self):
+        assert formula({"a": 1, "b": [2]}).is_ground
+        assert not formula({"a": var("X")}).is_ground
+
+    def test_to_text_matches_parser_notation(self):
+        built = formula({"r1": [{"A": var("X"), "B": "b"}]})
+        assert built.to_text() == "[r1: {[A: X, B: b]}]"

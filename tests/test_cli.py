@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    """Run the CLI capturing output; return (exit_code, output_text)."""
+    buffer = io.StringIO()
+    code = main(list(argv), output=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParseCommand:
+    def test_parse_compact(self):
+        code, output = run_cli("parse", "[b: 2, a: 1]", "--compact")
+        assert code == 0
+        assert output.strip() == "[a: 1, b: 2]"
+
+    def test_parse_pretty_round_trips(self):
+        source = "{[name: peter, age: 25], [name: john, age: 7], [name: mary, age: 13]}"
+        code, output = run_cli("parse", source)
+        assert code == 0
+        from repro import parse_object
+
+        assert parse_object(output) == parse_object(source)
+
+    def test_parse_error_reports_and_fails(self):
+        code, output = run_cli("parse", "[a: ]")
+        assert code == 1
+        assert "error:" in output
+
+    def test_parse_from_file(self, tmp_path):
+        path = tmp_path / "object.co"
+        path.write_text("[name: peter]", encoding="utf-8")
+        code, output = run_cli("parse", f"@{path}", "--compact")
+        assert code == 0
+        assert output.strip() == "[name: peter]"
+
+    def test_missing_file_reports_error(self):
+        code, output = run_cli("parse", "@/does/not/exist.co")
+        assert code == 1
+        assert "error:" in output
+
+
+class TestQueryAndApply:
+    DATABASE = "[r1: {[a: 1, b: x], [a: 2, b: y]}, r2: {[c: x, d: 10]}]"
+
+    def test_query(self):
+        code, output = run_cli("query", "[r1: {[a: X, b: x]}]", "--database", self.DATABASE)
+        assert code == 0
+        assert "[a: 1, b: x]" in output
+
+    def test_query_literal_semantics_flag(self):
+        code, output = run_cli(
+            "query",
+            "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: D]}]",
+            "--database",
+            self.DATABASE,
+            "--allow-bottom",
+        )
+        assert code == 0
+        assert "[a: 2]" in output  # the literal reading keeps the stripped tuple
+
+    def test_apply_rule(self):
+        code, output = run_cli(
+            "apply",
+            "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+            "--database",
+            self.DATABASE,
+        )
+        assert code == 0
+        assert "[a: 1, d: 10]" in output
+        assert "[a: 2" not in output
+
+
+class TestRunAndCheck:
+    PROGRAM = (
+        "[doa: {abraham}].\n"
+        "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].\n"
+    )
+    FAMILY = "[family: {[name: abraham, children: {[name: isaac]}], [name: isaac, children: {[name: jacob]}]}]"
+
+    def test_run_program_with_query(self, tmp_path):
+        program_file = tmp_path / "descendants.co"
+        program_file.write_text(self.PROGRAM, encoding="utf-8")
+        code, output = run_cli(
+            "run", f"@{program_file}", "--database", self.FAMILY, "--query", "[doa: X]"
+        )
+        assert code == 0
+        assert "closure reached" in output
+        for name in ("abraham", "isaac", "jacob"):
+            assert name in output
+
+    def test_run_without_query_prints_closure(self):
+        code, output = run_cli("run", self.PROGRAM, "--database", self.FAMILY)
+        assert code == 0
+        assert "family" in output and "doa" in output
+
+    def test_run_divergent_program_fails_gracefully(self):
+        code, output = run_cli(
+            "run",
+            "[list: {1}]. [list: {[head: 1, tail: X]}] :- [list: {X}].",
+            "--max-iterations",
+            "20",
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_check_flags_divergent_rules(self):
+        code, output = run_cli(
+            "check", "[list: {1}]. [list: {[head: 1, tail: X]}] :- [list: {X}]."
+        )
+        assert code == 0
+        assert "MAY DIVERGE" in output
+        assert "fact" in output
+
+    def test_check_clean_program(self):
+        code, output = run_cli("check", self.PROGRAM)
+        assert code == 0
+        assert "MAY DIVERGE" not in output

@@ -1,0 +1,64 @@
+"""Unit tests for atomic-value helpers (repro.core.atoms)."""
+
+import pytest
+
+from repro.core.atoms import atom_key, atom_sort, atoms_identical, is_atom_value
+
+
+class TestIsAtomValue:
+    def test_accepts_all_four_sorts(self):
+        assert is_atom_value(3)
+        assert is_atom_value(2.5)
+        assert is_atom_value("john")
+        assert is_atom_value(True)
+
+    def test_rejects_other_values(self):
+        assert not is_atom_value(None)
+        assert not is_atom_value([1, 2])
+        assert not is_atom_value({"a": 1})
+        assert not is_atom_value(object())
+
+
+class TestAtomSort:
+    def test_sorts(self):
+        assert atom_sort(1) == "int"
+        assert atom_sort(1.0) == "float"
+        assert atom_sort("x") == "string"
+        assert atom_sort(False) == "bool"
+
+    def test_bool_is_not_int(self):
+        # bool subclasses int in Python; the model keeps them apart.
+        assert atom_sort(True) == "bool"
+
+    def test_rejects_non_atom(self):
+        with pytest.raises(TypeError):
+            atom_sort([1])
+
+
+class TestAtomKey:
+    def test_same_sort_orders_by_value(self):
+        assert atom_key(1) < atom_key(2)
+        assert atom_key("a") < atom_key("b")
+
+    def test_different_sorts_are_comparable(self):
+        # The key only has to give a total order; exact ranking is unspecified.
+        assert atom_key(1) != atom_key(1.0)
+        assert (atom_key(1) < atom_key("a")) or (atom_key("a") < atom_key(1))
+
+    def test_bool_and_int_keys_differ(self):
+        assert atom_key(True) != atom_key(1)
+
+
+class TestAtomsIdentical:
+    def test_identical_values(self):
+        assert atoms_identical(3, 3)
+        assert atoms_identical("john", "john")
+
+    def test_distinguishes_sorts(self):
+        assert not atoms_identical(1, 1.0)
+        assert not atoms_identical(1, True)
+        assert not atoms_identical(0, False)
+
+    def test_different_values(self):
+        assert not atoms_identical(1, 2)
+        assert not atoms_identical("a", "b")

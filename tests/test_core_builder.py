@@ -1,0 +1,84 @@
+"""Unit tests for the Python-literal constructors (repro.core.builder)."""
+
+import pytest
+
+from repro.core.builder import atom, obj, python_value, set_of, tup
+from repro.core.errors import NotAnObjectError
+from repro.core.objects import BOTTOM, TOP, Atom, SetObject, TupleObject
+
+
+class TestObj:
+    def test_atoms(self):
+        assert obj(3) == Atom(3)
+        assert obj("john") == Atom("john")
+        assert obj(True) == Atom(True)
+        assert obj(2.5) == Atom(2.5)
+
+    def test_none_is_bottom(self):
+        assert obj(None) is BOTTOM
+
+    def test_dict_is_tuple(self):
+        assert obj({"name": "peter", "age": 25}) == TupleObject(
+            {"name": Atom("peter"), "age": Atom(25)}
+        )
+
+    def test_null_valued_attribute_is_absent(self):
+        assert obj({"name": "peter", "age": None}) == obj({"name": "peter"})
+
+    def test_collections_are_sets(self):
+        expected = SetObject([Atom(1), Atom(2)])
+        assert obj([1, 2]) == expected
+        assert obj((1, 2)) == expected
+        assert obj({1, 2}) == expected
+        assert obj(frozenset({1, 2})) == expected
+
+    def test_nested_structures(self):
+        value = obj({"name": {"first": "john", "last": "doe"}, "children": ["mary", "sue"]})
+        assert value.get("name").get("first") == Atom("john")
+        assert Atom("sue") in value.get("children")
+
+    def test_existing_objects_pass_through(self):
+        value = Atom(5)
+        assert obj(value) is value
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(NotAnObjectError):
+            obj({1: "x"})
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(NotAnObjectError):
+            obj(object())
+
+
+class TestHelpers:
+    def test_atom_helper(self):
+        assert atom(7) == Atom(7)
+
+    def test_tup_helper_with_kwargs(self):
+        assert tup(name="peter", age=25) == obj({"name": "peter", "age": 25})
+
+    def test_tup_helper_with_mapping(self):
+        assert tup({"first name": "john"}) == TupleObject({"first name": Atom("john")})
+
+    def test_set_of_helper(self):
+        assert set_of("john", "mary") == obj(["john", "mary"])
+
+
+class TestPythonValue:
+    def test_round_trip_atoms_and_none(self):
+        assert python_value(obj(3)) == 3
+        assert python_value(BOTTOM) is None
+
+    def test_round_trip_structures(self):
+        original = {"name": "peter", "children": frozenset({"max", "susan"})}
+        assert python_value(obj(original)) == original
+
+    def test_set_of_tuples_becomes_list(self):
+        value = obj([{"a": 1}, {"a": 2}])
+        converted = python_value(value)
+        assert isinstance(converted, list)
+        assert {"a": 1} in converted and {"a": 2} in converted
+
+    def test_top_has_no_python_form(self):
+        with pytest.raises(NotAnObjectError):
+            python_value(TOP)

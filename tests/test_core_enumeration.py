@@ -1,0 +1,76 @@
+"""Unit tests for sub-object enumeration (repro.core.enumeration)."""
+
+import pytest
+
+from repro.core.builder import obj
+from repro.core.enumeration import (
+    EnumerationLimitExceeded,
+    all_subobjects,
+    count_subobjects,
+)
+from repro.core.objects import BOTTOM, TOP
+from repro.core.order import is_subobject
+from repro.core.reduction import is_reduced
+
+
+class TestAllSubobjects:
+    def test_atom_has_two_subobjects(self):
+        assert set(all_subobjects(obj(5))) == {BOTTOM, obj(5)}
+
+    def test_bottom_has_one(self):
+        assert all_subobjects(BOTTOM) == [BOTTOM]
+
+    def test_top_reports_bounds_only(self):
+        assert set(all_subobjects(TOP)) == {BOTTOM, TOP}
+
+    def test_flat_tuple(self):
+        result = set(all_subobjects(obj({"a": 1, "b": 2})))
+        expected = {
+            BOTTOM,
+            obj({}),
+            obj({"a": 1}),
+            obj({"b": 2}),
+            obj({"a": 1, "b": 2}),
+        }
+        assert result == expected
+
+    def test_flat_set(self):
+        result = set(all_subobjects(obj([1, 2])))
+        expected = {BOTTOM, obj([]), obj([1]), obj([2]), obj([1, 2])}
+        assert result == expected
+
+    def test_every_enumerated_object_is_a_reduced_subobject(self):
+        target = obj({"r": [{"a": 1}, {"b": 2}]})
+        for candidate in all_subobjects(target):
+            assert is_subobject(candidate, target)
+            assert is_reduced(candidate)
+
+    def test_enumeration_is_complete_for_small_sets(self):
+        # {[a: 1, b: 2]} has sub-objects containing every sub-tuple.
+        target = obj([{"a": 1, "b": 2}])
+        result = set(all_subobjects(target))
+        assert obj([{"a": 1}]) in result
+        assert obj([{}]) in result
+        assert obj([]) in result
+
+    def test_no_duplicates(self):
+        target = obj({"r": [1, 2], "s": [1]})
+        result = all_subobjects(target)
+        assert len(result) == len(set(result))
+
+    def test_limit_enforced(self):
+        wide = obj([{"a": i, "b": i + 1, "c": i + 2} for i in range(6)])
+        with pytest.raises(EnumerationLimitExceeded):
+            all_subobjects(wide, limit=50)
+
+
+class TestCountSubobjects:
+    def test_counts_match_enumeration(self):
+        target = obj({"a": [1, 2], "b": 3})
+        assert count_subobjects(target) == len(all_subobjects(target))
+
+    def test_tuple_count_is_product_of_child_counts(self):
+        # Each attribute independently picks one of its value's sub-objects,
+        # plus the ⊥ case collapses into "attribute absent": for two atomic
+        # attributes that is 2 * 2 tuples + ⊥ = 5.
+        assert count_subobjects(obj({"a": 1, "b": 2})) == 5

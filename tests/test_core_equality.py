@@ -1,0 +1,78 @@
+"""Unit tests for Definition 2.2 equality and normalization (repro.core.equality)."""
+
+from repro.core.builder import obj
+from repro.core.equality import contains_bottom, contains_top, normalize, objects_equal
+from repro.core.objects import BOTTOM, TOP, Atom, SetObject, TupleObject
+
+
+class TestNormalize:
+    def test_atoms_and_specials_unchanged(self):
+        assert normalize(Atom(1)) == Atom(1)
+        assert normalize(TOP) is TOP
+        assert normalize(BOTTOM) is BOTTOM
+
+    def test_drops_bottom_attributes(self):
+        raw = TupleObject.raw({"a": Atom(1), "b": BOTTOM})
+        assert normalize(raw) == obj({"a": 1})
+
+    def test_drops_bottom_elements(self):
+        raw = SetObject.raw([Atom(1), BOTTOM])
+        assert normalize(raw) == obj([1])
+
+    def test_propagates_top_from_tuples(self):
+        raw = TupleObject.raw({"a": SetObject.raw([TOP]), "b": Atom(2)})
+        assert normalize(raw) is TOP
+
+    def test_propagates_top_from_nested_sets(self):
+        raw = SetObject.raw([SetObject.raw([TOP])])
+        assert normalize(raw) is TOP
+
+    def test_does_not_reduce(self):
+        small = obj({"a": 1})
+        big = obj({"a": 1, "b": 2})
+        raw = SetObject.raw([small, big])
+        assert len(normalize(raw)) == 2
+
+
+class TestObjectsEqual:
+    def test_atoms(self):
+        assert objects_equal(Atom(1), Atom(1))
+        assert not objects_equal(Atom(1), Atom(2))
+        assert not objects_equal(Atom(1), Atom(1.0))
+
+    def test_tuple_equality_ignores_bottom(self):
+        assert objects_equal(
+            obj({"a": 1, "b": 2}), TupleObject.raw({"a": Atom(1), "b": Atom(2), "c": BOTTOM})
+        )
+
+    def test_set_equality_ignores_bottom(self):
+        assert objects_equal(SetObject.raw([Atom(1), BOTTOM]), obj([1]))
+
+    def test_top_contagion(self):
+        assert objects_equal(TupleObject.raw({"a": TOP}), TOP)
+
+    def test_different_kinds_not_equal(self):
+        # The paper: [a: x], {x} and x are not equal.
+        assert not objects_equal(obj({"a": 1}), obj([1]))
+        assert not objects_equal(obj([1]), obj(1))
+        assert not objects_equal(obj({"a": 1}), obj(1))
+
+    def test_unreduced_sets_with_extra_element_differ(self):
+        # Definition 2.2 does not identify mutually dominating sets; that is
+        # the job of reduction (Definition 3.3).
+        left = SetObject.raw([obj({"a": 1}), obj({"a": 1, "b": 2})])
+        right = SetObject.raw([obj({"a": 1, "b": 2})])
+        assert not objects_equal(left, right)
+
+
+class TestContainment:
+    def test_contains_top(self):
+        assert contains_top(TOP)
+        assert contains_top(TupleObject.raw({"a": TOP}))
+        assert not contains_top(obj({"a": 1}))
+
+    def test_contains_bottom(self):
+        assert contains_bottom(BOTTOM)
+        assert contains_bottom(TupleObject.raw({"a": BOTTOM}))
+        assert not contains_bottom(obj({"a": 1}))
+        assert contains_bottom(SetObject.raw([BOTTOM]))

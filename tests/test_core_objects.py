@@ -1,0 +1,173 @@
+"""Unit tests for the object constructors (repro.core.objects)."""
+
+import pytest
+
+from repro.core.errors import NormalizationError
+from repro.core.objects import BOTTOM, TOP, Atom, Bottom, SetObject, Top, TupleObject
+
+
+class TestSpecialObjects:
+    def test_top_and_bottom_are_singletons(self):
+        assert Top() is TOP
+        assert Bottom() is BOTTOM
+
+    def test_kinds(self):
+        assert TOP.is_top and not TOP.is_bottom
+        assert BOTTOM.is_bottom and not BOTTOM.is_top
+        assert Atom(1).is_atom
+        assert TupleObject({}).is_tuple
+        assert SetObject([]).is_set
+
+    def test_rendering(self):
+        assert TOP.to_text() == "top"
+        assert BOTTOM.to_text() == "bottom"
+
+
+class TestAtom:
+    def test_value_kept(self):
+        assert Atom(5).value == 5
+        assert Atom("john").value == "john"
+
+    def test_sorts_distinguished(self):
+        assert Atom(1) != Atom(1.0)
+        assert Atom(1) != Atom(True)
+        assert Atom(0) != Atom(False)
+
+    def test_equal_atoms_hash_equal(self):
+        assert Atom("x") == Atom("x")
+        assert hash(Atom("x")) == hash(Atom("x"))
+
+    def test_rejects_non_atomic_payloads(self):
+        with pytest.raises(NormalizationError):
+            Atom([1, 2])
+        with pytest.raises(NormalizationError):
+            Atom(None)
+
+    def test_immutable(self):
+        atom = Atom(3)
+        with pytest.raises(AttributeError):
+            atom.value = 4
+
+    def test_string_rendering_quotes_when_needed(self):
+        assert Atom("john").to_text() == "john"
+        assert Atom("New York").to_text() == '"New York"'
+        assert Atom("top").to_text() == '"top"'
+        assert Atom(True).to_text() == "true"
+
+
+class TestTupleObject:
+    def test_missing_attribute_reads_bottom(self):
+        value = TupleObject({"a": Atom(1)})
+        assert value.get("b") is BOTTOM
+        assert value["b"] is BOTTOM
+
+    def test_bottom_attributes_dropped(self):
+        assert TupleObject({"a": Atom(1), "b": BOTTOM}) == TupleObject({"a": Atom(1)})
+
+    def test_top_attribute_collapses_to_top(self):
+        assert TupleObject({"a": TOP, "b": Atom(2)}) is TOP
+
+    def test_raw_keeps_bottom(self):
+        raw = TupleObject.raw({"a": Atom(1), "b": BOTTOM})
+        assert "b" in raw
+        assert raw != TupleObject({"a": Atom(1)})
+
+    def test_attribute_order_is_irrelevant(self):
+        assert TupleObject({"a": Atom(1), "b": Atom(2)}) == TupleObject(
+            {"b": Atom(2), "a": Atom(1)}
+        )
+
+    def test_kwargs_constructor(self):
+        assert TupleObject(a=Atom(1)) == TupleObject({"a": Atom(1)})
+
+    def test_replace_and_without(self):
+        value = TupleObject({"a": Atom(1), "b": Atom(2)})
+        assert value.replace(a=Atom(5)) == TupleObject({"a": Atom(5), "b": Atom(2)})
+        assert value.replace(a=BOTTOM) == TupleObject({"b": Atom(2)})
+        assert value.without("b") == TupleObject({"a": Atom(1)})
+
+    def test_rejects_non_object_values(self):
+        with pytest.raises(NormalizationError):
+            TupleObject({"a": 1})
+
+    def test_rejects_bad_attribute_names(self):
+        with pytest.raises(NormalizationError):
+            TupleObject({"": Atom(1)})
+
+    def test_len_and_items(self):
+        value = TupleObject({"b": Atom(2), "a": Atom(1)})
+        assert len(value) == 2
+        assert value.attributes == ("a", "b")
+        assert dict(value.items()) == {"a": Atom(1), "b": Atom(2)}
+
+    def test_rendering(self):
+        assert TupleObject({"name": Atom("peter"), "age": Atom(25)}).to_text() == (
+            "[age: 25, name: peter]"
+        )
+
+
+class TestSetObject:
+    def test_duplicates_collapse(self):
+        assert SetObject([Atom(1), Atom(1)]) == SetObject([Atom(1)])
+
+    def test_order_is_irrelevant(self):
+        assert SetObject([Atom(1), Atom(2), Atom(3)]) == SetObject([Atom(3), Atom(2), Atom(1)])
+
+    def test_bottom_elements_dropped(self):
+        assert SetObject([Atom(1), BOTTOM]) == SetObject([Atom(1)])
+        assert SetObject([BOTTOM]) == SetObject([])
+
+    def test_top_element_collapses(self):
+        assert SetObject([Atom(1), TOP]) is TOP
+
+    def test_constructor_reduces(self):
+        small = TupleObject({"a": Atom(1)})
+        big = TupleObject({"a": Atom(1), "b": Atom(2)})
+        assert SetObject([small, big]) == SetObject([big])
+
+    def test_raw_does_not_reduce(self):
+        small = TupleObject({"a": Atom(1)})
+        big = TupleObject({"a": Atom(1), "b": Atom(2)})
+        raw = SetObject.raw([small, big])
+        assert len(raw) == 2
+
+    def test_add_and_discard(self):
+        value = SetObject([Atom(1)])
+        assert Atom(2) in value.add(Atom(2))
+        assert Atom(1) not in value.discard(Atom(1))
+        # Discarding an absent element is a no-op.
+        assert value.discard(Atom(9)) == value
+
+    def test_membership_and_iteration(self):
+        value = SetObject([Atom(2), Atom(1)])
+        assert Atom(1) in value
+        assert [element.value for element in value] == [1, 2]
+
+    def test_rejects_non_object_elements(self):
+        with pytest.raises(NormalizationError):
+            SetObject([1, 2])
+
+    def test_heterogeneous_elements_allowed(self):
+        mixed = SetObject([Atom(1), TupleObject({"a": Atom(2)}), SetObject([Atom(3)])])
+        assert len(mixed) == 3
+
+    def test_rendering(self):
+        assert SetObject([Atom(2), Atom(1)]).to_text() == "{1, 2}"
+
+
+class TestCanonicalOrder:
+    def test_sort_key_total_order_over_kinds(self):
+        values = [TOP, BOTTOM, Atom(1), TupleObject({"a": Atom(1)}), SetObject([Atom(1)])]
+        keys = [value.sort_key() for value in values]
+        assert len(set(keys)) == len(keys)
+        assert sorted(keys) == sorted(keys, key=lambda key: key)
+
+    def test_hash_consistency_with_equality(self):
+        left = TupleObject({"a": SetObject([Atom(1), Atom(2)])})
+        right = TupleObject({"a": SetObject([Atom(2), Atom(1)])})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_not_equal_to_plain_python_values(self):
+        assert Atom(1) != 1
+        assert SetObject([Atom(1)]) != {1}

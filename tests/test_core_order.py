@@ -1,0 +1,126 @@
+"""Unit tests for the sub-object relation (Definition 3.1, repro.core.order)."""
+
+import pytest
+
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, TOP, Atom, SetObject, TupleObject
+from repro.core.order import (
+    compare,
+    is_strict_subobject,
+    is_subobject,
+    maximal_elements,
+    minimal_elements,
+)
+
+
+class TestAxioms:
+    def test_reflexive_on_samples(self):
+        for value in (BOTTOM, TOP, obj(1), obj({"a": 1}), obj([1, [2]])):
+            assert is_subobject(value, value)
+
+    def test_bottom_below_everything(self):
+        for value in (obj(1), obj({"a": 1}), obj([1]), TOP, BOTTOM):
+            assert is_subobject(BOTTOM, value)
+
+    def test_everything_below_top(self):
+        for value in (obj(1), obj({"a": 1}), obj([1]), BOTTOM, TOP):
+            assert is_subobject(value, TOP)
+
+    def test_nothing_else_below_bottom(self):
+        assert not is_subobject(obj(1), BOTTOM)
+        assert not is_subobject(obj({}), BOTTOM)
+        assert not is_subobject(obj([]), BOTTOM)
+
+    def test_top_only_below_top(self):
+        assert not is_subobject(TOP, obj(1))
+        assert not is_subobject(TOP, obj([1]))
+
+
+class TestAtoms:
+    def test_equal_atoms_comparable(self):
+        assert is_subobject(obj(1), obj(1))
+
+    def test_distinct_atoms_incomparable(self):
+        assert not is_subobject(obj(1), obj(2))
+        assert not is_subobject(obj(1), obj(1.0))
+
+    def test_atom_not_below_containers(self):
+        # The paper: 1 is not a sub-object of [a:1, b:2] nor of {1, 2, 3}.
+        assert not is_subobject(obj(1), obj({"a": 1, "b": 2}))
+        assert not is_subobject(obj(1), obj([1, 2, 3]))
+
+
+class TestTuples:
+    def test_fewer_attributes_is_smaller(self):
+        assert is_subobject(obj({"a": 1}), obj({"a": 1, "b": 2}))
+        assert not is_subobject(obj({"a": 1, "b": 2}), obj({"a": 1}))
+
+    def test_attribute_values_compared_recursively(self):
+        assert is_subobject(obj({"a": [1], "b": 2}), obj({"a": [1, 2], "b": 2}))
+        assert not is_subobject(obj({"a": [3], "b": 2}), obj({"a": [1, 2], "b": 2}))
+
+    def test_conflicting_value_not_subobject(self):
+        assert not is_subobject(obj({"a": 1}), obj({"a": 2, "b": 3}))
+
+    def test_empty_tuple_below_every_tuple(self):
+        assert is_subobject(obj({}), obj({"a": 1}))
+
+    def test_tuple_not_below_set(self):
+        assert not is_subobject(obj({"a": 1}), obj([{"a": 1}]))
+
+
+class TestSets:
+    def test_subset_is_subobject(self):
+        assert is_subobject(obj([1, 2, 3]), obj([1, 2, 3, 4]))
+
+    def test_elementwise_domination(self):
+        left = obj([{"a": 1}, {"a": 2, "b": 3}])
+        right = obj([{"a": 1, "b": 2}, {"a": 2, "b": 3}, {"a": 5, "b": 5, "c": 5}])
+        assert is_subobject(left, right)
+
+    def test_not_subobject_when_some_element_uncovered(self):
+        assert not is_subobject(obj([1, 5]), obj([1, 2, 3]))
+
+    def test_empty_set_below_every_set(self):
+        assert is_subobject(obj([]), obj([1]))
+        assert is_subobject(obj([]), obj([]))
+
+    def test_set_not_below_tuple(self):
+        assert not is_subobject(obj([1]), obj({"a": 1}))
+
+
+class TestHelpers:
+    def test_strict_subobject(self):
+        assert is_strict_subobject(obj({"a": 1}), obj({"a": 1, "b": 2}))
+        assert not is_strict_subobject(obj({"a": 1}), obj({"a": 1}))
+
+    def test_compare(self):
+        assert compare(obj({"a": 1}), obj({"a": 1, "b": 2})) == -1
+        assert compare(obj({"a": 1, "b": 2}), obj({"a": 1})) == 1
+        assert compare(obj(1), obj(1)) == 0
+        assert compare(obj(1), obj(2)) is None
+
+    def test_maximal_elements(self):
+        values = [obj({"a": 1}), obj({"a": 1, "b": 2}), obj(3)]
+        result = maximal_elements(values)
+        assert obj({"a": 1, "b": 2}) in result
+        assert obj(3) in result
+        assert obj({"a": 1}) not in result
+
+    def test_minimal_elements(self):
+        values = [obj({"a": 1}), obj({"a": 1, "b": 2}), obj(3)]
+        result = minimal_elements(values)
+        assert obj({"a": 1}) in result
+        assert obj(3) in result
+        assert obj({"a": 1, "b": 2}) not in result
+
+    def test_maximal_keeps_one_of_equivalent_pair(self):
+        # Two distinct but mutually dominating (non-reduced) objects.
+        first = SetObject.raw([obj({"a": 3, "b": 5}), obj({"a": 3})])
+        second = SetObject.raw([obj({"a": 3, "b": 5})])
+        kept = maximal_elements([first, second])
+        assert len(kept) == 1
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            is_subobject(obj(1), 1)

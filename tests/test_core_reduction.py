@@ -1,0 +1,68 @@
+"""Unit tests for reduced objects (Definition 3.3, repro.core.reduction)."""
+
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, TOP, Atom, SetObject, TupleObject
+from repro.core.reduction import is_reduced, reduce_object
+
+
+class TestIsReduced:
+    def test_atoms_and_specials_are_reduced(self):
+        assert is_reduced(obj(1))
+        assert is_reduced(BOTTOM)
+        assert is_reduced(TOP)
+
+    def test_constructor_built_objects_are_reduced(self):
+        assert is_reduced(obj([{"a": 1}, {"b": 2}, 3]))
+        assert is_reduced(obj({"r": [{"a": 1, "b": 2}]}))
+
+    def test_raw_set_with_dominated_element_is_not_reduced(self):
+        raw = SetObject.raw([obj({"a": 1}), obj({"a": 1, "b": 2})])
+        assert not is_reduced(raw)
+
+    def test_nested_unreduced_set_detected(self):
+        inner = SetObject.raw([obj({"a": 1}), obj({"a": 1, "b": 2})])
+        outer = TupleObject.raw({"r": inner})
+        assert not is_reduced(outer)
+
+    def test_incomparable_elements_are_reduced(self):
+        assert is_reduced(SetObject.raw([obj({"a": 1}), obj({"b": 2})]))
+
+
+class TestReduceObject:
+    def test_drops_dominated_elements(self):
+        raw = SetObject.raw([obj({"a": 1}), obj({"a": 1, "b": 2}), obj(3)])
+        reduced = reduce_object(raw)
+        assert reduced == SetObject.raw([obj({"a": 1, "b": 2}), obj(3)])
+        assert is_reduced(reduced)
+
+    def test_reduces_recursively(self):
+        inner = SetObject.raw([obj({"a": 1}), obj({"a": 1, "b": 2})])
+        outer = TupleObject.raw({"r": inner})
+        reduced = reduce_object(outer)
+        assert len(reduced.get("r")) == 1
+        assert is_reduced(reduced)
+
+    def test_subset_elements_dropped(self):
+        raw = SetObject.raw([obj([1]), obj([1, 2])])
+        assert reduce_object(raw) == SetObject.raw([obj([1, 2])])
+
+    def test_already_reduced_unchanged(self):
+        value = obj([{"a": 1}, {"b": 2}])
+        assert reduce_object(value) == value
+
+    def test_atoms_pass_through(self):
+        assert reduce_object(obj(5)) == obj(5)
+
+    def test_idempotent(self):
+        raw = SetObject.raw(
+            [obj({"a": 1}), obj({"a": 1, "b": 2}), obj({"a": 1, "b": 2, "c": 3})]
+        )
+        once = reduce_object(raw)
+        assert reduce_object(once) == once
+
+    def test_example_32_objects_become_equal_after_reduction(self):
+        # Example 3.2: the two mutually-dominating objects collapse to the
+        # same reduced object, restoring antisymmetry.
+        first = SetObject.raw([obj({"a1": 3, "a2": 5}), obj({"a1": 3})])
+        second = SetObject.raw([obj({"a1": 3, "a2": 5})])
+        assert reduce_object(first) == reduce_object(second)

@@ -1,0 +1,124 @@
+"""Unit tests for the Datalog baseline (repro.datalog)."""
+
+import pytest
+
+from repro.datalog.engine import DatalogEngine, evaluate, evaluate_naive
+from repro.datalog.rules import Clause, DatalogProgram
+from repro.datalog.terms import Constant, PredicateAtom, Variable, atom, constant, variable
+
+
+class TestTerms:
+    def test_prolog_convention_in_atom_builder(self):
+        parsed = atom("parent", "X", "isaac")
+        assert isinstance(parsed.terms[0], Variable)
+        assert isinstance(parsed.terms[1], Constant)
+
+    def test_constants_distinguish_types(self):
+        assert constant(1) != constant("1")
+        assert constant(1) != constant(True)
+
+    def test_atom_properties(self):
+        ground = atom("parent", "abraham", "isaac")
+        assert ground.is_ground
+        assert ground.arity == 2
+        assert atom("p", "X", "y").variables() == {"X"}
+
+    def test_substitute(self):
+        substituted = atom("p", "X", "Y").substitute({"X": 1})
+        assert substituted.terms[0] == constant(1)
+        assert isinstance(substituted.terms[1], Variable)
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            variable("")
+        with pytest.raises(ValueError):
+            PredicateAtom("", ())
+
+
+class TestClause:
+    def test_safety_enforced(self):
+        with pytest.raises(ValueError):
+            Clause(atom("p", "X"), (atom("q", "Y"),))
+
+    def test_fact_flag(self):
+        assert Clause(atom("p", 1)).is_fact
+        assert not Clause(atom("p", "X"), (atom("q", "X"),)).is_fact
+
+    def test_variables(self):
+        clause = Clause(atom("p", "X"), (atom("q", "X", "Y"),))
+        assert clause.variables() == {"X", "Y"}
+
+
+class TestProgram:
+    def test_facts_and_rules_split(self):
+        program = DatalogProgram(
+            [Clause(atom("e", 1, 2)), Clause(atom("t", "X", "Y"), (atom("e", "X", "Y"),))]
+        )
+        assert len(program.facts) == 1
+        assert len(program.rules) == 1
+        assert program.predicates() == {"e", "t"}
+        assert program.idb_predicates() == {"t"}
+
+    def test_recursion_detection(self):
+        recursive = DatalogProgram(
+            [
+                Clause(atom("t", "X", "Y"), (atom("e", "X", "Y"),)),
+                Clause(atom("t", "X", "Z"), (atom("e", "X", "Y"), atom("t", "Y", "Z"))),
+            ]
+        )
+        assert recursive.is_recursive()
+        flat = DatalogProgram([Clause(atom("t", "X", "Y"), (atom("e", "X", "Y"),))])
+        assert not flat.is_recursive()
+
+
+def transitive_closure_program(edges):
+    clauses = [Clause(atom("edge", a, b)) for a, b in edges]
+    clauses.append(Clause(atom("path", "X", "Y"), (atom("edge", "X", "Y"),)))
+    clauses.append(
+        Clause(atom("path", "X", "Z"), (atom("edge", "X", "Y"), atom("path", "Y", "Z")))
+    )
+    return DatalogProgram(clauses)
+
+
+class TestEvaluation:
+    EDGES = [(1, 2), (2, 3), (3, 4)]
+    EXPECTED_PATHS = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_semi_naive_transitive_closure(self):
+        engine = DatalogEngine(transitive_closure_program(self.EDGES))
+        assert engine.query("path") == frozenset(self.EXPECTED_PATHS)
+
+    def test_naive_and_semi_naive_agree(self):
+        program = transitive_closure_program(self.EDGES)
+        assert evaluate(program)["path"] == evaluate_naive(program)["path"]
+
+    def test_facts_only_program(self):
+        program = DatalogProgram([Clause(atom("e", 1, 2))])
+        assert evaluate(program) == {"e": {(1, 2)}}
+
+    def test_constants_in_rule_bodies(self):
+        program = DatalogProgram(
+            [
+                Clause(atom("age", "peter", 25)),
+                Clause(atom("age", "john", 7)),
+                Clause(atom("named", "X"), (atom("age", "X", 25),)),
+            ]
+        )
+        assert DatalogEngine(program).query("named") == frozenset({("peter",)})
+
+    def test_lowercase_fact_arguments_are_constants(self):
+        program = DatalogProgram([Clause(atom("p", "x"))])
+        assert DatalogEngine(program).query("p") == frozenset({("x",)})
+
+    def test_unsafe_fact_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Clause(atom("p", "X"))
+
+    def test_genealogy_descendants(self, genealogy_small):
+        engine = DatalogEngine(genealogy_small.datalog_program)
+        descendants = {values[0] for values in engine.query("doa")}
+        assert descendants == set(genealogy_small.expected_descendants)
+
+    def test_genealogy_naive_agrees(self, genealogy_small):
+        engine = DatalogEngine(genealogy_small.datalog_program)
+        assert engine.query("doa", semi_naive=False) == engine.query("doa", semi_naive=True)

@@ -1,0 +1,119 @@
+"""Integration tests: the calculus against the relational algebra baseline.
+
+Every rule of the paper's Example 4.2 has a relational gloss ("selection of R1
+on B = b ...", "join of R1 and R2 ...").  These tests execute both sides —
+calculus rule over the complex-object form, algebra plan over the flat form —
+on the same generated data and check that they produce identical relations,
+which is exactly the correspondence the paper appeals to when explaining the
+calculus.
+"""
+
+import pytest
+
+from repro import parse_rule
+from repro.core.objects import TupleObject
+from repro.relational.algebra import equijoin, intersect, project, rename, select
+from repro.relational.bridge import database_to_object, object_to_relation, relation_to_object
+from repro.relational.database import RelationalDatabase
+from repro.relational.relation import Relation
+from repro.workloads import make_join_workload, make_relation
+
+
+@pytest.fixture
+def selection_database():
+    relation = make_relation(200, name="r1", value_domain=6, rng=11)
+    database = RelationalDatabase({"r1": relation})
+    return relation, database_to_object(database)
+
+
+class TestSelectionAgreement:
+    """Example 4.2(1)/(2): selection + projection, both engines."""
+
+    def test_selection_rule_matches_algebra(self, selection_database):
+        relation, as_object = selection_database
+        rule = parse_rule("[r: {[a: X]}] :- [r1: {[a: X, b: v0]}]")
+        calculus_result = rule.apply(as_object).get("r")
+        algebra_result = project(select(relation, b="v0"), ["a"])
+        assert object_to_relation(calculus_result, attributes=("a",)) == algebra_result
+
+    def test_renaming_rule_matches_algebra(self, selection_database):
+        relation, as_object = selection_database
+        rule = parse_rule("[r: {[key: X]}] :- [r1: {[a: X, b: v1]}]")
+        calculus_result = rule.apply(as_object).get("r")
+        algebra_result = rename(project(select(relation, b="v1"), ["a"]), {"a": "key"})
+        assert object_to_relation(calculus_result, attributes=("key",)) == algebra_result
+
+    def test_empty_selection(self, selection_database):
+        relation, as_object = selection_database
+        rule = parse_rule("[r: {[a: X]}] :- [r1: {[a: X, b: nothing]}]")
+        assert rule.apply(as_object).is_bottom
+        assert len(select(relation, b="nothing")) == 0
+
+
+class TestJoinAgreement:
+    """Example 4.2(3)/(4): equi-joins, both engines."""
+
+    @pytest.mark.parametrize("rows,domain", [(30, 5), (60, 12), (40, 40)])
+    def test_join_rule_matches_algebra(self, rows, domain):
+        workload = make_join_workload(rows, join_domain=domain, rng=rows + domain)
+        rule = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]")
+        calculus_output = rule.apply(workload.as_object)
+        algebra_result = project(
+            equijoin(workload.left, workload.right, [("b", "c")]), ["a", "d"]
+        )
+        if not algebra_result.rows:
+            assert calculus_output.is_bottom
+            return
+        assert object_to_relation(calculus_output.get("r"), attributes=("a", "d")) == (
+            algebra_result
+        )
+
+    def test_renamed_join(self, join_workload_small):
+        rule = parse_rule(
+            "[r: {[a1: X, a2: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]"
+        )
+        calculus_result = rule.apply(join_workload_small.as_object).get("r")
+        algebra_result = rename(
+            project(
+                equijoin(join_workload_small.left, join_workload_small.right, [("b", "c")]),
+                ["a", "d"],
+            ),
+            {"a": "a1", "d": "a2"},
+        )
+        assert object_to_relation(calculus_result, attributes=("a1", "a2")) == algebra_result
+
+
+class TestIntersectionAgreement:
+    """Example 4.2(5)/(6): intersection of identically shaped relations."""
+
+    def test_intersection_rule_matches_algebra(self):
+        left = Relation(("a", "b"), [{"a": i, "b": f"v{i % 3}"} for i in range(30)], name="r1")
+        right = Relation(
+            ("a", "b"), [{"a": i, "b": f"v{i % 3}"} for i in range(15, 45)], name="r2"
+        )
+        database = RelationalDatabase({"r1": left, "r2": right})
+        as_object = database_to_object(database)
+        rule = parse_rule("[r: {X}] :- [r1: {X}, r2: {X}]")
+        calculus_result = rule.apply(as_object).get("r")
+        algebra_result = intersect(left, right)
+        # The calculus result includes the algebra intersection (the paper
+        # notes object intersection *includes* set intersection); restricted
+        # to full-width tuples the two agree exactly.
+        full_rows = [
+            element
+            for element in calculus_result
+            if isinstance(element, TupleObject) and set(element.attributes) == {"a", "b"}
+        ]
+        from repro.core.objects import SetObject
+
+        assert object_to_relation(SetObject(full_rows), attributes=("a", "b")) == algebra_result
+
+
+class TestBridgeWithQueries:
+    def test_database_round_trip_preserves_query_results(self, join_workload_small):
+        # Convert object -> relational -> object and check a calculus query is
+        # unaffected: the bridge is faithful.
+        from repro.relational.bridge import object_to_database
+
+        rebuilt = database_to_object(object_to_database(join_workload_small.as_object))
+        assert rebuilt == join_workload_small.as_object

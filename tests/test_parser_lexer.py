@@ -1,0 +1,93 @@
+"""Unit tests for the tokenizer (repro.parser.lexer)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.parser.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestPunctuation:
+    def test_brackets_and_braces(self):
+        assert kinds("[]{}")[:-1] == [
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+        ]
+
+    def test_colon_versus_arrow(self):
+        assert kinds(": :-")[:-1] == [TokenType.COLON, TokenType.ARROW]
+
+    def test_period(self):
+        assert kinds(".")[:-1] == [TokenType.PERIOD]
+
+    def test_comma(self):
+        assert kinds(",")[:-1] == [TokenType.COMMA]
+
+
+class TestNumbers:
+    def test_integers(self):
+        assert values("25 -3 +7") == [25, -3, 7]
+        assert all(k is TokenType.INTEGER for k in kinds("25 -3 +7")[:-1])
+
+    def test_floats(self):
+        assert values("2.5 -0.5") == [2.5, -0.5]
+        assert all(k is TokenType.FLOAT for k in kinds("2.5 -0.5")[:-1])
+
+    def test_scientific_notation(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_integer_then_period_is_clause_end(self):
+        assert kinds("25.")[:-1] == [TokenType.INTEGER, TokenType.PERIOD]
+
+
+class TestStringsAndIdentifiers:
+    def test_bare_identifiers(self):
+        assert values("john Mary _x r1") == ["john", "Mary", "_x", "r1"]
+        assert all(k is TokenType.IDENT for k in kinds("john Mary _x r1")[:-1])
+
+    def test_quoted_strings(self):
+        assert values('"New York"') == ["New York"]
+        assert kinds('"New York"')[:-1] == [TokenType.STRING]
+
+    def test_escapes(self):
+        assert values(r'"a\"b" "line\nbreak" "tab\tx" "back\\slash"') == [
+            'a"b',
+            "line\nbreak",
+            "tab\tx",
+            "back\\slash",
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+
+class TestWhitespaceAndComments:
+    def test_whitespace_skipped(self):
+        assert values("  1\n\t2  ") == [1, 2]
+
+    def test_comments_skipped(self):
+        assert values("1 % a comment\n2") == [1, 2]
+        assert values("% only a comment") == []
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a # b")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("1")[-1].type is TokenType.EOF

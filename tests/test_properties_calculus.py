@@ -1,0 +1,125 @@
+"""Property-based tests for the calculus (Definition 4.2, Lemma 4.1).
+
+Random databases are built as tuples of set-of-flat-tuple relations (the shape
+Section 4 of the paper works with); random queries are drawn from a small pool
+of formula shapes.  The properties checked are:
+
+* soundness: every enumerated match instantiates to a sub-object of the
+  database, and the interpretation itself is a sub-object (Definition 4.2's
+  closing remark);
+* completeness: the optimized matcher's interpretation equals the brute-force
+  oracle's, under both the strict and the literal semantics;
+* monotonicity of formula interpretation and of rule application (Lemma 4.1).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import atoms
+
+from repro.core.lattice import union
+from repro.core.objects import SetObject, TupleObject
+from repro.core.order import is_subobject
+from repro.calculus.interpretation import interpret, interpret_bruteforce
+from repro.calculus.matching import match_all
+from repro.calculus.rules import Rule
+from repro.calculus.terms import Constant, SetFormula, TupleFormula, Variable
+
+
+def small_relations():
+    """A set of at most three flat tuples over attributes a/b."""
+    rows = st.dictionaries(st.sampled_from(["a", "b"]), atoms(), max_size=2).map(TupleObject)
+    return st.lists(rows, max_size=3).map(SetObject)
+
+
+def databases():
+    """A database object with relations r1 and r2."""
+    return st.builds(
+        lambda r1, r2: TupleObject({"r1": r1, "r2": r2}), small_relations(), small_relations()
+    )
+
+
+def tiny_relations():
+    """At most two rows of at most one attribute — keeps the oracle tractable."""
+    rows = st.dictionaries(st.sampled_from(["a", "b"]), atoms(), max_size=1).map(TupleObject)
+    return st.lists(rows, max_size=2).map(SetObject)
+
+
+def tiny_databases():
+    """Small databases for the exponential brute-force comparison."""
+    return st.builds(
+        lambda r1, r2: TupleObject({"r1": r1, "r2": r2}), tiny_relations(), tiny_relations()
+    )
+
+
+def queries():
+    """A pool of query shapes covering selection, projection, join, intersection."""
+    x, y = Variable("X"), Variable("Y")
+    return st.sampled_from(
+        [
+            TupleFormula({"r1": SetFormula([x])}),
+            TupleFormula({"r1": SetFormula([TupleFormula({"a": x})])}),
+            TupleFormula({"r1": SetFormula([TupleFormula({"a": x, "b": y})])}),
+            TupleFormula(
+                {
+                    "r1": SetFormula([TupleFormula({"a": x})]),
+                    "r2": SetFormula([TupleFormula({"b": x})]),
+                }
+            ),
+            TupleFormula({"r1": SetFormula([x]), "r2": SetFormula([x])}),
+            TupleFormula({"r1": x, "r2": y}),
+        ]
+    )
+
+
+class TestSoundness:
+    @given(queries(), databases())
+    def test_matches_instantiate_to_subobjects(self, query, database):
+        for sigma in match_all(query, database):
+            assert is_subobject(sigma.apply(query), database)
+
+    @given(queries(), databases())
+    def test_interpretation_is_a_subobject(self, query, database):
+        assert is_subobject(interpret(query, database), database)
+
+
+class TestCompleteness:
+    @settings(max_examples=25)
+    @given(queries(), tiny_databases())
+    def test_matcher_equals_bruteforce_strict(self, query, database):
+        assert interpret(query, database) == interpret_bruteforce(query, database)
+
+    @settings(max_examples=25)
+    @given(queries(), tiny_databases())
+    def test_matcher_equals_bruteforce_literal(self, query, database):
+        assert interpret(query, database, allow_bottom=True) == interpret_bruteforce(
+            query, database, allow_bottom=True
+        )
+
+
+class TestMonotonicity:
+    @given(queries(), databases(), databases())
+    def test_interpretation_is_monotone(self, query, smaller, larger):
+        # Make the pair comparable by joining; O ≤ O ∪ O'.
+        combined = union(smaller, larger)
+        if combined.is_top:
+            return
+        assert is_subobject(interpret(query, smaller), interpret(query, combined))
+
+    @given(databases(), databases())
+    def test_lemma_41_rule_application_is_monotone(self, smaller, larger):
+        combined = union(smaller, larger)
+        if combined.is_top:
+            return
+        rule = Rule(
+            TupleFormula({"out": SetFormula([Variable("X")])}),
+            TupleFormula({"r1": SetFormula([Variable("X")])}),
+        )
+        assert is_subobject(rule.apply(smaller), rule.apply(combined))
+
+    @given(databases())
+    def test_interpretation_is_idempotent_on_its_result(self, database):
+        # E(O) is a sub-object of O built only from matched parts, so
+        # re-interpreting the same formula over E(O) gives E(O) again.
+        query = TupleFormula({"r1": SetFormula([Variable("X")])})
+        first = interpret(query, database)
+        assert interpret(query, first) == first

@@ -1,0 +1,50 @@
+"""Property-based round-trip tests for serialization and the concrete syntax."""
+
+from hypothesis import given
+
+from tests.conftest import complex_objects
+
+from repro import parse_object
+from repro.core.equality import normalize
+from repro.core.reduction import is_reduced, reduce_object
+from repro.schema.check import conforms
+from repro.schema.inference import infer_type
+from repro.store.codec import decode_json, encode_json, from_json_text, to_json_text
+
+
+class TestJsonCodec:
+    @given(complex_objects())
+    def test_encode_decode_round_trip(self, value):
+        assert decode_json(encode_json(value)) == value
+
+    @given(complex_objects())
+    def test_text_round_trip(self, value):
+        assert from_json_text(to_json_text(value)) == value
+
+    @given(complex_objects())
+    def test_encoding_is_deterministic(self, value):
+        assert to_json_text(value) == to_json_text(value)
+
+
+class TestConcreteSyntax:
+    @given(complex_objects())
+    def test_to_text_parses_back(self, value):
+        assert parse_object(value.to_text()) == value
+
+    @given(complex_objects())
+    def test_pretty_printing_parses_back(self, value):
+        from repro.parser.printer import pretty
+
+        assert parse_object(pretty(value, max_width=25)) == value
+
+
+class TestStructuralInvariants:
+    @given(complex_objects())
+    def test_constructed_objects_are_normalized_and_reduced(self, value):
+        assert normalize(value) == value
+        assert is_reduced(value)
+        assert reduce_object(value) == value
+
+    @given(complex_objects())
+    def test_inferred_types_accept_their_objects(self, value):
+        assert conforms(value, infer_type(value))

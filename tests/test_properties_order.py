@@ -1,0 +1,84 @@
+"""Property-based tests for the sub-object order (Theorems 3.1–3.3).
+
+Hypothesis generates random reduced complex objects (strategies in
+``tests/conftest.py``) and checks the statements of the paper's theorems on
+them, including the *failure* of antisymmetry once reduction is abandoned
+(Example 3.2 generalized).
+"""
+
+from hypothesis import given
+
+from tests.conftest import atoms, complex_objects, flat_tuple_objects
+
+from repro.core.objects import BOTTOM, TOP, SetObject, TupleObject
+from repro.core.order import is_subobject
+from repro.core.reduction import is_reduced, reduce_object
+
+
+class TestTheorem31:
+    """Reflexivity and transitivity on arbitrary objects."""
+
+    @given(complex_objects())
+    def test_reflexive(self, value):
+        assert is_subobject(value, value)
+
+    @given(complex_objects(max_depth=2), complex_objects(max_depth=2), complex_objects(max_depth=2))
+    def test_transitive(self, first, second, third):
+        if is_subobject(first, second) and is_subobject(second, third):
+            assert is_subobject(first, third)
+
+    @given(complex_objects())
+    def test_bottom_and_top_are_the_extremes(self, value):
+        assert is_subobject(BOTTOM, value)
+        assert is_subobject(value, TOP)
+
+
+class TestTheorem32:
+    """Antisymmetry on reduced objects."""
+
+    @given(complex_objects(), complex_objects())
+    def test_antisymmetric_on_reduced_objects(self, left, right):
+        # The strategies only build objects through the normalizing
+        # constructors, so both operands are reduced.
+        assert is_reduced(left) and is_reduced(right)
+        if is_subobject(left, right) and is_subobject(right, left):
+            assert left == right
+
+    @given(flat_tuple_objects(), flat_tuple_objects())
+    def test_mutual_domination_possible_without_reduction(self, first, second):
+        # Build the Example 3.2 shape from arbitrary flat tuples: adding a
+        # dominated element never changes the object's position in the order,
+        # so the raw pair is mutually dominating whenever it differs at all.
+        if not is_subobject(first, second):
+            return
+        padded = SetObject.raw([second, first])
+        plain = SetObject.raw([second])
+        assert is_subobject(padded, plain)
+        assert is_subobject(plain, padded)
+        assert reduce_object(padded) == reduce_object(plain)
+
+
+class TestOrderStructure:
+    @given(complex_objects(max_depth=2), complex_objects(max_depth=2))
+    def test_tuple_embedding_is_monotone(self, left, right):
+        # Wrapping both sides in the same tuple attribute preserves the order.
+        if is_subobject(left, right):
+            assert is_subobject(TupleObject({"w": left}), TupleObject({"w": right}))
+
+    @given(complex_objects(max_depth=2), complex_objects(max_depth=2))
+    def test_set_embedding_is_monotone(self, left, right):
+        if is_subobject(left, right):
+            assert is_subobject(SetObject([left]), SetObject([right]))
+
+    @given(atoms(), atoms())
+    def test_atoms_are_only_comparable_when_equal(self, left, right):
+        if left != right:
+            assert not is_subobject(left, right)
+            assert not is_subobject(right, left)
+
+    @given(complex_objects())
+    def test_reduction_is_idempotent_and_order_preserving(self, value):
+        reduced = reduce_object(value)
+        assert reduce_object(reduced) == reduced
+        assert is_subobject(reduced, value)
+        assert is_subobject(value, reduced)

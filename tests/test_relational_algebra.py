@@ -1,0 +1,134 @@
+"""Unit tests for the relational algebra (repro.relational.algebra)."""
+
+import pytest
+
+from repro.relational.algebra import (
+    difference,
+    equijoin,
+    intersect,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def people():
+    return Relation(
+        ("name", "age", "city"),
+        [
+            {"name": "peter", "age": 25, "city": "austin"},
+            {"name": "john", "age": 7, "city": "paris"},
+            {"name": "mary", "age": 13, "city": "austin"},
+        ],
+        name="people",
+    )
+
+
+class TestSelect:
+    def test_by_equality(self, people):
+        assert len(select(people, city="austin")) == 2
+
+    def test_by_predicate(self, people):
+        assert len(select(people, lambda row: row["age"] > 10)) == 2
+
+    def test_combined(self, people):
+        assert len(select(people, lambda row: row["age"] > 10, city="austin")) == 2
+        assert len(select(people, lambda row: row["age"] > 20, city="paris")) == 0
+
+    def test_no_arguments_is_identity(self, people):
+        assert select(people) == people
+
+
+class TestProject:
+    def test_columns_kept(self, people):
+        projected = project(people, ["name"])
+        assert projected.attributes == ("name",)
+        assert len(projected) == 3
+
+    def test_duplicates_collapse(self, people):
+        assert len(project(people, ["city"])) == 2
+
+    def test_unknown_attribute_rejected(self, people):
+        with pytest.raises(ValueError):
+            project(people, ["salary"])
+
+
+class TestRename:
+    def test_rename(self, people):
+        renamed = rename(people, {"city": "location"})
+        assert "location" in renamed.attributes
+        assert "city" not in renamed.attributes
+
+    def test_unknown_attribute_rejected(self, people):
+        with pytest.raises(ValueError):
+            rename(people, {"salary": "pay"})
+
+
+class TestJoins:
+    def test_product(self):
+        left = Relation(("a",), [{"a": 1}, {"a": 2}])
+        right = Relation(("b",), [{"b": "x"}])
+        assert len(product(left, right)) == 2
+
+    def test_product_requires_disjoint_schemas(self):
+        left = Relation(("a",), [{"a": 1}])
+        with pytest.raises(ValueError):
+            product(left, left)
+
+    def test_natural_join(self):
+        left = Relation(("id", "name"), [{"id": 1, "name": "a"}, {"id": 2, "name": "b"}])
+        right = Relation(("id", "city"), [{"id": 1, "city": "x"}, {"id": 3, "city": "y"}])
+        joined = natural_join(left, right)
+        assert len(joined) == 1
+        assert set(joined.attributes) == {"id", "name", "city"}
+
+    def test_natural_join_without_shared_attributes_is_product(self):
+        left = Relation(("a",), [{"a": 1}, {"a": 2}])
+        right = Relation(("b",), [{"b": 1}])
+        assert len(natural_join(left, right)) == 2
+
+    def test_equijoin(self):
+        r1 = Relation(("a", "b"), [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        r2 = Relation(("c", "d"), [{"c": "x", "d": 10}, {"c": "z", "d": 20}])
+        joined = equijoin(r1, r2, [("b", "c")])
+        assert len(joined) == 1
+        assert joined.to_dicts()[0] == {"a": 1, "b": "x", "c": "x", "d": 10}
+
+    def test_equijoin_null_never_joins(self):
+        r1 = Relation(("a", "b"), [{"a": 1, "b": None}])
+        r2 = Relation(("c", "d"), [{"c": None, "d": 10}])
+        assert len(equijoin(r1, r2, [("b", "c")])) == 0
+
+    def test_equijoin_requires_disjoint_schemas(self):
+        r1 = Relation(("a", "b"), [{"a": 1, "b": 2}])
+        with pytest.raises(ValueError):
+            equijoin(r1, r1, [("b", "a")])
+
+
+class TestSetOperators:
+    def test_union(self):
+        left = Relation(("a",), [{"a": 1}])
+        right = Relation(("a",), [{"a": 2}])
+        assert len(union(left, right)) == 2
+
+    def test_difference(self):
+        left = Relation(("a",), [{"a": 1}, {"a": 2}])
+        right = Relation(("a",), [{"a": 2}])
+        assert difference(left, right) == Relation(("a",), [{"a": 1}])
+
+    def test_intersect(self):
+        left = Relation(("a",), [{"a": 1}, {"a": 2}])
+        right = Relation(("a",), [{"a": 2}, {"a": 3}])
+        assert intersect(left, right) == Relation(("a",), [{"a": 2}])
+
+    def test_schema_compatibility_enforced(self):
+        left = Relation(("a",), [{"a": 1}])
+        right = Relation(("b",), [{"b": 1}])
+        for operator in (union, difference, intersect):
+            with pytest.raises(ValueError):
+                operator(left, right)

@@ -1,0 +1,114 @@
+"""Unit tests for relational/complex-object conversions (repro.relational.bridge)."""
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.relational.bridge import (
+    database_to_object,
+    nested_to_object,
+    object_to_database,
+    object_to_nested,
+    object_to_relation,
+    relation_to_object,
+)
+from repro.relational.database import RelationalDatabase
+from repro.relational.nf2 import NestedRelation, nest
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def people_relation():
+    return Relation(
+        ("name", "age"),
+        [{"name": "peter", "age": 25}, {"name": "john", "age": 7}],
+        name="r1",
+    )
+
+
+class TestRelationConversions:
+    def test_relation_to_object(self, people_relation):
+        assert relation_to_object(people_relation) == parse_object(
+            "{[name: peter, age: 25], [name: john, age: 7]}"
+        )
+
+    def test_null_becomes_missing_attribute(self):
+        relation = Relation(("name", "age"), [{"name": "peter", "age": None}])
+        assert relation_to_object(relation) == parse_object("{[name: peter]}")
+
+    def test_round_trip(self, people_relation):
+        assert object_to_relation(relation_to_object(people_relation), name="r1") == (
+            people_relation
+        )
+
+    def test_object_to_relation_infers_schema_union(self):
+        value = parse_object("{[name: peter], [name: john, age: 7]}")
+        relation = object_to_relation(value)
+        assert set(relation.attributes) == {"name", "age"}
+        assert len(relation) == 2
+
+    def test_object_to_relation_rejects_non_1nf(self):
+        with pytest.raises(ValueError):
+            object_to_relation(parse_object("{[children: {max}]}"))
+        with pytest.raises(ValueError):
+            object_to_relation(parse_object("{1, 2}"))
+        with pytest.raises(ValueError):
+            object_to_relation(parse_object("[a: 1]"))
+
+
+class TestDatabaseConversions:
+    def test_database_to_object_matches_paper_shape(self, people_relation):
+        database = RelationalDatabase(
+            {
+                "r1": people_relation,
+                "r2": Relation(
+                    ("name", "address"),
+                    [{"name": "john", "address": "austin"}],
+                ),
+            }
+        )
+        expected = parse_object(
+            "[r1: {[name: peter, age: 25], [name: john, age: 7]},"
+            " r2: {[name: john, address: austin]}]"
+        )
+        assert database_to_object(database) == expected
+
+    def test_round_trip(self, people_relation):
+        database = RelationalDatabase({"r1": people_relation})
+        assert object_to_database(database_to_object(database)) == database
+
+    def test_object_to_database_requires_tuple(self):
+        with pytest.raises(ValueError):
+            object_to_database(parse_object("{[a: 1]}"))
+
+
+class TestNestedConversions:
+    def test_nested_to_object(self):
+        flat = NestedRelation(
+            ("name", "child"),
+            [{"name": "peter", "child": "max"}, {"name": "peter", "child": "susan"}],
+        )
+        nested = nest(flat, ["child"], into="children")
+        converted = nested_to_object(nested)
+        assert converted == parse_object(
+            "{[name: peter, children: {[child: max], [child: susan]}]}"
+        )
+
+    def test_round_trip(self):
+        flat = NestedRelation(
+            ("name", "child"),
+            [{"name": "peter", "child": "max"}, {"name": "john", "child": "mary"}],
+        )
+        nested = nest(flat, ["child"], into="children")
+        assert object_to_nested(nested_to_object(nested)) == nested
+
+    def test_sets_of_atoms_become_value_columns(self):
+        value = parse_object("{[name: peter, children: {max, susan}]}")
+        nested = object_to_nested(value)
+        row = next(iter(nested.rows))
+        assert row["children"].attributes == ("value",)
+        assert len(row["children"]) == 2
+
+    def test_heterogeneous_sets_rejected(self):
+        with pytest.raises(ValueError):
+            object_to_nested(parse_object("{[a: {1, [b: 2]}]}"))

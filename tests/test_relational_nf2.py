@@ -1,0 +1,107 @@
+"""Unit tests for nested relations (repro.relational.nf2)."""
+
+import pytest
+
+from repro.relational.nf2 import NestedRelation, NestedRow, nest, unnest
+
+
+@pytest.fixture
+def flat_children():
+    return NestedRelation(
+        ("name", "child"),
+        [
+            {"name": "peter", "child": "max"},
+            {"name": "peter", "child": "susan"},
+            {"name": "john", "child": "mary"},
+        ],
+    )
+
+
+class TestNestedRow:
+    def test_atomic_and_relation_values(self):
+        inner = NestedRelation(("x",), [{"x": 1}])
+        row = NestedRow({"a": 1, "b": inner, "c": None})
+        assert row["a"] == 1
+        assert row["b"] == inner
+        assert row["c"] is None
+
+    def test_collections_coerced_to_subrelations(self):
+        row = NestedRow({"children": ["max", "susan"]})
+        children = row["children"]
+        assert isinstance(children, NestedRelation)
+        assert children.attributes == ("value",)
+        assert len(children) == 2
+
+    def test_collections_of_dicts_coerced(self):
+        row = NestedRow({"children": [{"name": "max"}, {"name": "susan"}]})
+        assert row["children"].attributes == ("name",)
+
+    def test_rejects_other_values(self):
+        with pytest.raises(TypeError):
+            NestedRow({"a": object()})
+
+
+class TestNestedRelation:
+    def test_duplicate_rows_collapse(self, flat_children):
+        assert len(flat_children) == 3
+        duplicated = NestedRelation(
+            ("name",), [{"name": "peter"}, {"name": "peter"}]
+        )
+        assert len(duplicated) == 1
+
+    def test_schema_enforced(self):
+        with pytest.raises(ValueError):
+            NestedRelation(("a",), [{"b": 1}])
+
+    def test_equality(self, flat_children):
+        same = NestedRelation(("child", "name"), flat_children.rows)
+        assert same == flat_children
+
+
+class TestNestUnnest:
+    def test_nest_groups_rows(self, flat_children):
+        nested = nest(flat_children, ["child"], into="children")
+        assert set(nested.attributes) == {"name", "children"}
+        assert len(nested) == 2
+        by_name = {row["name"]: row["children"] for row in nested.rows}
+        assert len(by_name["peter"]) == 2
+        assert len(by_name["john"]) == 1
+
+    def test_unnest_inverts_nest_here(self, flat_children):
+        nested = nest(flat_children, ["child"], into="children")
+        assert unnest(nested, "children") == flat_children
+
+    def test_unnest_drops_rows_with_empty_subrelations(self):
+        nested = NestedRelation(
+            ("name", "children"),
+            [
+                {"name": "mary", "children": NestedRelation(("child",), [])},
+                {"name": "peter", "children": NestedRelation(("child",), [{"child": "max"}])},
+            ],
+        )
+        flattened = unnest(nested, "children")
+        assert len(flattened) == 1
+
+    def test_nest_unknown_attribute_rejected(self, flat_children):
+        with pytest.raises(ValueError):
+            nest(flat_children, ["salary"], into="x")
+
+    def test_nest_target_collision_rejected(self, flat_children):
+        with pytest.raises(ValueError):
+            nest(flat_children, ["child"], into="name")
+
+    def test_unnest_requires_relation_valued_attribute(self, flat_children):
+        with pytest.raises(ValueError):
+            unnest(flat_children, "name")
+
+    def test_unnest_attribute_collision_rejected(self):
+        nested = NestedRelation(
+            ("name", "children"),
+            [{"name": "peter", "children": NestedRelation(("name",), [{"name": "max"}])}],
+        )
+        with pytest.raises(ValueError):
+            unnest(nested, "children")
+
+    def test_unnest_unknown_attribute_rejected(self, flat_children):
+        with pytest.raises(ValueError):
+            unnest(flat_children, "missing")

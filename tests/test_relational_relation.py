@@ -1,0 +1,87 @@
+"""Unit tests for flat relations (repro.relational.relation)."""
+
+import pytest
+
+from repro.relational.relation import Relation, Row
+
+
+class TestRow:
+    def test_values_and_access(self):
+        row = Row({"a": 1, "b": "x"})
+        assert row["a"] == 1
+        assert row.get("missing") is None
+        assert "b" in row and "missing" not in row
+        with pytest.raises(KeyError):
+            row["missing"]
+
+    def test_nulls_allowed(self):
+        assert Row({"a": None}).get("a") is None
+
+    def test_rejects_structured_values(self):
+        with pytest.raises(TypeError):
+            Row({"a": [1, 2]})
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            Row({"": 1})
+
+    def test_equality_and_hash(self):
+        assert Row({"a": 1, "b": 2}) == Row({"b": 2, "a": 1})
+        assert hash(Row({"a": 1})) == hash(Row({"a": 1}))
+
+    def test_project_and_rename(self):
+        row = Row({"a": 1, "b": 2})
+        assert row.project(["a"]) == Row({"a": 1})
+        assert row.project(["a", "c"]) == Row({"a": 1, "c": None})
+        assert row.rename({"a": "x"}) == Row({"x": 1, "b": 2})
+
+    def test_merge(self):
+        assert Row({"a": 1}).merge(Row({"b": 2})) == Row({"a": 1, "b": 2})
+        assert Row({"a": 1}).merge(Row({"a": 2})) is None
+        assert Row({"a": 1}).merge(Row({"a": 1, "b": 2})) == Row({"a": 1, "b": 2})
+
+
+class TestRelation:
+    def test_rows_become_a_set(self):
+        relation = Relation(("a",), [{"a": 1}, {"a": 1}, {"a": 2}])
+        assert len(relation) == 2
+
+    def test_missing_attributes_become_null(self):
+        relation = Relation(("a", "b"), [{"a": 1}])
+        assert list(relation)[0].get("b") is None
+
+    def test_rows_outside_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("a",), [{"a": 1, "z": 2}])
+
+    def test_duplicate_schema_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("a", "a"), [])
+
+    def test_membership(self):
+        relation = Relation(("a", "b"), [{"a": 1, "b": 2}])
+        assert {"a": 1, "b": 2} in relation
+        assert Row({"a": 1, "b": 2}) in relation
+        assert {"a": 9, "b": 9} not in relation
+
+    def test_equality_ignores_attribute_order(self):
+        left = Relation(("a", "b"), [{"a": 1, "b": 2}])
+        right = Relation(("b", "a"), [{"a": 1, "b": 2}])
+        assert left == right
+
+    def test_add_and_remove(self):
+        relation = Relation(("a",), [{"a": 1}])
+        assert len(relation.add({"a": 2})) == 2
+        assert len(relation.remove({"a": 1})) == 0
+        assert len(relation.remove({"a": 9})) == 1
+
+    def test_iteration_is_deterministic(self):
+        relation = Relation(("a",), [{"a": value} for value in (3, 1, 2)])
+        assert [row["a"] for row in relation] == [1, 2, 3]
+
+    def test_to_dicts(self):
+        relation = Relation(("a", "b"), [{"a": 1, "b": "x"}])
+        assert relation.to_dicts() == [{"a": 1, "b": "x"}]
+
+    def test_with_name(self):
+        assert Relation(("a",), [], name="r").with_name("s").name == "s"

@@ -1,0 +1,95 @@
+"""Unit tests for type inference (repro.schema.inference)."""
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM, TOP
+from repro.schema.check import conforms
+from repro.schema.inference import infer_type, join_types
+from repro.schema.types import (
+    AnyType,
+    AtomType,
+    EmptyType,
+    SetType,
+    TupleType,
+    UnionType,
+    integer,
+    set_type,
+    string,
+    tuple_type,
+    union_type,
+)
+
+
+class TestInferType:
+    def test_atoms(self):
+        assert infer_type(obj(1)) == integer()
+        assert infer_type(obj("x")) == string()
+        assert infer_type(obj(True)) == AtomType("bool")
+        assert infer_type(obj(1.5)) == AtomType("float")
+
+    def test_specials(self):
+        assert infer_type(BOTTOM) == EmptyType()
+        assert infer_type(TOP) == AnyType()
+
+    def test_flat_tuple(self):
+        inferred = infer_type(obj({"name": "peter", "age": 25}))
+        assert inferred == tuple_type(
+            {"name": string(), "age": integer()}, required=["age", "name"]
+        )
+
+    def test_homogeneous_set(self):
+        assert infer_type(obj([1, 2, 3])) == set_type(integer())
+
+    def test_empty_set(self):
+        assert infer_type(obj([])) == set_type(EmptyType())
+
+    def test_heterogeneous_relation_merges_tuple_types(self):
+        value = parse_object("{[name: peter, age: 25], [name: john, address: austin]}")
+        inferred = infer_type(value)
+        assert isinstance(inferred, SetType)
+        element = inferred.element
+        assert isinstance(element, TupleType)
+        assert set(element.attribute_names()) == {"name", "age", "address"}
+        # Only the attribute shared by every element stays required.
+        assert element.required == ("name",)
+
+    def test_inferred_type_always_accepts_the_object(self, relational_db_object):
+        for value in (
+            relational_db_object,
+            parse_object("{1, [a: 2], {3}}"),
+            obj({"a": [1, "two", True]}),
+        ):
+            assert conforms(value, infer_type(value))
+
+
+class TestJoinTypes:
+    def test_identity_and_neutral_elements(self):
+        assert join_types(integer(), integer()) == integer()
+        assert join_types(EmptyType(), string()) == string()
+        assert join_types(string(), EmptyType()) == string()
+
+    def test_any_absorbs(self):
+        assert join_types(AnyType(), integer()) == AnyType()
+
+    def test_atoms_of_different_sorts_join_to_generic_atom(self):
+        assert join_types(integer(), string()) == AtomType(None)
+
+    def test_tuple_join_makes_one_sided_fields_optional(self):
+        left = tuple_type({"a": integer(), "b": string()}, required=["a", "b"])
+        right = tuple_type({"a": integer(), "c": string()}, required=["a", "c"])
+        joined = join_types(left, right)
+        assert set(joined.attribute_names()) == {"a", "b", "c"}
+        assert joined.required == ("a",)
+
+    def test_set_join_joins_elements(self):
+        assert join_types(set_type(integer()), set_type(string())) == set_type(AtomType(None))
+
+    def test_incompatible_kinds_fall_back_to_union(self):
+        joined = join_types(integer(), set_type(integer()))
+        assert isinstance(joined, UnionType)
+
+    def test_union_absorbs_more_alternatives(self):
+        base = union_type(integer(), set_type(integer()))
+        joined = join_types(base, string())
+        assert isinstance(joined, UnionType)
+        assert len(joined.alternatives) == 3

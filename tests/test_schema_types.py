@@ -1,0 +1,91 @@
+"""Unit tests for the schema type language (repro.schema.types)."""
+
+import pytest
+
+from repro.schema.types import (
+    AnyType,
+    AtomType,
+    EmptyType,
+    SetType,
+    TupleType,
+    UnionType,
+    any_type,
+    atom_type,
+    boolean,
+    empty_type,
+    float_type,
+    integer,
+    set_type,
+    string,
+    tuple_type,
+    union_type,
+)
+
+
+class TestConstructors:
+    def test_atom_sorts(self):
+        assert integer().sort == "int"
+        assert float_type().sort == "float"
+        assert string().sort == "string"
+        assert boolean().sort == "bool"
+        assert atom_type().sort is None
+
+    def test_invalid_sort_rejected(self):
+        with pytest.raises(ValueError):
+            AtomType("decimal")
+
+    def test_tuple_type_fields(self):
+        person = tuple_type({"name": string(), "age": integer()}, required=["name"])
+        assert person.field("name") == string()
+        assert person.field("missing") is None
+        assert person.required == ("name",)
+        assert not person.open
+
+    def test_tuple_required_must_be_declared(self):
+        with pytest.raises(ValueError):
+            tuple_type({"a": integer()}, required=["b"])
+
+    def test_set_type(self):
+        assert set_type(integer()).element == integer()
+        with pytest.raises(TypeError):
+            SetType("int")
+
+    def test_union_flattens_and_dedups(self):
+        nested = union_type(integer(), union_type(string(), integer()))
+        assert isinstance(nested, UnionType)
+        assert len(nested.alternatives) == 2
+
+    def test_union_of_one_collapses(self):
+        assert union_type(integer()) == integer()
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionType([])
+
+
+class TestEqualityAndText:
+    def test_structural_equality(self):
+        left = tuple_type({"a": integer(), "b": set_type(string())}, required=["a"])
+        right = tuple_type({"b": set_type(string()), "a": integer()}, required=["a"])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality(self):
+        assert integer() != string()
+        assert any_type() != empty_type()
+        assert set_type(integer()) != set_type(string())
+
+    def test_to_text(self):
+        assert integer().to_text() == "int"
+        assert any_type().to_text() == "any"
+        assert set_type(string()).to_text() == "{string}"
+        person = tuple_type({"name": string(), "age": integer()}, required=["name"])
+        rendered = person.to_text()
+        assert "name: string" in rendered
+        assert "age?" in rendered
+
+    def test_open_tuple_marker(self):
+        assert "..." in tuple_type({"a": integer()}, open=True).to_text()
+
+    def test_union_text(self):
+        assert " | " in union_type(integer(), string()).to_text()

@@ -1,0 +1,158 @@
+"""Unit tests for the ObjectDatabase facade (repro.store.database)."""
+
+import pytest
+
+from repro import parse_formula, parse_object, parse_rule
+from repro.core.builder import obj
+from repro.core.errors import SchemaError, StoreError
+from repro.schema.types import integer, set_type, string, tuple_type
+from repro.store.database import ObjectDatabase
+from repro.store.storage import FileStorage
+
+
+@pytest.fixture
+def database(genealogy_small):
+    db = ObjectDatabase()
+    db.put("family_tree", genealogy_small.family_object)
+    db.put("people", parse_object("{[name: peter, age: 25], [name: john, age: 7]}"))
+    return db
+
+
+class TestCrud:
+    def test_put_converts_python_values(self, database):
+        stored = database.put("config", {"limit": 10, "tags": ["a", "b"]})
+        assert stored == obj({"limit": 10, "tags": ["a", "b"]})
+        assert database["config"] == stored
+
+    def test_get_and_contains(self, database):
+        assert "people" in database
+        assert database.get("missing") is None
+        with pytest.raises(KeyError):
+            database["missing"]
+
+    def test_remove(self, database):
+        database.remove("people")
+        assert "people" not in database
+        database.remove("people")  # idempotent
+
+    def test_names_items_len(self, database):
+        assert set(database.names()) == {"family_tree", "people"}
+        assert len(database) == 2
+        assert dict(database.items())["people"] == database["people"]
+
+    def test_as_object_is_the_paper_database(self, database):
+        whole = database.as_object()
+        assert whole.get("people") == database["people"]
+        assert whole.get("family_tree") == database["family_tree"]
+
+    def test_file_backed_database_round_trips(self, tmp_path, genealogy_small):
+        path = str(tmp_path / "db.jsonl")
+        db = ObjectDatabase(FileStorage(path))
+        db.put("family", genealogy_small.family_object)
+        db.close()
+        reopened = ObjectDatabase(FileStorage(path))
+        assert reopened["family"] == genealogy_small.family_object
+        reopened.close()
+
+
+class TestQueries:
+    def test_query_against_one_object(self, database):
+        result = database.query("{[name: X, age: 25]}", against="people")
+        assert result == parse_object("{[name: peter, age: 25]}")
+
+    def test_query_against_whole_database(self, database):
+        result = database.query("[people: {[name: X]}]")
+        assert result == parse_object("[people: {[name: peter], [name: john]}]")
+
+    def test_query_accepts_formula_objects(self, database):
+        result = database.query(parse_formula("{[age: X]}"), against="people")
+        assert len(result) == 2
+
+    def test_find_scans_without_index(self, database):
+        matches = database.find(parse_object("{[name: peter]}"))
+        assert matches == ["people"]
+
+    def test_find_with_index(self, database, genealogy_small):
+        database.create_index("family.name")
+        matches = database.find(
+            parse_object("[family: {[name: abraham]}]"), path="family.name"
+        )
+        assert matches == ["family_tree"]
+        assert "family.name" in database.indexes()
+
+    def test_index_maintained_on_updates(self, database):
+        database.create_index("name")
+        database.put("one_person", {"name": "zoe"})
+        assert database.find(parse_object("[name: zoe]"), path="name") == ["one_person"]
+        database.remove("one_person")
+        assert database.find(parse_object("[name: zoe]"), path="name") == []
+
+    def test_drop_index(self, database):
+        database.create_index("name")
+        database.drop_index("name")
+        assert database.indexes() == ()
+
+
+class TestRulesAndClosure:
+    def test_apply_rules(self, database):
+        rule = parse_rule("[minors: {X}] :- [people: {[name: X, age: 7]}]")
+        result = database.apply_rules(rule)
+        assert result == parse_object("[minors: {john}]")
+
+    def test_close_under_descendants(self, database, genealogy_small):
+        rules = [
+            parse_rule("[doa: {abraham}]."),
+            parse_rule(
+                "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}]"
+            ),
+        ]
+        result = database.close_under(rules, against="family_tree", store_as="descendants")
+        names = {element.value for element in result.value.get("doa")}
+        assert names == set(genealogy_small.expected_descendants)
+        assert "descendants" in database
+
+
+class TestSchemas:
+    PEOPLE_SCHEMA = set_type(
+        tuple_type({"name": string(), "age": integer()}, required=["name"])
+    )
+
+    def test_declared_schema_validates_existing_object(self, database):
+        database.declare_schema("people", self.PEOPLE_SCHEMA)
+        assert database.schema_of("people") == self.PEOPLE_SCHEMA
+
+    def test_declaring_a_violated_schema_fails(self, database):
+        with pytest.raises(SchemaError):
+            database.declare_schema("people", set_type(integer()))
+
+    def test_writes_are_checked(self, database):
+        database.declare_schema("people", self.PEOPLE_SCHEMA)
+        with pytest.raises(SchemaError):
+            database.put("people", [{"name": 42}])
+        # A conforming write still succeeds.
+        database.put("people", [{"name": "zoe", "age": 1}])
+
+
+class TestUpdates:
+    def test_update_path(self, database):
+        database.put("doc", {"title": "x", "meta": {"version": 1}})
+        database.update("doc", "meta.version", 2)
+        assert database["doc"] == obj({"title": "x", "meta": {"version": 2}})
+
+    def test_insert_and_discard_elements(self, database):
+        database.insert("people", "", {"name": "zoe", "age": 3})
+        assert len(database["people"]) == 3
+        database.discard("people", "", {"name": "zoe", "age": 3})
+        assert len(database["people"]) == 2
+
+    def test_merge(self, database):
+        database.merge("people", [{"name": "ann", "age": 40}])
+        assert len(database["people"]) == 3
+
+    def test_merge_creates_missing_objects(self, database):
+        database.merge("fresh", {"a": 1})
+        assert database["fresh"] == obj({"a": 1})
+
+    def test_update_missing_object_rejected(self, database):
+        with pytest.raises(StoreError):
+            database.update("missing", "a", 1)

@@ -1,0 +1,58 @@
+"""Unit tests for path indexes (repro.store.index)."""
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.store.index import PathIndex
+
+
+class TestPathIndex:
+    def test_add_and_lookup(self):
+        index = PathIndex("name")
+        index.add("peter", obj({"name": "peter", "age": 25}))
+        index.add("john", obj({"name": "john", "age": 7}))
+        assert index.lookup(obj("peter")) == {"peter"}
+        assert index.lookup(obj("nobody")) == frozenset()
+        assert index.covers("peter") and not index.covers("nobody")
+
+    def test_values_inside_sets_are_indexed(self):
+        index = PathIndex("family.name")
+        index.add(
+            "tree", parse_object("[family: {[name: abraham], [name: isaac]}]")
+        )
+        assert index.lookup(obj("abraham")) == {"tree"}
+        assert index.lookup(obj("isaac")) == {"tree"}
+
+    def test_missing_path_indexes_nothing(self):
+        index = PathIndex("salary")
+        index.add("x", obj({"name": "peter"}))
+        assert len(index) == 0
+        assert index.covers("x")
+
+    def test_re_adding_replaces_old_entries(self):
+        index = PathIndex("name")
+        index.add("x", obj({"name": "old"}))
+        index.add("x", obj({"name": "new"}))
+        assert index.lookup(obj("old")) == frozenset()
+        assert index.lookup(obj("new")) == {"x"}
+
+    def test_remove(self):
+        index = PathIndex("name")
+        index.add("x", obj({"name": "peter"}))
+        index.remove("x")
+        assert index.lookup(obj("peter")) == frozenset()
+        assert len(index) == 0
+        index.remove("x")  # idempotent
+
+    def test_rebuild(self):
+        index = PathIndex("name")
+        index.add("stale", obj({"name": "ghost"}))
+        index.rebuild([("a", obj({"name": "peter"})), ("b", obj({"name": "john"}))])
+        assert index.lookup(obj("ghost")) == frozenset()
+        assert index.lookup(obj("peter")) == {"a"}
+        assert set(index.keys()) == {obj("peter"), obj("john")}
+
+    def test_shared_keys_collect_every_name(self):
+        index = PathIndex("city")
+        index.add("a", obj({"city": "austin"}))
+        index.add("b", obj({"city": "austin"}))
+        assert index.lookup(obj("austin")) == {"a", "b"}

@@ -1,0 +1,85 @@
+"""Unit tests for attribute paths (repro.store.paths)."""
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.objects import BOTTOM
+from repro.store.paths import Path, get_path, has_path, iter_paths
+
+
+class TestPath:
+    def test_parsing_from_text(self):
+        assert Path("a.b.c").steps == ("a", "b", "c")
+        assert Path("").steps == ()
+        assert Path(("a", "b")).steps == ("a", "b")
+
+    def test_equality_with_strings(self):
+        assert Path("a.b") == "a.b"
+        assert Path("a.b") == Path("a.b")
+        assert Path("a.b") != Path("a.c")
+
+    def test_child_parent_root(self):
+        path = Path("a.b")
+        assert path.child("c") == Path("a.b.c")
+        assert path.parent() == Path("a")
+        assert Path("").is_root
+        assert str(path) == "a.b"
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            Path(("a", ""))
+
+
+class TestGetPath:
+    def test_navigates_tuples(self):
+        value = obj({"a": {"b": {"c": 7}}})
+        assert get_path(value, "a.b.c") == obj(7)
+
+    def test_missing_path_is_bottom(self):
+        assert get_path(obj({"a": 1}), "b") is BOTTOM
+        assert get_path(obj({"a": 1}), "a.b") is BOTTOM
+
+    def test_empty_path_is_identity(self):
+        value = obj({"a": 1})
+        assert get_path(value, "") == value
+
+    def test_descends_through_sets(self):
+        value = parse_object("[r1: {[name: peter], [name: john]}]")
+        assert get_path(value, "r1.name") == obj(["peter", "john"])
+
+    def test_set_descent_skips_missing_attributes(self):
+        value = parse_object("[r1: {[name: peter], [age: 7]}]")
+        assert get_path(value, "r1.name") == obj(["peter"])
+
+    def test_atom_in_the_middle_is_bottom(self):
+        assert get_path(obj({"a": 1}), "a.b") is BOTTOM
+
+
+class TestHasPath:
+    def test_present_and_absent(self):
+        value = parse_object("[r1: {[name: peter]}]")
+        assert has_path(value, "r1")
+        assert has_path(value, "r1.name")
+        assert not has_path(value, "r1.age")
+        assert not has_path(value, "r2")
+
+    def test_empty_set_result_counts_as_absent(self):
+        assert not has_path(parse_object("[r1: {}]"), "r1.name")
+
+
+class TestIterPaths:
+    def test_all_paths_yielded(self):
+        value = obj({"a": {"b": 1}, "c": 2})
+        paths = {(str(path), item) for path, item in iter_paths(value)}
+        assert ("a", obj({"b": 1})) in paths
+        assert ("a.b", obj(1)) in paths
+        assert ("c", obj(2)) in paths
+
+    def test_set_elements_share_the_parent_path(self):
+        value = parse_object("[r1: {[name: peter], [name: john]}]")
+        names = [item for path, item in iter_paths(value) if str(path) == "r1.name"]
+        assert sorted(name.value for name in names) == ["john", "peter"]
+
+    def test_atoms_have_no_paths(self):
+        assert list(iter_paths(obj(5))) == []

@@ -1,0 +1,114 @@
+"""Unit tests for the storage engines (repro.store.storage)."""
+
+import json
+import os
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.errors import StoreError
+from repro.store.storage import FileStorage, MemoryStorage
+
+
+class TestMemoryStorage:
+    def test_read_write_delete(self):
+        storage = MemoryStorage()
+        assert storage.read("x") is None
+        storage.write("x", obj(1))
+        assert storage.read("x") == obj(1)
+        storage.write("x", obj(2))
+        assert storage.read("x") == obj(2)
+        storage.delete("x")
+        assert storage.read("x") is None
+
+    def test_delete_is_idempotent(self):
+        MemoryStorage().delete("missing")
+
+    def test_names_and_items_sorted(self):
+        storage = MemoryStorage()
+        storage.write("b", obj(2))
+        storage.write("a", obj(1))
+        assert storage.names() == ("a", "b")
+        assert [name for name, _ in storage.items()] == ["a", "b"]
+
+    def test_rejects_non_objects(self):
+        with pytest.raises(StoreError):
+            MemoryStorage().write("x", 1)
+
+
+class TestFileStorage:
+    def test_write_and_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        storage = FileStorage(path)
+        family = parse_object("[family: {[name: abraham]}]")
+        storage.write("family", family)
+        storage.write("numbers", obj([1, 2, 3]))
+        storage.close()
+
+        reloaded = FileStorage(path)
+        assert reloaded.read("family") == family
+        assert reloaded.read("numbers") == obj([1, 2, 3])
+        assert reloaded.names() == ("family", "numbers")
+        reloaded.close()
+
+    def test_latest_version_wins_after_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        storage = FileStorage(path)
+        storage.write("x", obj(1))
+        storage.write("x", obj(2))
+        storage.delete("x")
+        storage.write("x", obj(3))
+        storage.close()
+        assert FileStorage(path).read("x") == obj(3)
+
+    def test_delete_survives_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        storage = FileStorage(path)
+        storage.write("x", obj(1))
+        storage.delete("x")
+        storage.close()
+        assert FileStorage(path).read("x") is None
+
+    def test_compact_shrinks_the_log(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        storage = FileStorage(path)
+        for version in range(10):
+            storage.write("x", obj(version))
+        size_before = os.path.getsize(path)
+        storage.compact()
+        size_after = os.path.getsize(path)
+        assert size_after < size_before
+        assert storage.read("x") == obj(9)
+        storage.close()
+        assert FileStorage(path).read("x") == obj(9)
+
+    def test_corrupt_log_reported(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_unknown_record_op_reported(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": "truncate", "name": "x"}) + "\n")
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_missing_name_reported(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": "write", "data": {"k": "B"}}) + "\n")
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        storage = FileStorage(path)
+        storage.write("x", obj(1))
+        storage.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert FileStorage(path).read("x") == obj(1)

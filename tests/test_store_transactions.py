@@ -1,0 +1,111 @@
+"""Unit tests for transactions (repro.store.transactions)."""
+
+import pytest
+
+from repro.core.builder import obj
+from repro.core.errors import TransactionError
+from repro.store.database import ObjectDatabase
+
+
+@pytest.fixture
+def database():
+    db = ObjectDatabase()
+    db.put("account_a", {"balance": 100})
+    db.put("account_b", {"balance": 50})
+    return db
+
+
+class TestCommit:
+    def test_writes_visible_only_after_commit(self, database):
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 80}))
+        txn.put("account_b", obj({"balance": 70}))
+        assert database["account_a"] == obj({"balance": 100})
+        txn.commit()
+        assert database["account_a"] == obj({"balance": 80})
+        assert database["account_b"] == obj({"balance": 70})
+
+    def test_reads_see_own_writes(self, database):
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 1}))
+        assert txn.get("account_a") == obj({"balance": 1})
+        assert txn.get("account_b") == obj({"balance": 50})
+        txn.abort()
+
+    def test_delete(self, database):
+        txn = database.transaction()
+        txn.delete("account_a")
+        assert txn.get("account_a") is None
+        txn.commit()
+        assert "account_a" not in database
+
+    def test_context_manager_commits_on_success(self, database):
+        with database.transaction() as txn:
+            txn.put("account_a", obj({"balance": 5}))
+        assert database["account_a"] == obj({"balance": 5})
+
+    def test_context_manager_aborts_on_error(self, database):
+        with pytest.raises(RuntimeError):
+            with database.transaction() as txn:
+                txn.put("account_a", obj({"balance": 5}))
+                raise RuntimeError("boom")
+        assert database["account_a"] == obj({"balance": 100})
+
+    def test_touched_names(self, database):
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 5}))
+        txn.delete("account_b")
+        assert txn.touched() == {"account_a", "account_b"}
+        txn.abort()
+
+
+class TestAbortAndLifecycle:
+    def test_abort_discards_changes(self, database):
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 0}))
+        txn.abort()
+        assert database["account_a"] == obj({"balance": 100})
+
+    def test_finished_transactions_refuse_further_work(self, database):
+        txn = database.transaction()
+        txn.commit()
+        assert not txn.active
+        with pytest.raises(TransactionError):
+            txn.put("account_a", obj({"balance": 1}))
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_rejects_non_objects(self, database):
+        txn = database.transaction()
+        with pytest.raises(TransactionError):
+            txn.put("account_a", 1)
+        txn.abort()
+
+
+class TestConflicts:
+    def test_first_committer_wins(self, database):
+        first = database.transaction()
+        second = database.transaction()
+        first.put("account_a", obj({"balance": 10}))
+        second.put("account_a", obj({"balance": 20}))
+        first.commit()
+        with pytest.raises(TransactionError):
+            second.commit()
+        assert database["account_a"] == obj({"balance": 10})
+
+    def test_disjoint_transactions_both_commit(self, database):
+        first = database.transaction()
+        second = database.transaction()
+        first.put("account_a", obj({"balance": 10}))
+        second.put("account_b", obj({"balance": 20}))
+        first.commit()
+        second.commit()
+        assert database["account_a"] == obj({"balance": 10})
+        assert database["account_b"] == obj({"balance": 20})
+
+    def test_conflict_with_direct_write(self, database):
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 10}))
+        database.put("account_a", obj({"balance": 999}))
+        with pytest.raises(TransactionError):
+            txn.commit()

@@ -1,0 +1,94 @@
+"""Unit tests for the update primitives (repro.store.updates)."""
+
+import pytest
+
+from repro import parse_object
+from repro.core.builder import obj
+from repro.core.errors import StoreError
+from repro.core.objects import BOTTOM
+from repro.core.order import is_subobject
+from repro.store.updates import (
+    assign_path,
+    insert_element,
+    merge_object,
+    remove_element,
+    remove_path,
+)
+
+
+class TestAssignPath:
+    def test_assign_existing_attribute(self):
+        value = obj({"a": 1, "b": 2})
+        assert assign_path(value, "a", obj(9)) == obj({"a": 9, "b": 2})
+
+    def test_assign_creates_intermediate_tuples(self):
+        assert assign_path(obj({}), "a.b.c", obj(1)) == obj({"a": {"b": {"c": 1}}})
+
+    def test_assign_at_root(self):
+        assert assign_path(obj({"a": 1}), "", obj(5)) == obj(5)
+
+    def test_original_object_is_not_mutated(self):
+        value = obj({"a": 1})
+        assign_path(value, "a", obj(2))
+        assert value == obj({"a": 1})
+
+    def test_cannot_descend_into_atoms_or_sets(self):
+        with pytest.raises(StoreError):
+            assign_path(obj({"a": 1}), "a.b", obj(2))
+        with pytest.raises(StoreError):
+            assign_path(obj({"a": [1]}), "a.b", obj(2))
+
+
+class TestRemovePath:
+    def test_remove_attribute(self):
+        assert remove_path(obj({"a": 1, "b": 2}), "b") == obj({"a": 1})
+
+    def test_remove_missing_attribute_is_noop(self):
+        assert remove_path(obj({"a": 1}), "z") == obj({"a": 1})
+
+    def test_remove_root_gives_bottom(self):
+        assert remove_path(obj({"a": 1}), "") is BOTTOM
+
+    def test_remove_nested(self):
+        value = obj({"a": {"b": 1, "c": 2}})
+        assert remove_path(value, "a.b") == obj({"a": {"c": 2}})
+
+
+class TestSetElementUpdates:
+    def test_insert_into_existing_set(self):
+        value = parse_object("[r1: {1, 2}]")
+        assert insert_element(value, "r1", obj(3)) == parse_object("[r1: {1, 2, 3}]")
+
+    def test_insert_creates_the_set(self):
+        assert insert_element(obj({}), "r1", obj(1)) == parse_object("[r1: {1}]")
+
+    def test_insert_respects_reduction(self):
+        value = parse_object("[r1: {[a: 1, b: 2]}]")
+        unchanged = insert_element(value, "r1", obj({"a": 1}))
+        assert unchanged == value
+
+    def test_insert_into_non_set_rejected(self):
+        with pytest.raises(StoreError):
+            insert_element(obj({"r1": 5}), "r1", obj(1))
+
+    def test_remove_element(self):
+        value = parse_object("[r1: {1, 2}]")
+        assert remove_element(value, "r1", obj(1)) == parse_object("[r1: {2}]")
+
+    def test_remove_absent_element_is_noop(self):
+        value = parse_object("[r1: {1}]")
+        assert remove_element(value, "r1", obj(9)) == value
+        assert remove_element(obj({}), "r1", obj(9)) == obj({})
+
+    def test_remove_from_non_set_rejected(self):
+        with pytest.raises(StoreError):
+            remove_element(obj({"r1": 5}), "r1", obj(1))
+
+
+class TestMerge:
+    def test_merge_is_lattice_union(self):
+        left = parse_object("[r1: {1}]")
+        right = parse_object("[r1: {2}, r2: {3}]")
+        merged = merge_object(left, right)
+        assert merged == parse_object("[r1: {1, 2}, r2: {3}]")
+        assert is_subobject(left, merged) and is_subobject(right, merged)

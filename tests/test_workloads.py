@@ -1,0 +1,139 @@
+"""Unit tests for the workload generators (repro.workloads)."""
+
+import random
+
+import pytest
+
+from repro.core.depth import depth
+from repro.core.objects import ComplexObject, SetObject, TupleObject
+from repro.core.reduction import is_reduced
+from repro.relational.bridge import database_to_object
+from repro.workloads import (
+    make_document_collection,
+    make_genealogy,
+    make_join_workload,
+    make_part_hierarchy,
+    make_relation,
+    random_atom,
+    random_object,
+    random_set_with_redundancy,
+    random_tuple,
+)
+
+
+class TestRandomObjects:
+    def test_deterministic_with_seed(self):
+        assert random_object(42, max_depth=4) == random_object(42, max_depth=4)
+        assert random_atom(7) == random_atom(7)
+
+    def test_depth_bound_respected(self):
+        for seed in range(20):
+            value = random_object(seed, max_depth=3)
+            assert depth(value) <= 3 + 1  # empty containers report depth 2
+
+    def test_objects_are_reduced(self):
+        for seed in range(20):
+            assert is_reduced(random_object(seed, max_depth=4))
+
+    def test_random_tuple_is_a_tuple(self):
+        assert isinstance(random_tuple(3), (TupleObject,))
+
+    def test_accepts_rng_instances(self):
+        rng = random.Random(5)
+        assert isinstance(random_object(rng), ComplexObject)
+
+    def test_redundant_set_is_unreduced(self):
+        raw = random_set_with_redundancy(1, base_size=10, redundancy=0.5)
+        assert isinstance(raw, SetObject)
+        assert len(raw) > 10
+        assert not is_reduced(raw)
+
+    def test_zero_redundancy_set_is_reduced(self):
+        raw = random_set_with_redundancy(1, base_size=10, redundancy=0.0)
+        assert len(raw) == 10
+        assert is_reduced(raw)
+
+    def test_redundancy_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_set_with_redundancy(1, redundancy=1.0)
+
+
+class TestRelationWorkloads:
+    def test_make_relation_shape(self):
+        relation = make_relation(100, value_domain=5, rng=3)
+        assert len(relation) == 100
+        assert set(relation.attributes) == {"a", "b"}
+        values = {row["b"] for row in relation}
+        assert len(values) <= 5
+
+    def test_join_workload_views_are_consistent(self):
+        workload = make_join_workload(50, join_domain=10, rng=1)
+        assert len(workload.left) == 50
+        assert len(workload.right) == 50
+        assert workload.as_object == database_to_object(workload.database)
+
+    def test_join_workload_deterministic(self):
+        first = make_join_workload(30, join_domain=5, rng=9)
+        second = make_join_workload(30, join_domain=5, rng=9)
+        assert first.as_object == second.as_object
+
+
+class TestGenealogy:
+    def test_population_size(self):
+        tree = make_genealogy(3, 2)
+        # 1 + 2 + 4 + 8 people in a complete binary tree of 3 generations.
+        assert len(tree.people) == 15
+        assert len(tree.parent_of) == 14
+        assert tree.generations == 3
+
+    def test_expected_descendants_cover_everyone(self):
+        tree = make_genealogy(2, 3)
+        assert tree.expected_descendants == frozenset(tree.people)
+
+    def test_views_are_consistent(self):
+        tree = make_genealogy(2, 2)
+        assert len(tree.parent_relation) == len(tree.parent_of)
+        family = tree.family_object.get("family")
+        assert len(family) == len(tree.people)
+        assert len(tree.datalog_program.facts) == len(tree.parent_of) + 1
+
+    def test_degenerate_trees(self):
+        assert len(make_genealogy(0, 2).people) == 1
+        with pytest.raises(ValueError):
+            make_genealogy(-1, 2)
+        with pytest.raises(ValueError):
+            make_genealogy(2, 0)
+
+
+class TestHierarchies:
+    def test_part_hierarchy_counts(self):
+        hierarchy = make_part_hierarchy(2, 3, rng=0)
+        # 1 + 3 + 9 parts.
+        assert hierarchy.part_count == 13
+        assert len(hierarchy.flat_database["part"]) == 13
+        assert len(hierarchy.flat_database["component"]) == 12
+
+    def test_nested_and_flat_agree_on_size(self):
+        hierarchy = make_part_hierarchy(3, 2, rng=1)
+        nested_leaves = _count_parts(hierarchy.nested_object)
+        assert nested_leaves == hierarchy.part_count
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_part_hierarchy(-1, 2)
+        with pytest.raises(ValueError):
+            make_part_hierarchy(2, 0)
+
+    def test_document_collection_shape(self):
+        docs = make_document_collection(5, 3, 4, rng=2)
+        collection = docs.get("docs")
+        assert len(collection) == 5
+        for document in collection:
+            assert len(document.get("sections")) <= 3
+
+
+def _count_parts(nested) -> int:
+    total = 1
+    for child in nested.get("components"):
+        total += _count_parts(child)
+    return total
