@@ -1,7 +1,8 @@
 """B7 — recursive closure: calculus (Example 4.5) vs Datalog naive vs semi-naive.
 
-The descendants query is evaluated three ways on the same generated family
-trees: the complex-object closure of the paper's program, and the flat Datalog
+The descendants query is evaluated four ways on the same generated family
+trees: the complex-object closure of the paper's program under the naive and
+the semi-naive indexed engine (:mod:`repro.engine`), and the flat Datalog
 program under naive and semi-naive evaluation.  The sweep varies the number of
 generations (recursion depth) and the fan-out (database size).
 """
@@ -35,6 +36,19 @@ def test_calculus_closure(benchmark, generations, fanout):
 
     def run():
         return program.evaluate().value
+
+    closure = benchmark(run)
+    assert len(closure.get("doa")) == len(tree.expected_descendants)
+
+
+@pytest.mark.benchmark(group="B7-closure")
+@pytest.mark.parametrize("generations,fanout", SWEEP)
+def test_calculus_closure_seminaive(benchmark, generations, fanout):
+    tree = _tree(generations, fanout)
+    program = Program.from_source(DESCENDANTS_SOURCE, database=tree.family_object)
+
+    def run():
+        return program.evaluate(engine="seminaive").value
 
     closure = benchmark(run)
     assert len(closure.get("doa")) == len(tree.expected_descendants)

@@ -8,6 +8,9 @@ substrates needed to evaluate it:
   (Sections 2 and 3 of the paper);
 * :mod:`repro.calculus` — well-formed formulae, rules and fixpoint semantics
   (Section 4);
+* :mod:`repro.engine` — the pluggable evaluation engine: rule stratification,
+  semi-naive delta-driven closure and match indexes behind
+  ``Program.evaluate(engine="seminaive")``;
 * :mod:`repro.parser` — the paper's concrete syntax;
 * :mod:`repro.relational` — a first-normal-form relational engine and an NF²
   (nested relational) extension used as baselines;
@@ -83,9 +86,17 @@ from repro.calculus import (
     match,
     var,
 )
+from repro.engine import (
+    ENGINES,
+    EngineResult,
+    EngineStats,
+    NaiveEngine,
+    SemiNaiveEngine,
+    create_engine,
+)
 from repro.parser import parse_formula, parse_object, parse_program, parse_rule, pretty
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -96,7 +107,12 @@ __all__ = [
     "ComplexObjectError",
     "Constant",
     "DivergenceError",
+    "ENGINES",
+    "EngineResult",
+    "EngineStats",
     "Formula",
+    "NaiveEngine",
+    "SemiNaiveEngine",
     "ParseError",
     "Program",
     "Rule",
@@ -116,6 +132,7 @@ __all__ = [
     "atom",
     "close",
     "closure_series",
+    "create_engine",
     "depth",
     "formula",
     "interpret",

@@ -21,6 +21,17 @@ of lists of ones).  The engine therefore carries three guards — a maximum
 number of iterations, a maximum node count and a maximum depth — and raises
 :class:`~repro.core.errors.DivergenceError` with the partial result attached
 when any of them trips.
+
+**Guard ordering.**  Each iteration tests convergence *before* checking the
+size and depth guards, so a series that has already converged is returned
+even when the fixpoint itself exceeds ``max_nodes`` or ``max_depth`` — most
+visibly when the input is already closed: ``close(huge, rules)`` succeeds
+with zero iterations however large ``huge`` is.  Only objects produced by a
+*growing* step are measured, so the same over-limit value reached one round
+earlier (as new growth) raises.  This is intended: the guards exist to stop
+runaway series, not to reject answers that were legitimately computed — a
+converged result is never rejected.  ``tests/test_calculus_fixpoint.py``
+pins the behaviour.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from repro.core.objects import ComplexObject
 from repro.core.order import is_subobject
 from repro.calculus.rules import Rule, RuleSet
 
-__all__ = ["ClosureResult", "close", "closure_series"]
+__all__ = ["ClosureResult", "check_guards", "close", "closure_series"]
 
 #: Default resource guards; generous enough for every example and benchmark in
 #: the repository while still catching Example 4.6 quickly.
@@ -105,7 +116,7 @@ def close(
         next_value = union(current, produced) if inflationary else produced
         if next_value == current:
             return ClosureResult(value=current, iterations=iteration - 1)
-        _check_guards(next_value, iteration, max_nodes, max_depth)
+        check_guards(next_value, iteration, max_nodes, max_depth)
         current = next_value
     # One extra check: the last computed object may already be closed even if
     # the loop ran out of iterations exactly at the fixpoint.
@@ -143,12 +154,18 @@ def closure_series(
         yield current
 
 
-def _check_guards(
+def check_guards(
     value: ComplexObject,
     iteration: int,
     max_nodes: int,
     max_depth: Union[int, float],
 ) -> None:
+    """Raise :class:`DivergenceError` when ``value`` exceeds the size guards.
+
+    Shared by :func:`close` and the engines of :mod:`repro.engine`; only
+    called on values produced by a growing step, never on a converged result
+    (see the module docstring on guard ordering).
+    """
     size = node_count(value)
     if size > max_nodes:
         raise DivergenceError(

@@ -27,7 +27,6 @@ from repro.calculus.fixpoint import (
     DEFAULT_MAX_ITERATIONS,
     DEFAULT_MAX_NODES,
     ClosureResult,
-    close,
 )
 from repro.calculus.interpretation import interpret
 from repro.calculus.rules import Rule, RuleSet
@@ -112,18 +111,33 @@ class Program:
     def evaluate(
         self,
         *,
+        engine: str = "naive",
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_depth=DEFAULT_MAX_DEPTH,
     ) -> ClosureResult:
-        """Compute the closure of the seeded database under the rules."""
-        return close(
-            self.seed(),
+        """Compute the closure of the seeded database under the rules.
+
+        ``engine`` selects the evaluation strategy (see :mod:`repro.engine`):
+        ``"naive"`` (the default) iterates the full rule set against the full
+        database each round exactly as :func:`repro.calculus.fixpoint.close`
+        does; ``"seminaive"`` uses the stratified, delta-driven, indexed
+        engine.  Both strategies compute the same closure and return an
+        :class:`repro.engine.EngineResult` (a :class:`ClosureResult` whose
+        ``stats`` attribute records the work performed).
+        """
+        # Deferred import: the calculus package must stay importable without
+        # the engine subsystem (which itself builds on the calculus).
+        from repro.engine import create_engine
+
+        evaluator = create_engine(
+            engine,
             self._rules,
             max_iterations=max_iterations,
             max_nodes=max_nodes,
             max_depth=max_depth,
         )
+        return evaluator.run(self.seed())
 
     def query(self, query_formula, **guards) -> ComplexObject:
         """Evaluate the program and interpret ``query_formula`` against the closure."""

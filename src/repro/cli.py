@@ -10,6 +10,9 @@ Subcommands
 ``apply``     apply a single rule once to a database object (Definition 4.4).
 ``run``       evaluate a program (facts + rules) to its closure and optionally
               interpret a query against the result (Example 4.5 end to end).
+              ``--engine seminaive`` selects the stratified, delta-driven,
+              indexed engine of :mod:`repro.engine`; ``--stats`` prints its
+              instrumentation record.
 ``check``     run the static rule diagnostics over a program.
 
 Examples
@@ -33,6 +36,7 @@ from repro.calculus.interpretation import interpret
 from repro.calculus.program import Program
 from repro.calculus.safety import analyze_rules
 from repro.core.objects import BOTTOM
+from repro.engine import ENGINES
 from repro.parser import parse_formula, parse_object, parse_program, parse_rule
 from repro.parser.printer import pretty
 
@@ -83,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_command.add_argument(
         "--max-iterations", type=int, default=200, help="divergence guard (iterations)"
     )
+    run_command.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="naive",
+        help="evaluation strategy (default: naive; seminaive is the"
+        " stratified, delta-driven, indexed engine)",
+    )
+    run_command.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's instrumentation record as a comment line",
+    )
 
     check_command = subcommands.add_parser("check", help="static diagnostics over a program")
     check_command.add_argument("program", help="program text, or @file")
@@ -113,8 +129,20 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 parse_program(_read_source(arguments.program)),
                 database=_load_database(arguments.database),
             )
-            result = program.evaluate(max_iterations=arguments.max_iterations)
+            result = program.evaluate(
+                engine=arguments.engine, max_iterations=arguments.max_iterations
+            )
             print(f"% closure reached after {result.iterations} iterations", file=stream)
+            if arguments.stats:
+                stats = getattr(result, "stats", None)
+                if stats is None:
+                    print(
+                        f"% engine {arguments.engine}: no instrumentation"
+                        " (the naive engine reports iterations only)",
+                        file=stream,
+                    )
+                else:
+                    print(f"% engine {arguments.engine}: {stats.summary()}", file=stream)
             if arguments.query:
                 answer = interpret(parse_formula(_read_source(arguments.query)), result.value)
                 print(pretty(answer), file=stream)

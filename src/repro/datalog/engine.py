@@ -10,8 +10,13 @@ positive program); they differ in how much work each iteration repeats:
   derived in the previous round), the standard optimisation that the
   closure-vs-Datalog benchmark uses as its strongest baseline.
 
-Facts are stored per predicate as sets of constant tuples, with simple
-first-argument hash indexes built on demand for the join loops.
+Facts are stored per predicate as sets of constant tuples, wrapped in an
+:class:`_IndexedFactStore` that maintains **bound-argument hash indexes**: the
+first time a join probes a predicate with a particular set of bound positions
+(constants in the atom plus variables already bound by earlier body atoms),
+the store builds a hash index keyed on the values at those positions, and
+every subsequently added fact keeps the index current.  Join loops then probe
+the index instead of scanning the predicate's whole extension.
 """
 
 from __future__ import annotations
@@ -27,6 +32,73 @@ FactStore = Dict[str, Set[Tuple]]
 """Facts grouped by predicate name; each fact is a tuple of constant values."""
 
 
+class _IndexedFactStore:
+    """A predicate → fact-tuples store with bound-argument hash indexes.
+
+    Indexes are identified per predicate by ``positions``, the sorted tuple
+    of argument positions the probe has values for.  They are built on demand
+    at the first probe with that position pattern and maintained
+    incrementally by :meth:`add` (which touches only the inserted predicate's
+    patterns), so a store that is never probed with bound arguments costs
+    nothing beyond the plain dict.
+    """
+
+    __slots__ = ("facts", "_indexes")
+
+    def __init__(self, facts: Optional[FactStore] = None):
+        self.facts: FactStore = facts if facts is not None else {}
+        self._indexes: Dict[str, Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]]] = {}
+
+    def get(self, predicate: str):
+        """The full extension of ``predicate`` (empty when unknown)."""
+        return self.facts.get(predicate, ())
+
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        return values in self.facts.get(predicate, set())
+
+    def add(self, predicate: str, values: Tuple) -> bool:
+        """Insert one fact; returns ``False`` when it was already present."""
+        extension = self.facts.setdefault(predicate, set())
+        if values in extension:
+            return False
+        extension.add(values)
+        for positions, buckets in self._indexes.get(predicate, {}).items():
+            key = self._key(values, positions)
+            if key is not None:
+                buckets.setdefault(key, []).append(values)
+        return True
+
+    def candidates(self, predicate: str, bound: Dict[int, object]):
+        """Facts of ``predicate`` agreeing with ``bound`` on its positions.
+
+        With no bound positions this is the full extension; otherwise the
+        matching bucket of the (possibly freshly built) hash index.
+        """
+        if not bound:
+            return self.get(predicate)
+        positions = tuple(sorted(bound))
+        index = self._indexes.get(predicate, {}).get(positions)
+        if index is None:
+            index = self._build(predicate, positions)
+        probe = tuple(bound[position] for position in positions)
+        return index.get(probe, ())
+
+    def _build(self, predicate: str, positions: Tuple[int, ...]):
+        index: Dict[Tuple, List[Tuple]] = {}
+        for values in self.facts.get(predicate, ()):
+            key = self._key(values, positions)
+            if key is not None:
+                index.setdefault(key, []).append(values)
+        self._indexes.setdefault(predicate, {})[positions] = index
+        return index
+
+    @staticmethod
+    def _key(values: Tuple, positions: Tuple[int, ...]) -> Optional[Tuple]:
+        if positions and positions[-1] >= len(values):
+            return None
+        return tuple(values[position] for position in positions)
+
+
 class DatalogEngine:
     """Evaluator for a :class:`DatalogProgram`."""
 
@@ -36,15 +108,15 @@ class DatalogEngine:
     # -- public API -----------------------------------------------------------------
     def evaluate(self, semi_naive: bool = True, max_iterations: int = 10_000) -> FactStore:
         """Compute the minimal model and return the full fact store."""
-        facts = self._initial_facts()
+        store = _IndexedFactStore(self._initial_facts())
         rules = self.program.rules
         if not rules:
-            return facts
+            return store.facts
         if semi_naive:
-            self._run_semi_naive(facts, rules, max_iterations)
+            self._run_semi_naive(store, rules, max_iterations)
         else:
-            self._run_naive(facts, rules, max_iterations)
-        return facts
+            self._run_naive(store, rules, max_iterations)
+        return store.facts
 
     def query(self, predicate: str, semi_naive: bool = True) -> FrozenSet[Tuple]:
         """Evaluate the program and return the facts of one predicate."""
@@ -60,34 +132,39 @@ class DatalogEngine:
             facts.setdefault(clause.head.predicate, set()).add(values)
         return facts
 
-    def _run_naive(self, facts: FactStore, rules: List[Clause], max_iterations: int) -> None:
+    def _run_naive(
+        self, store: _IndexedFactStore, rules: List[Clause], max_iterations: int
+    ) -> None:
         for _ in range(max_iterations):
             new_facts = []
             for rule in rules:
-                for derived in self._apply_rule(rule, facts, delta=None):
+                for derived in self._apply_rule(rule, store, delta=None):
                     predicate, values = derived
-                    if values not in facts.get(predicate, set()):
+                    if not store.contains(predicate, values):
                         new_facts.append(derived)
             if not new_facts:
                 return
             for predicate, values in new_facts:
-                facts.setdefault(predicate, set()).add(values)
+                store.add(predicate, values)
         raise RuntimeError(f"naive evaluation did not converge in {max_iterations} iterations")
 
-    def _run_semi_naive(self, facts: FactStore, rules: List[Clause], max_iterations: int) -> None:
+    def _run_semi_naive(
+        self, store: _IndexedFactStore, rules: List[Clause], max_iterations: int
+    ) -> None:
         # The first round must consider every fact; afterwards only the delta.
-        delta: FactStore = {name: set(values) for name, values in facts.items()}
+        delta = _IndexedFactStore({name: set(values) for name, values in store.facts.items()})
         for _ in range(max_iterations):
             fresh: FactStore = {}
             for rule in rules:
-                for predicate, values in self._apply_rule(rule, facts, delta=delta):
-                    if values not in facts.get(predicate, set()):
+                for predicate, values in self._apply_rule(rule, store, delta=delta):
+                    if not store.contains(predicate, values):
                         fresh.setdefault(predicate, set()).add(values)
             if not any(fresh.values()):
                 return
             for predicate, values in fresh.items():
-                facts.setdefault(predicate, set()).update(values)
-            delta = fresh
+                for value in values:
+                    store.add(predicate, value)
+            delta = _IndexedFactStore(fresh)
         raise RuntimeError(
             f"semi-naive evaluation did not converge in {max_iterations} iterations"
         )
@@ -96,8 +173,8 @@ class DatalogEngine:
     def _apply_rule(
         self,
         rule: Clause,
-        facts: FactStore,
-        delta: Optional[FactStore],
+        store: _IndexedFactStore,
+        delta: Optional[_IndexedFactStore],
     ) -> Iterable[Tuple[str, Tuple]]:
         """Yield ``(predicate, values)`` pairs derived by one rule.
 
@@ -112,9 +189,9 @@ class DatalogEngine:
             if delta is not None:
                 # Skip delta positions whose predicate gained nothing new.
                 predicate = body[delta_position].predicate
-                if not delta.get(predicate):
+                if not delta.facts.get(predicate):
                     continue
-            for bindings in self._join(body, 0, {}, facts, delta, delta_position):
+            for bindings in self._join(body, 0, {}, store, delta, delta_position):
                 head = rule.head.substitute(bindings)
                 if not head.is_ground:
                     raise ValueError(f"derived a non-ground head from {rule!r}")
@@ -129,24 +206,32 @@ class DatalogEngine:
         body: Tuple[PredicateAtom, ...],
         index: int,
         bindings: Dict[str, object],
-        facts: FactStore,
-        delta: Optional[FactStore],
+        store: _IndexedFactStore,
+        delta: Optional[_IndexedFactStore],
         delta_position: Optional[int],
     ) -> Iterable[Dict[str, object]]:
         if index == len(body):
             yield dict(bindings)
             return
         atom = body[index]
-        source = facts
+        source = store
         if delta is not None and index == delta_position:
             source = delta
-        for values in source.get(atom.predicate, ()):
+        # Probe the bound-argument index: every position whose value is pinned
+        # by a constant or an already-bound variable narrows the scan.
+        bound: Dict[int, object] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                bound[position] = term.value
+            elif term.name in bindings:
+                bound[position] = bindings[term.name]
+        for values in source.candidates(atom.predicate, bound):
             if len(values) != atom.arity:
                 continue
             extended = self._unify(atom, values, bindings)
             if extended is None:
                 continue
-            yield from self._join(body, index + 1, extended, facts, delta, delta_position)
+            yield from self._join(body, index + 1, extended, store, delta, delta_position)
 
     @staticmethod
     def _unify(

@@ -1,0 +1,333 @@
+"""The evaluation engines: naive baseline and semi-naive indexed closure.
+
+Both engines compute the closure of Definition 4.6 — the least object above
+the input closed under the rule set — and report it as an
+:class:`EngineResult`, a :class:`~repro.calculus.fixpoint.ClosureResult`
+extended with :class:`~repro.engine.stats.EngineStats`.
+
+* :class:`NaiveEngine` delegates to :func:`repro.calculus.fixpoint.close`:
+  every round re-matches every rule against the whole database (the literal
+  reading of Theorem 4.1's series, made inflationary).
+
+* :class:`SemiNaiveEngine` is the subsystem this package exists for.  It
+  stratifies the rule set along its dependency graph
+  (:mod:`repro.engine.dependency`), applies non-recursive strata once, and
+  iterates each recursive stratum with delta-driven matching
+  (:mod:`repro.engine.delta`) accelerated by incrementally maintained match
+  indexes (:mod:`repro.engine.indexes`).  Rules whose bodies cannot be
+  delta-decomposed, and evaluations under the literal ``allow_bottom``
+  semantics, fall back to full matching for correctness.
+
+Divergent programs raise the same
+:class:`~repro.core.errors.DivergenceError` as the naive fixpoint, with the
+partial result attached; the iteration budget is charged per recursive-stratum
+round so that stratification alone can never trip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import DivergenceError
+from repro.core.lattice import union, union_all
+from repro.core.objects import BOTTOM, ComplexObject
+from repro.calculus.fixpoint import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_MAX_NODES,
+    ClosureResult,
+    check_guards,
+    close,
+)
+from repro.calculus.rules import Rule, RuleSet
+from repro.engine.delta import BodyDecomposition, decompose, new_set_elements
+from repro.engine.dependency import DependencyGraph, Stratum
+from repro.engine.indexes import IndexStore
+from repro.engine.matching import match_body
+from repro.engine.stats import EngineStats
+
+__all__ = ["EngineResult", "NaiveEngine", "SemiNaiveEngine", "create_engine", "ENGINES"]
+
+
+@dataclass(frozen=True)
+class EngineResult(ClosureResult):
+    """A closure result carrying the engine's instrumentation record."""
+
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
+def _as_ruleset(rules: Union[Rule, RuleSet, Sequence[Rule]]) -> RuleSet:
+    if isinstance(rules, RuleSet):
+        return rules
+    if isinstance(rules, Rule):
+        return RuleSet([rules])
+    return RuleSet(rules)
+
+
+class NaiveEngine:
+    """The baseline strategy: :func:`close` wrapped in the engine interface."""
+
+    name = "naive"
+
+    def __init__(
+        self,
+        rules: Union[Rule, RuleSet, Sequence[Rule]],
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
+        allow_bottom: bool = False,
+    ):
+        self.rules = _as_ruleset(rules)
+        self.max_iterations = max_iterations
+        self.max_nodes = max_nodes
+        self.max_depth = max_depth
+        self.allow_bottom = allow_bottom
+
+    def run(self, database: ComplexObject) -> EngineResult:
+        result = close(
+            database,
+            self.rules,
+            max_iterations=self.max_iterations,
+            max_nodes=self.max_nodes,
+            max_depth=self.max_depth,
+            allow_bottom=self.allow_bottom,
+        )
+        # close() applies the full rule set once per growing round plus one
+        # confirming round, every application a full match of every rule.
+        applications = result.iterations + 1 if len(self.rules) else 0
+        stats = EngineStats(
+            iterations=result.iterations,
+            strata=1 if len(self.rules) else 0,
+            recursive_strata=1 if len(self.rules) else 0,
+            full_matches=applications * len(self.rules),
+        )
+        return EngineResult(
+            value=result.value,
+            iterations=result.iterations,
+            converged=result.converged,
+            stats=stats,
+        )
+
+
+class SemiNaiveEngine:
+    """Stratified, delta-driven, index-accelerated closure evaluation."""
+
+    name = "seminaive"
+
+    def __init__(
+        self,
+        rules: Union[Rule, RuleSet, Sequence[Rule]],
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
+        allow_bottom: bool = False,
+        use_indexes: bool = True,
+    ):
+        self.rules = _as_ruleset(rules)
+        self.max_iterations = max_iterations
+        self.max_nodes = max_nodes
+        self.max_depth = max_depth
+        self.allow_bottom = allow_bottom
+        # Index narrowing is only sound under the strict semantics (see
+        # repro.engine.matching); the literal semantics falls back to scans.
+        self.use_indexes = use_indexes and not allow_bottom
+        self.graph = DependencyGraph(self.rules.rules)
+        self._strata: List[Stratum] = self.graph.strata()
+        self._decompositions: Dict[Rule, BodyDecomposition] = {
+            rule: decompose(rule.body) for rule in self.rules
+        }
+
+    # -- public API -------------------------------------------------------------------
+    def run(self, database: ComplexObject) -> EngineResult:
+        stats = EngineStats()
+        stats.strata = len(self._strata)
+        stats.recursive_strata = sum(1 for s in self._strata if s.recursive)
+        indexes: Optional[IndexStore] = None
+        if self.use_indexes:
+            indexes = IndexStore(stats)
+            for rule in self.rules:
+                if rule.body is not None:
+                    indexes.register_body(rule.body)
+            indexes.refresh(BOTTOM, database)
+
+        current = database
+        budget = [0]  # recursive rounds charged against max_iterations
+        for stratum in self._strata:
+            if stratum.recursive:
+                current = self._close_stratum(stratum, current, indexes, stats, budget)
+            else:
+                current = self._apply_once(stratum, current, indexes, stats)
+        return EngineResult(
+            value=current, iterations=stats.iterations, converged=True, stats=stats
+        )
+
+    # -- strata -----------------------------------------------------------------------
+    def _apply_once(
+        self,
+        stratum: Stratum,
+        current: ComplexObject,
+        indexes: Optional[IndexStore],
+        stats: EngineStats,
+    ) -> ComplexObject:
+        """Evaluate a non-recursive stratum: one full application suffices."""
+        produced = union_all(
+            self._apply_full(rule, current, indexes, stats) for rule in stratum.rules
+        )
+        next_value = union(current, produced)
+        if next_value == current:
+            return current
+        # Like close(), ``iterations`` counts growing applications only, so
+        # the two engines report comparable numbers for the same program.
+        stats.iterations += 1
+        check_guards(next_value, stats.iterations, self.max_nodes, self.max_depth)
+        if indexes is not None:
+            indexes.refresh(current, next_value)
+        return next_value
+
+    def _close_stratum(
+        self,
+        stratum: Stratum,
+        current: ComplexObject,
+        indexes: Optional[IndexStore],
+        stats: EngineStats,
+        budget: List[int],
+    ) -> ComplexObject:
+        """Iterate one recursive stratum to its local fixpoint."""
+        # Round one must see the whole database: the delta discipline only
+        # covers growth contributed by *previous* rounds of this stratum.
+        previous = current
+        self._charge(budget, current)
+        produced = union_all(
+            self._apply_full(rule, current, indexes, stats) for rule in stratum.rules
+        )
+        next_value = union(current, produced)
+        if next_value == current:
+            return current
+        stats.iterations += 1
+        check_guards(next_value, stats.iterations, self.max_nodes, self.max_depth)
+        if indexes is not None:
+            indexes.refresh(current, next_value)
+        previous, current = current, next_value
+
+        while True:
+            self._charge(budget, current)
+            produced = union_all(
+                self._apply_delta(rule, previous, current, indexes, stats)
+                for rule in stratum.rules
+            )
+            next_value = union(current, produced)
+            if next_value == current:
+                return current
+            stats.iterations += 1
+            check_guards(next_value, stats.iterations, self.max_nodes, self.max_depth)
+            if indexes is not None:
+                indexes.refresh(current, next_value)
+            previous, current = current, next_value
+
+    def _charge(self, budget: List[int], partial: ComplexObject) -> None:
+        budget[0] += 1
+        if budget[0] > self.max_iterations:
+            raise DivergenceError(
+                f"closure did not converge within {self.max_iterations} iterations",
+                partial=partial,
+                iterations=self.max_iterations,
+            )
+
+    # -- rule application ---------------------------------------------------------------
+    def _apply_full(
+        self,
+        rule: Rule,
+        database: ComplexObject,
+        indexes: Optional[IndexStore],
+        stats: EngineStats,
+    ) -> ComplexObject:
+        """One full (non-delta) application of a rule, ``r(O)`` of Definition 4.4."""
+        stats.full_matches += 1
+        if rule.body is None:
+            substitutions = rule.substitutions(database)
+        else:
+            substitutions = match_body(
+                rule.body,
+                database,
+                indexes=indexes,
+                stats=stats,
+                allow_bottom=self.allow_bottom,
+            )
+        heads = [substitution.apply(rule.head) for substitution in substitutions]
+        stats.subobjects_derived += len(heads)
+        return union_all(dict.fromkeys(heads))
+
+    def _apply_delta(
+        self,
+        rule: Rule,
+        previous: ComplexObject,
+        current: ComplexObject,
+        indexes: Optional[IndexStore],
+        stats: EngineStats,
+    ) -> ComplexObject:
+        """One semi-naive application: only matches with a new witness.
+
+        Falls back to a full application when the body cannot be
+        delta-decomposed, when the literal semantics is in force, or when no
+        sound delta exists for one of the body's set paths.
+        """
+        if rule.body is None:
+            # The fact already fired during the stratum's full first round.
+            return BOTTOM
+        decomposition = self._decompositions[rule]
+        if not decomposition.decomposable or self.allow_bottom:
+            return self._apply_full(rule, current, indexes, stats)
+        deltas: Dict[object, Tuple[ComplexObject, ...]] = {}
+        for path in decomposition.set_paths:
+            fresh = new_set_elements(previous, current, path)
+            if fresh is None:
+                return self._apply_full(rule, current, indexes, stats)
+            deltas[path] = fresh
+        stats.delta_matches += 1
+        seen = set()
+        heads: List[ComplexObject] = []
+        for position in decomposition.positions:
+            fresh = deltas[position.path]
+            if not fresh:
+                continue
+            substitutions = match_body(
+                rule.body,
+                current,
+                position=position,
+                delta_elements=fresh,
+                indexes=indexes,
+                stats=stats,
+            )
+            for substitution in substitutions:
+                if substitution in seen:
+                    continue
+                seen.add(substitution)
+                heads.append(substitution.apply(rule.head))
+        stats.subobjects_derived += len(heads)
+        return union_all(dict.fromkeys(heads))
+
+
+#: Registry of engine names accepted by :func:`create_engine`,
+#: ``Program.evaluate`` and the command line.
+ENGINES = {
+    NaiveEngine.name: NaiveEngine,
+    SemiNaiveEngine.name: SemiNaiveEngine,
+}
+
+
+def create_engine(name: str, rules: Union[Rule, RuleSet, Sequence[Rule]], **options):
+    """Instantiate the engine registered under ``name``.
+
+    ``options`` are forwarded to the engine constructor (the divergence
+    guards, ``allow_bottom``, and engine-specific switches such as
+    ``use_indexes``).
+    """
+    try:
+        engine_class = ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown engine {name!r} (expected one of: {known})") from None
+    return engine_class(rules, **options)

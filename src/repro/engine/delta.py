@@ -1,0 +1,148 @@
+"""Delta decomposition: which part of a rule body can be matched incrementally.
+
+The semi-naive discipline only works for a body when every way the body's
+match set can grow is witnessed by a **new element of some set** reachable
+from the body root through tuple attributes.  For such bodies, a substitution
+whose set witnesses are all *old* elements was already enumerated on an
+earlier round (old elements are immutable objects, and matching inside a
+witness depends on nothing else), so each round only needs, for every set
+position in turn, the matches whose witness at that position is new.
+
+A body is **delta-decomposable** when its spine — the part reachable through
+tuple attributes — consists of non-empty tuple formulae and non-empty set
+formulae only:
+
+* a variable or constant on the spine reads a whole growing subtree, so its
+  matches can change without any new set element appearing;
+* an empty tuple or set formula matches as soon as *any* tuple/set exists at
+  its path, again without contributing a witness;
+* a ``bottom`` constant inside a set formula matches the empty set (the
+  "vanish" alternative), so its match set can flip when the set first appears.
+
+Everything below a set element is safe: witnesses are immutable complex
+objects, and matching descends into the witness only.
+
+Bodies that fail the test fall back to full matching on every round — a pure
+performance loss, never a correctness one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula
+from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
+from repro.store.paths import Path
+
+__all__ = [
+    "DeltaPosition",
+    "BodyDecomposition",
+    "decompose",
+    "new_set_elements",
+]
+
+_ROOT = Path(())
+
+
+@dataclass(frozen=True)
+class DeltaPosition:
+    """One incremental match position: element ``element_index`` of the set
+    formula found at ``path`` (tuple-attribute steps from the body root)."""
+
+    path: Path
+    element_index: int
+
+
+@dataclass(frozen=True)
+class BodyDecomposition:
+    """The result of analysing one rule body.
+
+    ``decomposable`` tells whether the semi-naive discipline applies;
+    ``positions`` are the delta positions to iterate over, and ``set_paths``
+    the distinct paths whose per-round deltas must be computed.
+    """
+
+    decomposable: bool
+    positions: Tuple[DeltaPosition, ...] = ()
+
+    @property
+    def set_paths(self) -> Tuple[Path, ...]:
+        seen = []
+        for position in self.positions:
+            if position.path not in seen:
+                seen.append(position.path)
+        return tuple(seen)
+
+
+_NOT_DECOMPOSABLE = BodyDecomposition(decomposable=False)
+
+
+def decompose(body: Optional[Formula]) -> BodyDecomposition:
+    """Analyse a rule body; facts (``body is None``) are trivially static."""
+    if body is None:
+        return BodyDecomposition(decomposable=True)
+    positions: List[DeltaPosition] = []
+
+    def walk(node: Formula, path: Path) -> bool:
+        if isinstance(node, TupleFormula):
+            if not len(node):
+                return False
+            return all(walk(child, path.child(name)) for name, child in node.items())
+        if isinstance(node, SetFormula):
+            if not len(node):
+                return False
+            for index, element in enumerate(node.elements):
+                if isinstance(element, Constant) and element.value.is_bottom:
+                    # ``{bottom}`` matches the empty set via the vanish
+                    # alternative; its match set is not witness-driven.
+                    return False
+                positions.append(DeltaPosition(path, index))
+            return True
+        # Variable or Constant on the spine: reads a growing region directly.
+        return False
+
+    if not walk(body, _ROOT):
+        return _NOT_DECOMPOSABLE
+    return BodyDecomposition(decomposable=True, positions=tuple(positions))
+
+
+def navigate(value: ComplexObject, path: Path) -> ComplexObject:
+    """Follow tuple attributes only; ⊥ when a step cannot be taken, ⊤ sticky.
+
+    Unlike :func:`repro.store.paths.get_path` this does *not* descend through
+    sets — the engine's delta paths address the sets themselves.
+    """
+    current = value
+    for step in path:
+        if current.is_top:
+            return current
+        if isinstance(current, TupleObject):
+            current = current.get(step)
+        else:
+            return BOTTOM
+    return current
+
+
+def new_set_elements(
+    previous: ComplexObject, current: ComplexObject, path: Path
+) -> Optional[Tuple[ComplexObject, ...]]:
+    """Elements of the set at ``path`` in ``current`` that are new since ``previous``.
+
+    Returns ``None`` when no sound delta exists (⊤ reached along the path —
+    matching against ⊤ manufactures bindings without witnesses), and the empty
+    tuple when the path holds nothing matchable.  A previously absent set
+    makes every current element new.
+    """
+    now = navigate(current, path)
+    if now.is_top:
+        return None
+    if not isinstance(now, SetObject):
+        return ()
+    before = navigate(previous, path)
+    if before.is_top:  # pragma: no cover - previous ≤ current rules this out
+        return None
+    if not isinstance(before, SetObject):
+        return now.elements
+    old = set(before.elements)
+    return tuple(element for element in now.elements if element not in old)

@@ -1,0 +1,88 @@
+"""Instrumentation for the evaluation engine.
+
+Every engine run fills an :class:`EngineStats` record so benchmarks, the CLI
+and tests can see *why* a strategy was fast or slow: how many rounds ran, how
+many formula-against-witness match attempts were made, how often a match index
+answered a lookup, and how much the scheduler could avoid re-iterating.
+
+The record is deliberately a plain mutable dataclass of counters — the engine
+increments fields directly on its hot path, and :meth:`EngineStats.as_dict`
+snapshots them for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters collected while evaluating a rule set.
+
+    Attributes
+    ----------
+    iterations:
+        Total evaluation rounds, counting each application of a stratum's
+        rules (recursive strata contribute one round per fixpoint iteration,
+        non-recursive strata one round each).
+    strata:
+        Number of strongly-connected components the scheduler evaluated.
+    recursive_strata:
+        How many of those required fixpoint iteration.
+    delta_matches:
+        Rule-body evaluations restricted to the previous round's delta.
+    full_matches:
+        Rule-body evaluations against the whole database (round one of each
+        recursive stratum, non-recursive rules, and correctness fallbacks for
+        bodies that cannot be delta-decomposed).
+    match_attempts:
+        Individual (element formula, witness element) match trials.
+    substitutions:
+        Derivation-maximal substitutions found across all rule evaluations.
+    subobjects_derived:
+        Head instantiations contributed to the database (before the union
+        absorbs duplicates and dominated results).
+    index_hits:
+        Match-index lookups that answered with a candidate list.
+    index_misses:
+        Lookups where keys existed but no index could answer (full scan).
+    """
+
+    iterations: int = 0
+    strata: int = 0
+    recursive_strata: int = 0
+    delta_matches: int = 0
+    full_matches: int = 0
+    match_attempts: int = 0
+    substitutions: int = 0
+    subobjects_derived: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot of every counter (stable key order)."""
+        return {
+            "iterations": self.iterations,
+            "strata": self.strata,
+            "recursive_strata": self.recursive_strata,
+            "delta_matches": self.delta_matches,
+            "full_matches": self.full_matches,
+            "match_attempts": self.match_attempts,
+            "substitutions": self.substitutions,
+            "subobjects_derived": self.subobjects_derived,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable rendering used by the CLI."""
+        return (
+            f"{self.iterations} rounds over {self.strata} strata"
+            f" ({self.recursive_strata} recursive),"
+            f" {self.match_attempts} match attempts,"
+            f" {self.delta_matches} delta / {self.full_matches} full rule evaluations,"
+            f" {self.index_hits} index hits"
+        )

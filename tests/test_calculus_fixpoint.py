@@ -113,3 +113,52 @@ def genealogy_generations(family_object) -> int:
     """Rough generation count used to sanity-check the iteration count."""
     people = family_object.get("family")
     return max(1, len(people).bit_length() - 1)
+
+
+class TestGuardOrdering:
+    """Convergence is tested before the size guards: a converged result is
+    never rejected, while the identical value reached as *new growth* one
+    round earlier raises (see the module docstring of repro.calculus.fixpoint).
+    """
+
+    RULE = "[out: {[a: X]}] :- [r1: {X}]"
+
+    def _database(self, size):
+        inner = ", ".join(str(i) for i in range(size))
+        return parse_object(f"[r1: {{{inner}}}]")
+
+    def test_growth_beyond_max_nodes_raises(self):
+        database = self._database(30)
+        rules = RuleSet([parse_rule(self.RULE)])
+        with pytest.raises(DivergenceError):
+            close(database, rules, max_nodes=40)
+
+    def test_already_closed_oversized_input_is_accepted(self):
+        # The closure of the previous test, fed back in: it exceeds the node
+        # guard but is already closed, so close() returns it untouched.
+        database = self._database(30)
+        rules = RuleSet([parse_rule(self.RULE)])
+        closed = close(database, rules).value
+        result = close(closed, rules, max_nodes=40)
+        assert result.value == closed
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_converged_final_iterate_beyond_guard_is_accepted(self):
+        # One growing step below the guard, then convergence: the equality
+        # test short-circuits the guard check on the final (equal) iterate.
+        database = self._database(10)
+        rules = RuleSet([parse_rule(self.RULE)])
+        grown = close(database, rules)
+        from repro.core.depth import node_count
+
+        limit = node_count(grown.value)
+        result = close(database, rules, max_nodes=limit)
+        assert result.value == grown.value
+
+    def test_depth_guard_also_skipped_on_converged_input(self):
+        deep = parse_object("[list: {[head: 1, tail: [head: 1, tail: [head: 1]]]}]")
+        rules = RuleSet([parse_rule("[list: {X}] :- [list: {X}]")])
+        result = close(deep, rules, max_depth=1)
+        assert result.value == deep
+        assert result.iterations == 0

@@ -122,3 +122,54 @@ class TestRunAndCheck:
         code, output = run_cli("check", self.PROGRAM)
         assert code == 0
         assert "MAY DIVERGE" not in output
+
+class TestEngineSelection:
+    PROGRAM = TestRunAndCheck.PROGRAM
+    FAMILY = TestRunAndCheck.FAMILY
+
+    def test_run_seminaive_matches_naive_output(self):
+        code_naive, naive = run_cli("run", self.PROGRAM, "--database", self.FAMILY)
+        code_semi, semi = run_cli(
+            "run", self.PROGRAM, "--database", self.FAMILY, "--engine", "seminaive"
+        )
+        assert code_naive == code_semi == 0
+        # Same closure; only the iteration-count comment line may differ.
+        strip = lambda text: [l for l in text.splitlines() if not l.startswith("%")]
+        assert strip(naive) == strip(semi)
+
+    def test_stats_line_for_seminaive(self):
+        code, output = run_cli(
+            "run",
+            self.PROGRAM,
+            "--database",
+            self.FAMILY,
+            "--engine",
+            "seminaive",
+            "--stats",
+        )
+        assert code == 0
+        assert "% engine seminaive:" in output
+        assert "strata" in output
+
+    def test_stats_line_for_naive_engine(self):
+        code, output = run_cli(
+            "run", self.PROGRAM, "--database", self.FAMILY, "--stats"
+        )
+        assert code == 0
+        assert "% engine naive:" in output
+
+    def test_divergent_program_fails_gracefully_with_seminaive(self):
+        code, output = run_cli(
+            "run",
+            "[list: {1}]. [list: {[head: 1, tail: X]}] :- [list: {X}].",
+            "--engine",
+            "seminaive",
+            "--max-iterations",
+            "20",
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_unknown_engine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", self.PROGRAM, "--engine", "quantum")

@@ -122,3 +122,79 @@ class TestEvaluation:
     def test_genealogy_naive_agrees(self, genealogy_small):
         engine = DatalogEngine(genealogy_small.datalog_program)
         assert engine.query("doa", semi_naive=False) == engine.query("doa", semi_naive=True)
+
+
+class TestIndexedFactStore:
+    """The bound-argument hash indexes behind the join loops."""
+
+    def _store(self):
+        from repro.datalog.engine import _IndexedFactStore
+
+        return _IndexedFactStore(
+            {"edge": {(1, 2), (1, 3), (2, 3), (3, 4)}, "label": {("a",)}}
+        )
+
+    def test_unbound_probe_returns_full_extension(self):
+        store = self._store()
+        assert set(store.candidates("edge", {})) == {(1, 2), (1, 3), (2, 3), (3, 4)}
+
+    def test_first_argument_probe(self):
+        store = self._store()
+        assert set(store.candidates("edge", {0: 1})) == {(1, 2), (1, 3)}
+        assert set(store.candidates("edge", {0: 4})) == set()
+
+    def test_second_argument_probe(self):
+        store = self._store()
+        assert set(store.candidates("edge", {1: 3})) == {(1, 3), (2, 3)}
+
+    def test_fully_bound_probe(self):
+        store = self._store()
+        assert set(store.candidates("edge", {0: 2, 1: 3})) == {(2, 3)}
+        assert set(store.candidates("edge", {0: 2, 1: 4})) == set()
+
+    def test_index_maintained_incrementally(self):
+        store = self._store()
+        assert set(store.candidates("edge", {0: 9})) == set()  # builds the index
+        assert store.add("edge", (9, 1))
+        assert set(store.candidates("edge", {0: 9})) == {(9, 1)}
+        # Re-adding an existing fact neither duplicates nor reports as new.
+        assert not store.add("edge", (9, 1))
+        assert store.candidates("edge", {0: 9}) != ()
+        assert len(list(store.candidates("edge", {0: 9}))) == 1
+
+    def test_unknown_predicate(self):
+        store = self._store()
+        assert set(store.candidates("missing", {0: 1})) == set()
+        assert set(store.candidates("missing", {})) == set()
+
+    def test_arity_mismatched_facts_skipped_by_index(self):
+        from repro.datalog.engine import _IndexedFactStore
+
+        store = _IndexedFactStore({"p": {(1,), (1, 2)}})
+        assert set(store.candidates("p", {1: 2})) == {(1, 2)}
+
+    def test_constants_in_bodies_use_the_index(self):
+        # The join should produce the same answers whether or not the
+        # bound-argument index kicks in; constants bind position 1 here.
+        program = DatalogProgram(
+            [
+                Clause(atom("age", "peter", 25)),
+                Clause(atom("age", "john", 7)),
+                Clause(atom("age", "mary", 25)),
+                Clause(atom("named", "X"), (atom("age", "X", 25),)),
+            ]
+        )
+        assert DatalogEngine(program).query("named") == frozenset(
+            {("peter",), ("mary",)}
+        )
+
+    def test_join_variable_bound_by_earlier_atom(self):
+        # grand(X, Z) :- edge(X, Y), edge(Y, Z): the second atom probes the
+        # index with position 0 bound to Y's value.
+        clauses = [Clause(atom("edge", a, b)) for a, b in [(1, 2), (2, 3), (2, 4)]]
+        clauses.append(
+            Clause(atom("grand", "X", "Z"), (atom("edge", "X", "Y"), atom("edge", "Y", "Z")))
+        )
+        engine = DatalogEngine(DatalogProgram(clauses))
+        assert engine.query("grand") == frozenset({(1, 3), (1, 4)})
+        assert engine.query("grand", semi_naive=False) == frozenset({(1, 3), (1, 4)})

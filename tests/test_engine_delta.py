@@ -1,0 +1,122 @@
+"""Unit tests for delta decomposition and per-path deltas (repro.engine.delta)."""
+
+from repro import parse_object, parse_rule
+from repro.calculus.terms import formula, var
+from repro.engine.delta import DeltaPosition, decompose, navigate, new_set_elements
+from repro.core.objects import BOTTOM, TOP
+from repro.store.paths import Path
+
+
+class TestDecompose:
+    def test_example_45_body(self):
+        body = parse_rule(
+            "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}]"
+        ).body
+        decomposition = decompose(body)
+        assert decomposition.decomposable
+        assert set(decomposition.positions) == {
+            DeltaPosition(Path("family"), 0),
+            DeltaPosition(Path("doa"), 0),
+        }
+        assert set(decomposition.set_paths) == {Path("family"), Path("doa")}
+
+    def test_multiple_elements_in_one_set(self):
+        body = parse_rule("[out: {X}] :- [r1: {X, [a: Y]}]").body
+        decomposition = decompose(body)
+        assert decomposition.decomposable
+        assert set(decomposition.positions) == {
+            DeltaPosition(Path("r1"), 0),
+            DeltaPosition(Path("r1"), 1),
+        }
+
+    def test_nested_tuple_spine(self):
+        body = formula({"a": {"b": [var("X")]}})
+        decomposition = decompose(body)
+        assert decomposition.decomposable
+        assert decomposition.positions == (DeltaPosition(Path("a.b"), 0),)
+
+    def test_fact_is_trivially_decomposable(self):
+        assert decompose(None).decomposable
+        assert decompose(None).positions == ()
+
+    def test_variable_on_spine_blocks(self):
+        # [doa: X] reads the whole growing set through a variable.
+        assert not decompose(parse_rule("[out: X] :- [doa: X]").body).decomposable
+
+    def test_constant_on_spine_blocks(self):
+        assert not decompose(parse_rule("[out: {X}] :- [flag: on, r1: {X}]").body).decomposable
+
+    def test_root_variable_blocks(self):
+        assert not decompose(var("X")).decomposable
+
+    def test_empty_set_formula_blocks(self):
+        assert not decompose(formula({"r1": set()})).decomposable
+
+    def test_empty_tuple_formula_blocks(self):
+        assert not decompose(formula({"r1": {}})).decomposable
+
+    def test_bottom_constant_element_blocks(self):
+        # {bottom} matches the empty set via the vanish alternative.
+        assert not decompose(formula({"r1": [BOTTOM]})).decomposable
+
+    def test_sets_nested_in_elements_are_safe(self):
+        # The inner set lives inside a witness; only the outer set is a
+        # delta position.
+        body = parse_rule("[out: {X}] :- [family: {[children: {[name: X]}]}]").body
+        decomposition = decompose(body)
+        assert decomposition.decomposable
+        assert decomposition.positions == (DeltaPosition(Path("family"), 0),)
+
+
+class TestNavigate:
+    DB = parse_object("[a: [b: {1, 2}], c: 5]")
+
+    def test_tuple_steps(self):
+        assert navigate(self.DB, Path("a.b")) == parse_object("{1, 2}")
+
+    def test_missing_attribute_is_bottom(self):
+        assert navigate(self.DB, Path("a.z")) is BOTTOM
+
+    def test_step_through_non_tuple_is_bottom(self):
+        assert navigate(self.DB, Path("c.z")) is BOTTOM
+
+    def test_top_is_sticky(self):
+        assert navigate(TOP, Path("a.b")) is TOP
+
+    def test_does_not_descend_through_sets(self):
+        # Unlike store.paths.get_path, elements are not traversed.
+        db = parse_object("[r: {[name: 1]}]")
+        assert navigate(db, Path("r.name")) is BOTTOM
+
+
+class TestNewSetElements:
+    def test_growth(self):
+        before = parse_object("[doa: {1, 2}]")
+        after = parse_object("[doa: {1, 2, 3}]")
+        assert new_set_elements(before, after, Path("doa")) == (parse_object("3"),)
+
+    def test_no_growth(self):
+        db = parse_object("[doa: {1, 2}]")
+        assert new_set_elements(db, db, Path("doa")) == ()
+
+    def test_previously_absent_set_is_all_new(self):
+        before = parse_object("[other: {9}]")
+        after = parse_object("[other: {9}, doa: {1, 2}]")
+        fresh = new_set_elements(before, after, Path("doa"))
+        assert set(fresh) == {parse_object("1"), parse_object("2")}
+
+    def test_absorbed_elements_count_as_new(self):
+        # {[a:1]} grows to {[a:1, b:2]}: reduction replaced the old element,
+        # so the absorbing element is new.
+        before = parse_object("[r: {[a: 1]}]")
+        after = parse_object("[r: {[a: 1, b: 2]}]")
+        assert new_set_elements(before, after, Path("r")) == (
+            parse_object("[a: 1, b: 2]"),
+        )
+
+    def test_non_set_at_path_is_empty(self):
+        db = parse_object("[r: 5]")
+        assert new_set_elements(BOTTOM, db, Path("r")) == ()
+
+    def test_top_is_unsound(self):
+        assert new_set_elements(BOTTOM, TOP, Path("r")) is None
