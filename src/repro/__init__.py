@@ -45,9 +45,12 @@ from repro.core import (
     Top,
     TupleObject,
     atom,
+    clear_object_caches,
     depth,
+    intern_stats,
     intersection,
     intersection_all,
+    is_interned,
     is_reduced,
     is_subobject,
     obj,
@@ -130,14 +133,17 @@ __all__ = [
     "apply_rule",
     "apply_rules",
     "atom",
+    "clear_object_caches",
     "close",
     "closure_series",
     "create_engine",
     "depth",
     "formula",
+    "intern_stats",
     "interpret",
     "intersection",
     "intersection_all",
+    "is_interned",
     "is_reduced",
     "is_subobject",
     "match",

@@ -96,12 +96,13 @@ def count_matches(
 
 
 def _has_bottom_binding(substitution: Substitution) -> bool:
-    return any(value.is_bottom for _, value in substitution.items())
+    # ⊥ is a singleton, so the bottom test is an identity check.
+    return any(value is BOTTOM for _, value in substitution.items())
 
 
 def _match(formula: Formula, target: ComplexObject) -> List[Substitution]:
     # ⊤ dominates every instantiation, so every variable may be bound to ⊤.
-    if target.is_top:
+    if target is TOP:
         return [Substitution({name: TOP for name in formula.variables()})]
 
     if isinstance(formula, Variable):
@@ -111,8 +112,9 @@ def _match(formula: Formula, target: ComplexObject) -> List[Substitution]:
 
     if isinstance(formula, Constant):
         # A ground constant matches exactly when it is a sub-object of the
-        # target; it constrains no variable.
-        if is_subobject(formula.value, target):
+        # target; it constrains no variable.  Interned constants make the
+        # frequent exact-hit case an identity check before the full test.
+        if formula.value is target or is_subobject(formula.value, target):
             return [Substitution()]
         return []
 
@@ -165,6 +167,6 @@ def _set_element_alternatives(child: Formula, target: SetObject) -> List[Substit
     if not alternatives:
         if isinstance(child, Variable):
             alternatives.append(Substitution({child.name: BOTTOM}))
-        elif isinstance(child, Constant) and child.value.is_bottom:
+        elif isinstance(child, Constant) and child.value is BOTTOM:
             alternatives.append(Substitution())
     return alternatives

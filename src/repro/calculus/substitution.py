@@ -97,12 +97,20 @@ class Substitution:
         lower bound.  The meet always exists because the object space is a
         lattice; an empty intersection simply binds the variable to ⊥.
         """
+        if not self._bindings:
+            return other
+        if not other._bindings:
+            return self
         mapping = self.as_dict()
         for name, value in other.items():
-            if name in mapping:
-                mapping[name] = intersection(mapping[name], value)
-            else:
+            existing = mapping.get(name)
+            if existing is None:
                 mapping[name] = value
+            elif existing is not value:
+                # On interned objects equal bindings are identical, so the
+                # identity check above skips the (memoized) lattice meet for
+                # the overwhelmingly common agreeing-occurrences case.
+                mapping[name] = intersection(existing, value)
         return Substitution(mapping)
 
     def restrict(self, names) -> "Substitution":

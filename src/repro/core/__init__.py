@@ -14,6 +14,9 @@ This package implements Sections 2 and 3 of the paper:
 * :mod:`repro.core.enumeration` -- exhaustive enumeration of the (finite)
   sub-object lattice of a finite object, used by tests and the brute-force
   calculus oracle.
+* :mod:`repro.core.intern` -- hash-consing of normalized objects: O(1)
+  equality/hashing and the id-keyed memo caches behind the order and lattice
+  operations.
 """
 
 from repro.core.atoms import AtomValue, is_atom_value
@@ -26,6 +29,13 @@ from repro.core.errors import (
     DivergenceError,
     NormalizationError,
     NotAnObjectError,
+)
+from repro.core.intern import (
+    clear_object_caches,
+    fingerprint,
+    intern_id,
+    intern_stats,
+    is_interned,
 )
 from repro.core.lattice import (
     intersection,
@@ -70,9 +80,14 @@ __all__ = [
     "TupleObject",
     "all_subobjects",
     "atom",
+    "clear_object_caches",
     "compare",
     "count_subobjects",
     "depth",
+    "fingerprint",
+    "intern_id",
+    "intern_stats",
+    "is_interned",
     "intersection",
     "intersection_all",
     "is_atom_value",

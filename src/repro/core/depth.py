@@ -24,22 +24,36 @@ __all__ = ["depth", "node_count"]
 
 
 def depth(value: ComplexObject) -> Union[int, float]:
-    """Return the depth of ``value``; ``math.inf`` for ⊤."""
+    """Return the depth of ``value``; ``math.inf`` for ⊤.
+
+    The result is cached in the object's ``_depth`` slot: interned objects
+    carry it from construction (computed bottom-up from the children's cached
+    depths), raw objects fill it on first use.  Objects are immutable, so the
+    cache can never go stale.
+    """
     if not isinstance(value, ComplexObject):
         raise TypeError(f"not a complex object: {value!r}")
+    cached = value._depth
+    if cached is not None:
+        return cached
     if value.is_top:
-        return math.inf
-    if value.is_bottom or value.is_atom:
-        return 1
-    if isinstance(value, TupleObject):
+        result: Union[int, float] = math.inf
+    elif value.is_bottom or value.is_atom:
+        result = 1
+    elif isinstance(value, TupleObject):
         if len(value) == 0:
-            return 2
-        return max(depth(item) for _, item in value.items()) + 1
-    if isinstance(value, SetObject):
+            result = 2
+        else:
+            result = max(depth(item) for _, item in value.items()) + 1
+    elif isinstance(value, SetObject):
         if len(value) == 0:
-            return 2
-        return max(depth(element) for element in value) + 1
-    raise TypeError(f"not a complex object: {value!r}")
+            result = 2
+        else:
+            result = max(depth(element) for element in value) + 1
+    else:
+        raise TypeError(f"not a complex object: {value!r}")
+    object.__setattr__(value, "_depth", result)
+    return result
 
 
 def node_count(value: ComplexObject) -> int:
@@ -48,10 +62,18 @@ def node_count(value: ComplexObject) -> int:
     This is not part of the paper; it is the natural *size* measure used by
     the benchmarks and by the fixpoint engine's growth guard (an object whose
     node count keeps growing without bound signals a diverging closure, cf.
-    Example 4.6).
+    Example 4.6).  Like :func:`depth` it is cached in a slot (``_size``).
     """
+    if not isinstance(value, ComplexObject):
+        return 1
+    cached = value._size
+    if cached is not None:
+        return cached
     if isinstance(value, TupleObject):
-        return 1 + sum(node_count(item) for _, item in value.items())
-    if isinstance(value, SetObject):
-        return 1 + sum(node_count(element) for element in value)
-    return 1
+        result = 1 + sum(node_count(item) for _, item in value.items())
+    elif isinstance(value, SetObject):
+        result = 1 + sum(node_count(element) for element in value)
+    else:
+        result = 1
+    object.__setattr__(value, "_size", result)
+    return result

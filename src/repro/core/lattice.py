@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.intern import IdPairCache, register_cache
 from repro.core.objects import (
     BOTTOM,
     TOP,
@@ -42,6 +43,28 @@ from repro.core.objects import (
     TupleObject,
 )
 from repro.core.order import is_subobject
+
+# Both operations are commutative, so results for interned operands are
+# memoized under the (smaller id, larger id) pair.  Values are objects, which
+# is why these caches are registered with the global clear hook
+# (repro.core.intern.clear_object_caches) instead of living forever.
+_UNION_CACHE: IdPairCache = register_cache(IdPairCache(maxsize=1 << 16))
+_MEET_CACHE: IdPairCache = register_cache(IdPairCache(maxsize=1 << 16))
+
+
+def _memoized_commutative(cache, left, right, structural):
+    """Memoize a commutative lattice operation on interned operand pairs."""
+    lid = left._iid
+    rid = right._iid
+    if lid is None or rid is None:
+        return structural(left, right)
+    if lid > rid:
+        lid, rid = rid, lid
+    cached = cache.get(lid, rid)
+    if cached is None:
+        cached = structural(left, right)
+        cache.put(lid, rid, cached)
+    return cached
 
 __all__ = [
     "union",
@@ -67,6 +90,10 @@ def union(left: ComplexObject, right: ComplexObject) -> ComplexObject:
     # Definition 3.4(ii): distinct atoms are jointly inconsistent.
     if isinstance(left, Atom) and isinstance(right, Atom):
         return left if left == right else TOP
+    return _memoized_commutative(_UNION_CACHE, left, right, _union_structural)
+
+
+def _union_structural(left: ComplexObject, right: ComplexObject) -> ComplexObject:
     # Definition 3.4(iii): attribute-wise union.  If any attribute joins to ⊤
     # the TupleObject constructor collapses the whole tuple to ⊤, which is
     # exactly the behaviour required by the last paragraph of Theorem 3.4.
@@ -96,6 +123,14 @@ def union(left: ComplexObject, right: ComplexObject) -> ComplexObject:
                 for element in left_elements
             )
         )
+        # The cross-filter leaves no structural duplicates (an element present
+        # on both sides survives only through the right operand), so the
+        # dedup-free constructor applies.  Hash-consing the result is only
+        # sound when both operands are interned (hence reduced, hence the
+        # kept list is reduced); raw non-reduced operands can leave mutually
+        # dominating elements in `kept` and must stay un-interned.
+        if left._iid is not None and right._iid is not None:
+            return SetObject._from_reduced(kept)
         return SetObject._build(kept)
     # Definition 3.4(v): incompatible kinds.
     return TOP
@@ -116,6 +151,10 @@ def intersection(left: ComplexObject, right: ComplexObject) -> ComplexObject:
     # Definition 3.5(ii).
     if isinstance(left, Atom) and isinstance(right, Atom):
         return left if left == right else BOTTOM
+    return _memoized_commutative(_MEET_CACHE, left, right, _intersection_structural)
+
+
+def _intersection_structural(left: ComplexObject, right: ComplexObject) -> ComplexObject:
     # Definition 3.5(iii): attribute-wise intersection.  Attributes absent on
     # either side read as ⊥, so only the shared attributes can survive; the
     # constructor drops the ⊥-valued ones.

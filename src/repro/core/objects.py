@@ -24,12 +24,21 @@ The raw classmethods (:meth:`TupleObject.raw`, :meth:`SetObject.raw`) bypass
 the conventions; they exist so the library can state and test the paper's
 counterexamples (Example 3.2) and the equality axioms themselves
 (Definition 2.2) on non-normalized objects.
+
+Normalized objects are **hash-consed** through :mod:`repro.core.intern`: the
+default constructors return the one canonical instance per distinct structure,
+so ``==`` on them is an identity check and ``hash`` a cached int, and every
+memo table above (sub-object order, lattice, reduction) can key on intern ids.
+Raw objects are never interned and keep full structural semantics.
 """
 
 from __future__ import annotations
 
+import math
+
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
+from repro.core import intern as _intern
 from repro.core.atoms import AtomValue, atom_key, atom_sort, is_atom_value
 from repro.core.errors import NormalizationError
 
@@ -60,11 +69,14 @@ class ComplexObject:
     Concrete subclasses are :class:`Atom`, :class:`Top`, :class:`Bottom`,
     :class:`TupleObject` and :class:`SetObject`.  Instances are immutable;
     equality and hashing are structural on the canonical representation.
+    Interned instances (everything the default constructors return) carry an
+    intern id, their depth/size fingerprint, and compare by identity.
     """
 
-    __slots__ = ("_key", "_hash")
+    __slots__ = ("_key", "_hash", "_iid", "_depth", "_size", "__weakref__")
 
     kind: str = "abstract"
+    _rank: int = -1
 
     # -- classification helpers -------------------------------------------------
     @property
@@ -116,6 +128,10 @@ class ComplexObject:
             return True
         if not isinstance(other, ComplexObject):
             return NotImplemented
+        if self._iid is not None and other._iid is not None:
+            # Hash-consing invariant: structurally equal interned objects are
+            # the same instance, so two distinct instances are unequal.
+            return False
         return self.sort_key() == other.sort_key()
 
     def __ne__(self, other: object) -> bool:
@@ -127,9 +143,16 @@ class ComplexObject:
     def __hash__(self) -> int:
         cached = self._hash
         if cached is None:
-            cached = hash(self.sort_key())
+            cached = self._compute_hash()
             object.__setattr__(self, "_hash", cached)
         return cached
+
+    def _compute_hash(self) -> int:
+        # Structural by construction: raw and interned twins hash alike.  The
+        # per-kind overrides combine the children's *cached* hashes instead of
+        # hashing the materialized deep sort key, so hashing is O(breadth)
+        # per node and O(1) once cached.
+        return hash(self.sort_key())
 
     def __lt__(self, other: "ComplexObject") -> bool:
         """Canonical (arbitrary) total order; *not* the sub-object order."""
@@ -160,9 +183,12 @@ class ComplexObject:
 
 
 def _init_cache(instance: ComplexObject) -> None:
-    """Initialise the lazily computed key/hash slots, bypassing immutability."""
+    """Initialise the lazily computed key/hash/intern slots, bypassing immutability."""
     object.__setattr__(instance, "_key", None)
     object.__setattr__(instance, "_hash", None)
+    object.__setattr__(instance, "_iid", None)
+    object.__setattr__(instance, "_depth", None)
+    object.__setattr__(instance, "_size", None)
 
 
 class Top(ComplexObject):
@@ -175,6 +201,7 @@ class Top(ComplexObject):
 
     __slots__ = ()
     kind = "top"
+    _rank = _RANK_TOP
     _instance: Optional["Top"] = None
 
     def __new__(cls) -> "Top":
@@ -202,6 +229,7 @@ class Bottom(ComplexObject):
 
     __slots__ = ()
     kind = "bottom"
+    _rank = _RANK_BOTTOM
     _instance: Optional["Bottom"] = None
 
     def __new__(cls) -> "Bottom":
@@ -223,6 +251,14 @@ TOP = Top()
 #: The unique undefined object ⊥.
 BOTTOM = Bottom()
 
+# The singletons are interned by definition; ids 0/1 are reserved for them.
+_intern._register_singleton(BOTTOM, 0)
+object.__setattr__(BOTTOM, "_depth", 1)
+object.__setattr__(BOTTOM, "_size", 1)
+_intern._register_singleton(TOP, 1)
+object.__setattr__(TOP, "_depth", math.inf)
+object.__setattr__(TOP, "_size", 1)
+
 
 class Atom(ComplexObject):
     """An atomic object: an integer, float, string or boolean wrapper.
@@ -234,15 +270,22 @@ class Atom(ComplexObject):
 
     __slots__ = ("value",)
     kind = "atom"
+    _rank = _RANK_ATOM
 
     def __new__(cls, value: AtomValue) -> "Atom":
         if not is_atom_value(value):
             raise NormalizationError(
                 f"atomic objects must be int, float, str or bool, got {type(value).__name__}"
             )
+        return _intern.intern_node(("a", atom_sort(value), value), lambda: cls._build(value))
+
+    @classmethod
+    def _build(cls, value: AtomValue) -> "Atom":
         instance = super().__new__(cls)
         _init_cache(instance)
         object.__setattr__(instance, "value", value)
+        object.__setattr__(instance, "_depth", 1)
+        object.__setattr__(instance, "_size", 1)
         return instance
 
     @property
@@ -291,6 +334,7 @@ class TupleObject(ComplexObject):
 
     __slots__ = ("_attrs",)
     kind = "tuple"
+    _rank = _RANK_TUPLE
 
     def __new__(cls, attributes: Optional[Mapping[str, ComplexObject]] = None, **kwargs):
         mapping: Dict[str, ComplexObject] = {}
@@ -299,13 +343,22 @@ class TupleObject(ComplexObject):
         if kwargs:
             mapping.update(kwargs)
         cleaned: Dict[str, ComplexObject] = {}
+        interned = True
         for name, value in mapping.items():
             _check_attribute(name, value)
-            if value.is_top:
+            if value is TOP:
                 return TOP
-            if value.is_bottom:
+            if value is BOTTOM:
                 continue
+            if value._iid is None:
+                interned = False
             cleaned[name] = value
+        if interned:
+            # Children are interned (hence normalized), so the tuple can be
+            # hash-consed: the table key is built from child intern ids alone.
+            ordered = tuple(sorted(cleaned.items(), key=lambda item: item[0]))
+            key = ("t", tuple((name, value._iid) for name, value in ordered))
+            return _intern.intern_node(key, lambda: cls._from_canonical(ordered))
         return cls._build(cleaned)
 
     @classmethod
@@ -327,6 +380,21 @@ class TupleObject(ComplexObject):
         _init_cache(instance)
         ordered = tuple(sorted(attributes.items(), key=lambda item: item[0]))
         object.__setattr__(instance, "_attrs", ordered)
+        return instance
+
+    @classmethod
+    def _from_canonical(cls, ordered: Tuple[Tuple[str, ComplexObject], ...]) -> "TupleObject":
+        """Build the canonical instance for already-sorted interned attributes."""
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        object.__setattr__(instance, "_attrs", ordered)
+        if ordered:
+            depth = 1 + max(value._depth for _, value in ordered)
+            size = 1 + sum(value._size for _, value in ordered)
+        else:
+            depth, size = 2, 1
+        object.__setattr__(instance, "_depth", depth)
+        object.__setattr__(instance, "_size", size)
         return instance
 
     # -- mapping-style access ----------------------------------------------------
@@ -368,6 +436,10 @@ class TupleObject(ComplexObject):
     def without(self, *names: str) -> "TupleObject":
         """Return a copy with the given attributes removed."""
         mapping = {k: v for k, v in self._attrs if k not in names}
+        if self._iid is not None:
+            # Values of an interned tuple are interned and normalized, so the
+            # default constructor applies (and hash-conses the result).
+            return TupleObject(mapping)
         return TupleObject._build(mapping)
 
     def _compute_key(self):
@@ -375,6 +447,9 @@ class TupleObject(ComplexObject):
             _RANK_TUPLE,
             tuple((name, value.sort_key()) for name, value in self._attrs),
         )
+
+    def _compute_hash(self) -> int:
+        return hash((_RANK_TUPLE, tuple((name, hash(value)) for name, value in self._attrs)))
 
     def to_text(self) -> str:
         inner = ", ".join(f"{name}: {value.to_text()}" for name, value in self._attrs)
@@ -394,18 +469,25 @@ class SetObject(ComplexObject):
 
     __slots__ = ("_elements",)
     kind = "set"
+    _rank = _RANK_SET
 
     def __new__(cls, elements: Iterable[ComplexObject] = ()):  # noqa: D102 - documented above
         collected = []
         for element in elements:
             _check_element(element)
-            if element.is_top:
+            if element is TOP:
                 return TOP
-            if element.is_bottom:
+            if element is BOTTOM:
                 continue
             collected.append(element)
-        reduced = _reduce_elements(collected)
-        return cls._build(reduced)
+        # One pass over the elements: dedup once (structural hash/eq), reduce
+        # the unique survivors, and hand the result to a constructor that does
+        # not dedup or reduce again.
+        if len(collected) > 1:
+            collected = list(dict.fromkeys(collected))
+        if len(collected) > 1:
+            collected = _reduce_unique(collected)
+        return cls._from_reduced(collected)
 
     @classmethod
     def raw(cls, elements: Iterable[ComplexObject]) -> "SetObject":
@@ -432,6 +514,44 @@ class SetObject(ComplexObject):
         object.__setattr__(instance, "_elements", ordered)
         return instance
 
+    @classmethod
+    def _from_reduced(cls, elements: Iterable[ComplexObject]) -> "SetObject":
+        """Build a set from elements known to be distinct, normalized and reduced.
+
+        When every element is interned the set is hash-consed: the table key
+        is the sorted tuple of child intern ids, and the canonical element
+        order is only materialized once per distinct structure (on a miss).
+        """
+        elements = list(elements)
+        if all(element._iid is not None for element in elements):
+            key = ("s", tuple(sorted(element._iid for element in elements)))
+            return _intern.intern_node(
+                key,
+                lambda: cls._from_canonical(
+                    tuple(sorted(elements, key=ComplexObject.sort_key))
+                ),
+            )
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        ordered = tuple(sorted(elements, key=ComplexObject.sort_key))
+        object.__setattr__(instance, "_elements", ordered)
+        return instance
+
+    @classmethod
+    def _from_canonical(cls, ordered: Tuple[ComplexObject, ...]) -> "SetObject":
+        """Build the canonical instance for already-sorted interned elements."""
+        instance = super().__new__(cls)
+        _init_cache(instance)
+        object.__setattr__(instance, "_elements", ordered)
+        if ordered:
+            depth = 1 + max(element._depth for element in ordered)
+            size = 1 + sum(element._size for element in ordered)
+        else:
+            depth, size = 2, 1
+        object.__setattr__(instance, "_depth", depth)
+        object.__setattr__(instance, "_size", size)
+        return instance
+
     # -- collection-style access ---------------------------------------------------
     @property
     def elements(self) -> Tuple[ComplexObject, ...]:
@@ -455,10 +575,18 @@ class SetObject(ComplexObject):
 
     def discard(self, element: ComplexObject) -> "SetObject":
         """Return a new set without ``element`` (no error if absent)."""
-        return SetObject._build(e for e in self._elements if e != element)
+        remaining = [e for e in self._elements if e != element]
+        if self._iid is not None:
+            # Removing an element keeps the remaining ones distinct and
+            # reduced, so the hash-consing fast path applies.
+            return SetObject._from_reduced(remaining)
+        return SetObject._build(remaining)
 
     def _compute_key(self):
         return (_RANK_SET, tuple(element.sort_key() for element in self._elements))
+
+    def _compute_hash(self) -> int:
+        return hash((_RANK_SET, tuple(map(hash, self._elements))))
 
     def to_text(self) -> str:
         inner = ", ".join(element.to_text() for element in self._elements)
@@ -483,34 +611,15 @@ def _check_element(element: object) -> None:
         )
 
 
-def _reduce_elements(elements):
-    """Drop elements that are sub-objects of some other element.
+def _reduce_unique(elements):
+    """Drop elements that are sub-objects of some other (distinct) element.
 
-    The sub-object test lives in :mod:`repro.core.order`, which imports this
-    module; the import is therefore deferred to call time to break the cycle.
+    The input is already deduplicated; domination pruning happens in
+    :func:`repro.core.order.maximal_unique`, which buckets elements by their
+    kind/depth/breadth fingerprint so incomparable pairs never reach the
+    recursive sub-object test.  The module imports this one, so the import is
+    deferred to call time to break the cycle.
     """
-    if len(elements) <= 1:
-        return elements
-    from repro.core.order import is_subobject
+    from repro.core.order import maximal_unique
 
-    unique = {}
-    for element in elements:
-        unique[element.sort_key()] = element
-    candidates = list(unique.values())
-    kept = []
-    for index, element in enumerate(candidates):
-        dominated = False
-        for other_index, other in enumerate(candidates):
-            if index == other_index:
-                continue
-            if is_subobject(element, other):
-                # Keep exactly one representative of a mutual-subobject pair
-                # (possible when the *elements* themselves are not reduced):
-                # the earlier one survives, the later one is dropped.
-                if is_subobject(other, element) and index < other_index:
-                    continue
-                dominated = True
-                break
-        if not dominated:
-            kept.append(element)
-    return kept
+    return maximal_unique(elements)

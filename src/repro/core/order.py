@@ -14,14 +14,41 @@ antisymmetric on *reduced* objects (Theorem 3.2), hence a partial order
 (Theorem 3.3).  The property-based tests in ``tests/test_properties_order.py``
 check exactly these statements, including the failure of antisymmetry on
 non-reduced objects (Example 3.2).
+
+Performance notes.  The test is called extremely often (reduction, lattice
+operations, the matching engine and the fixpoint engine are all built on it).
+Three accelerations apply when the operands are interned
+(:mod:`repro.core.intern`):
+
+* results are memoized in an :class:`~repro.core.intern.IdPairCache` keyed on
+  the pair of intern ids — plain ints, so the cache pins no objects and is
+  cleared wholesale by :func:`clear_order_cache` (hooked into store teardown
+  and benchmark cold runs);
+* incomparable pairs are rejected from the node fingerprint alone: on
+  normalized objects ``a ≤ b`` implies same kind, ``depth(a) ≤ depth(b)``
+  and, for tuples, ``len(a) ≤ len(b)`` — no recursion needed;
+* on interned objects equality is an identity check, so the reflexive case
+  costs one pointer comparison.
+
+Raw objects (and mixed pairs) take the uncached structural path, which
+matches the seed semantics exactly; interned subtrees hanging off a raw root
+still hit the cache.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Iterable, List, Optional
 
-from repro.core.objects import Atom, Bottom, ComplexObject, SetObject, Top, TupleObject
+from repro.core.intern import IdPairCache, register_cache
+from repro.core.objects import (
+    _RANK_TUPLE,
+    Atom,
+    Bottom,
+    ComplexObject,
+    SetObject,
+    Top,
+    TupleObject,
+)
 
 __all__ = [
     "is_subobject",
@@ -30,18 +57,70 @@ __all__ = [
     "compare",
     "maximal_elements",
     "minimal_elements",
+    "maximal_unique",
     "clear_order_cache",
 ]
 
-# The sub-object test is called extremely often (reduction, lattice operations,
-# the matching engine and the fixpoint engine are all built on it), and the
-# set/set case re-examines the same pairs repeatedly.  Objects are immutable
-# and hashable, so the relation can safely be memoized on object pairs.
-_CACHE_SIZE = 1 << 17
+# Memo table for interned pairs; int keys only, no strong object references.
+_SUBOBJECT_CACHE: IdPairCache = register_cache(IdPairCache(maxsize=1 << 17))
+
+# Pairs below this node count recurse directly instead of consulting the memo
+# table: for flat relational rows the structural test is a couple of pointer
+# comparisons, cheaper than hashing the key pair.
+_CACHE_MIN_SIZE = 8
 
 
-@lru_cache(maxsize=_CACHE_SIZE)
-def _is_subobject_cached(left: ComplexObject, right: ComplexObject) -> bool:
+def _is_subobject_inner(left: ComplexObject, right: ComplexObject) -> bool:
+    """Dispatch of the sub-object test; assumes ComplexObject operands."""
+    if left is right:
+        return True
+    lid = left._iid
+    rid = right._iid
+    if lid is not None and rid is not None:
+        # Interned fast path.  Ids 0/1 are reserved for ⊥/⊤ (axiom (iv)).
+        if lid == 0 or rid == 1:
+            return True
+        if rid == 0 or lid == 1:
+            return False
+        rank = left._rank
+        if rank != right._rank:
+            return False  # mixed kinds are incomparable
+        if isinstance(left, Atom):
+            return False  # distinct interned atoms are never comparable
+        # Fingerprint pruning: on normalized objects domination is monotone
+        # in depth, and tuple attributes must be a subset of the dominator's.
+        if left._depth > right._depth:
+            return False
+        if rank == _RANK_TUPLE and len(left._attrs) > len(right._attrs):
+            return False
+        if left._size <= _CACHE_MIN_SIZE and right._size <= _CACHE_MIN_SIZE:
+            # Tiny pairs: the recursion is cheaper than the memo bookkeeping.
+            return _recurse(left, right)
+        cached = _SUBOBJECT_CACHE.get(lid, rid)
+        if cached is not None:
+            return cached
+        result = _recurse(left, right)
+        _SUBOBJECT_CACHE.put(lid, rid, result)
+        return result
+    return _subobject_raw(left, right)
+
+
+def _recurse(left: ComplexObject, right: ComplexObject) -> bool:
+    """The structural rules (i)/(ii) for two same-kind interned operands."""
+    if isinstance(left, TupleObject):
+        for name, value in left.items():
+            if not _is_subobject_inner(value, right.get(name)):
+                return False
+        return True
+    right_elements = right.elements
+    for element in left.elements:
+        if not any(_is_subobject_inner(element, other) for other in right_elements):
+            return False
+    return True
+
+
+def _subobject_raw(left: ComplexObject, right: ComplexObject) -> bool:
+    """Uncached structural test for raw or mixed operands (seed semantics)."""
     # Axiom (iv): ⊥ ≤ everything, everything ≤ ⊤.
     if isinstance(left, Bottom) or isinstance(right, Top):
         return True
@@ -55,10 +134,11 @@ def _is_subobject_cached(left: ComplexObject, right: ComplexObject) -> bool:
     # Attributes absent on the left read as ⊥ and are dominated trivially;
     # attributes absent on the right read as ⊥ and can only dominate ⊥, which
     # normalized tuples never store, so iterating over the left's attributes
-    # is sufficient.
+    # is sufficient.  Raw tuples *can* store ⊥, and ⊥ ≤ anything, so the same
+    # iteration is still complete.
     if isinstance(left, TupleObject) and isinstance(right, TupleObject):
         for name, value in left.items():
-            if not _is_subobject_cached(value, right.get(name)):
+            if not _is_subobject_inner(value, right.get(name)):
                 return False
         return True
     # Sets (rule (ii)): every element of the left set must be dominated by
@@ -66,7 +146,7 @@ def _is_subobject_cached(left: ComplexObject, right: ComplexObject) -> bool:
     if isinstance(left, SetObject) and isinstance(right, SetObject):
         right_elements = right.elements
         for element in left:
-            if not any(_is_subobject_cached(element, other) for other in right_elements):
+            if not any(_is_subobject_inner(element, other) for other in right_elements):
                 return False
         return True
     # Mixed kinds (tuple vs set, etc.) are incomparable.
@@ -77,9 +157,7 @@ def is_subobject(left: ComplexObject, right: ComplexObject) -> bool:
     """Return ``True`` when ``left ≤ right`` in the sub-object order."""
     if not isinstance(left, ComplexObject) or not isinstance(right, ComplexObject):
         raise TypeError("is_subobject expects two complex objects")
-    if left is right:
-        return True
-    return _is_subobject_cached(left, right)
+    return _is_subobject_inner(left, right)
 
 
 #: Alias matching the paper's vocabulary (``subobject(o, o')`` reads "o is a
@@ -102,7 +180,22 @@ def compare(left: ComplexObject, right: ComplexObject) -> Optional[int]:
     Returns ``-1`` when ``left < right``, ``0`` when the two objects dominate
     each other (equal, for reduced objects), ``1`` when ``left > right`` and
     ``None`` when they are incomparable.
+
+    On interned operands the first answer decides both directions: interned
+    objects are reduced, so by antisymmetry (Theorem 3.2) two distinct
+    objects can never dominate each other and at most one full sub-object
+    test runs after the O(1) equality check.
     """
+    if not isinstance(left, ComplexObject) or not isinstance(right, ComplexObject):
+        raise TypeError("compare expects two complex objects")
+    if left is right or left == right:
+        return 0
+    if left._iid is not None and right._iid is not None:
+        if is_subobject(left, right):
+            return -1
+        if is_subobject(right, left):
+            return 1
+        return None
     below = is_subobject(left, right)
     above = is_subobject(right, left)
     if below and above:
@@ -114,48 +207,157 @@ def compare(left: ComplexObject, right: ComplexObject) -> Optional[int]:
     return None
 
 
+def _cached_depth(value: ComplexObject):
+    """The object's depth, read from the ``_depth`` slot when already known."""
+    depth = value._depth
+    if depth is None:
+        from repro.core.depth import depth as compute_depth
+
+        depth = compute_depth(value)  # caches into the slot itself
+    return depth
+
+
+def _survivors(items: List[ComplexObject], flip: bool) -> List[ComplexObject]:
+    """Indices-ordered extremal elements of a duplicate-free list.
+
+    With ``flip=False`` returns the maximal elements (nothing strictly above
+    them), with ``flip=True`` the minimal ones.  Elements are bucketed by
+    kind, and the pairwise sub-object tests are pruned by the depth/breadth
+    fingerprint: a dominator must be at least as deep, and a dominating tuple
+    at least as wide, as the dominated element.  Distinct atoms are mutually
+    incomparable and survive without any test; so does ⊥ in the maximal
+    direction's complement (⊥ never strictly dominates) and ⊤ in the minimal
+    one's (⊤ is never strictly dominated).
+    """
+    if len(items) <= 1:
+        return list(items)
+    if not flip:
+        # ⊤ strictly dominates every other (distinct) element.
+        for item in items:
+            if isinstance(item, Top):
+                return [item]
+    else:
+        # Dually, every other element strictly dominates ⊥, so in the minimal
+        # direction ⊥'s presence eliminates everything else.
+        for item in items:
+            if isinstance(item, Bottom):
+                return [item]
+    kept: List[int] = []
+    tuples: List[int] = []
+    sets: List[int] = []
+    for index, item in enumerate(items):
+        if isinstance(item, Atom):
+            kept.append(index)
+        elif isinstance(item, TupleObject):
+            tuples.append(index)
+        elif isinstance(item, SetObject):
+            sets.append(index)
+        # Remaining cases are handled by the early returns above: ⊥ in the
+        # maximal direction is strictly dominated by any other element and is
+        # dropped here; ⊤ in the minimal direction strictly dominates any
+        # other element and is dropped likewise.
+    for group in (tuples, sets):
+        is_tuple_group = group is tuples
+        disc = buckets = None
+        if not flip and is_tuple_group and len(group) > 4:
+            # Signature pruning for relational-style rows: a dominator must
+            # carry the *same atom* wherever the dominated tuple carries one,
+            # so bucketing the group by its most dispersed atom-valued
+            # attribute shrinks each candidate's scan to its own bucket.
+            disc, buckets = _discriminator_buckets(items, group)
+        for index in group:
+            candidate = items[index]
+            depth = _cached_depth(candidate)
+            breadth = len(candidate)
+            # The breadth prune (a ≤ b forces len(a) <= len(b) for tuples)
+            # relies on the dominated side not storing ⊥-valued attributes,
+            # which only interned tuples guarantee; ⊥ attrs on a raw tuple
+            # inflate its width yet dominate trivially.
+            candidate_prunable = candidate._iid is not None
+            scan = group
+            if disc is not None:
+                value = candidate.get(disc)
+                if isinstance(value, Atom):
+                    scan = buckets[value]
+            survives = True
+            for other_index in scan:
+                if other_index == index:
+                    continue
+                other = items[other_index]
+                other_depth = _cached_depth(other)
+                if flip:
+                    # Minimal: drop candidate when it strictly dominates other.
+                    small, large = other, candidate
+                    if other_depth > depth:
+                        continue
+                    if is_tuple_group and len(other) > breadth and other._iid is not None:
+                        continue
+                else:
+                    # Maximal: drop candidate when other strictly dominates it.
+                    small, large = candidate, other
+                    if other_depth < depth:
+                        continue
+                    if is_tuple_group and len(other) < breadth and candidate_prunable:
+                        continue
+                if is_subobject(small, large):
+                    # Keep exactly one representative of a mutual-subobject
+                    # pair (possible when elements are not reduced): the
+                    # earlier one survives, the later one is dropped.
+                    if is_subobject(large, small) and index < other_index:
+                        continue
+                    survives = False
+                    break
+            if survives:
+                kept.append(index)
+    kept.sort()
+    return [items[i] for i in kept]
+
+
+def _discriminator_buckets(items, group):
+    """Bucket a tuple group by its most dispersed atom-valued attribute.
+
+    Returns ``(attribute name, {atom: [indices]})``, or ``(None, None)`` when
+    no attribute discriminates.  An attribute where any group member stores ⊤
+    (possible on raw tuples only) is disqualified: ⊤ dominates every value,
+    which would break the same-atom containment argument.
+    """
+    per_name = {}
+    disqualified = set()
+    for index in group:
+        for name, value in items[index].items():
+            if isinstance(value, Atom):
+                per_name.setdefault(name, {}).setdefault(value, []).append(index)
+            elif isinstance(value, Top):
+                disqualified.add(name)
+    best_name = best_buckets = None
+    best_score = 1
+    for name, buckets in per_name.items():
+        if name in disqualified:
+            continue
+        if len(buckets) > best_score:
+            best_score, best_name, best_buckets = len(buckets), name, buckets
+    return best_name, best_buckets
+
+
+def maximal_unique(objects: List[ComplexObject]) -> List[ComplexObject]:
+    """Maximal elements of an already-deduplicated list (used by reduction)."""
+    return _survivors(list(objects), flip=False)
+
+
 def maximal_elements(objects: Iterable[ComplexObject]) -> List[ComplexObject]:
     """Return the elements not strictly dominated by any other element.
 
     Exactly the elements a set object retains after reduction; exposed as a
     helper because query results and store maintenance both need it.
     """
-    items = list(dict.fromkeys(objects))
-    kept: List[ComplexObject] = []
-    for index, candidate in enumerate(items):
-        dominated = False
-        for other_index, other in enumerate(items):
-            if index == other_index:
-                continue
-            if is_subobject(candidate, other) and not (
-                is_subobject(other, candidate) and index < other_index
-            ):
-                dominated = True
-                break
-        if not dominated:
-            kept.append(candidate)
-    return kept
+    return _survivors(list(dict.fromkeys(objects)), flip=False)
 
 
 def minimal_elements(objects: Iterable[ComplexObject]) -> List[ComplexObject]:
     """Return the elements that do not strictly dominate any other element."""
-    items = list(dict.fromkeys(objects))
-    kept: List[ComplexObject] = []
-    for index, candidate in enumerate(items):
-        dominates = False
-        for other_index, other in enumerate(items):
-            if index == other_index:
-                continue
-            if is_subobject(other, candidate) and not (
-                is_subobject(candidate, other) and index < other_index
-            ):
-                dominates = True
-                break
-        if not dominates:
-            kept.append(candidate)
-    return kept
+    return _survivors(list(dict.fromkeys(objects)), flip=True)
 
 
 def clear_order_cache() -> None:
-    """Drop the memoized sub-object results (used by benchmarks for cold runs)."""
-    _is_subobject_cached.cache_clear()
+    """Drop the memoized sub-object results (store teardown, benchmark cold runs)."""
+    _SUBOBJECT_CACHE.clear()

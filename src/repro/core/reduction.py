@@ -23,6 +23,11 @@ __all__ = ["is_reduced", "reduce_object"]
 
 def is_reduced(value: ComplexObject) -> bool:
     """Return ``True`` when ``value`` is reduced in the sense of Definition 3.3."""
+    if value._iid is not None:
+        # Interned objects are built bottom-up through the default
+        # constructors, which reduce every set; reducedness is an invariant
+        # of the interned universe, so the check is O(1).
+        return True
     if isinstance(value, TupleObject):
         return all(is_reduced(item) for _, item in value.items())
     if isinstance(value, SetObject):
@@ -45,6 +50,10 @@ def reduce_object(value: ComplexObject) -> ComplexObject:
     constructed through eliminating from S the elements which are sub-objects
     of other elements in S", Definition 3.4).
     """
+    if value._iid is not None:
+        # Already reduced by construction (see is_reduced); the former memo
+        # table for this function is subsumed by this O(1) fast path.
+        return value
     if isinstance(value, TupleObject):
         return TupleObject({name: reduce_object(item) for name, item in value.items()})
     if isinstance(value, SetObject):

@@ -25,7 +25,7 @@ the hot path.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
 from repro.core.objects import Atom, ComplexObject, SetObject, TupleObject
@@ -89,7 +89,11 @@ class MatchIndex:
         self._buckets: Dict[Path, Dict[Atom, List[ComplexObject]]] = {
             path: {} for path in self.key_paths
         }
-        self._seen: Set[ComplexObject] = set()
+        # Database elements are interned, so structural identity coincides
+        # with instance identity: the seen-set keys on id() (with the object
+        # kept as the value so the id stays pinned) and membership never has
+        # to hash or compare object trees.
+        self._seen: Dict[int, ComplexObject] = {}
 
     def __repr__(self) -> str:
         return (
@@ -104,9 +108,10 @@ class MatchIndex:
     # -- maintenance ---------------------------------------------------------------
     def add(self, element: ComplexObject) -> None:
         """Index one element (idempotent)."""
-        if element in self._seen:
+        marker = id(element)
+        if marker in self._seen:
             return
-        self._seen.add(element)
+        self._seen[marker] = element
         for key_path in self.key_paths:
             key = _atom_at(element, key_path)
             if key is not None:

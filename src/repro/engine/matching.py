@@ -106,7 +106,8 @@ def match_body(
 
 
 def _has_bottom_binding(substitution: Substitution) -> bool:
-    return any(value.is_bottom for _, value in substitution.items())
+    # ⊥ is a singleton, so the bottom test is an identity check.
+    return any(value is BOTTOM for _, value in substitution.items())
 
 
 class _Matcher:
@@ -139,14 +140,16 @@ class _Matcher:
         consulted only for index narrowing, never merged into the returned
         alternatives (the caller's ``meet`` does that).
         """
-        if target.is_top:
+        if target is TOP:
             return [Substitution({name: TOP for name in formula.variables()})]
 
         if isinstance(formula, Variable):
             return [Substitution({formula.name: target})]
 
         if isinstance(formula, Constant):
-            if is_subobject(formula.value, target):
+            # Identity fast path first: interned constants hit their exact
+            # witness by pointer comparison.
+            if formula.value is target or is_subobject(formula.value, target):
                 return [Substitution()]
             return []
 
@@ -245,7 +248,7 @@ class _Matcher:
         if not alternatives:
             if isinstance(child, Variable):
                 alternatives.append(Substitution({child.name: BOTTOM}))
-            elif isinstance(child, Constant) and child.value.is_bottom:
+            elif isinstance(child, Constant) and child.value is BOTTOM:
                 alternatives.append(Substitution())
         return alternatives
 

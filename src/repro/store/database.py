@@ -269,8 +269,16 @@ class ObjectDatabase:
         return to_formula(formula)
 
     def close(self) -> None:
-        """Close the underlying storage engine."""
+        """Close the underlying storage engine and drop the object memo caches.
+
+        The order/lattice caches key on intern ids and never pin objects, but
+        their *values* (lattice results) and entries accumulate across a
+        store's lifetime; teardown is the natural point to release them.
+        """
         self._storage.close()
+        from repro.core.intern import clear_object_caches
+
+        clear_object_caches()
 
     def __repr__(self) -> str:
         return f"<ObjectDatabase {len(self)} objects, {len(self._indexes)} indexes>"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
 
-from repro.core.objects import ComplexObject, SetObject
+from repro.core.objects import BOTTOM, ComplexObject, SetObject
 from repro.store.paths import Path, get_path
 
 __all__ = ["PathIndex"]
@@ -60,13 +60,17 @@ class PathIndex:
         located = get_path(value, self.path)
         if isinstance(located, SetObject):
             return set(located.elements)
-        if located.is_bottom:
+        if located is BOTTOM:
             return set()
         return {located}
 
     # -- queries --------------------------------------------------------------------
     def lookup(self, key: ComplexObject) -> FrozenSet[str]:
-        """Names of the objects whose path value equals (or contains) ``key``."""
+        """Names of the objects whose path value equals (or contains) ``key``.
+
+        Stored values and probe keys are both interned, so the dict probe
+        resolves on cached hashes and pointer equality — no tree traversal.
+        """
         return frozenset(self._entries.get(key, set()))
 
     def covers(self, name: str) -> bool:
