@@ -1,4 +1,5 @@
-"""B10 — object-store throughput: inserts, lookups, pattern search, codec.
+"""B10 — object-store throughput: inserts, lookups, pattern search, codec,
+commits, recovery and indexed writes.
 
 Measures the database substrate rather than the calculus itself:
 
@@ -6,7 +7,13 @@ Measures the database substrate rather than the calculus itself:
 * point lookup by name;
 * pattern search (``find``) with a full scan versus with a path index;
 * JSON codec round-trip of a large object (what the file-backed engine pays
-  per write).
+  per write);
+* transaction commit throughput on the in-memory engine and on the
+  fsync-per-commit write-ahead log;
+* recovery time: replaying a WAL back into a live database;
+* indexed-write throughput: ``put`` against a database with a path index,
+  which exercises the reverse-map maintenance path (the old full-table-scan
+  eviction is measured against it in ``run_store_benchmarks.py``).
 """
 
 from functools import lru_cache
@@ -14,8 +21,10 @@ from functools import lru_cache
 import pytest
 
 from repro import parse_object
+from repro.core.builder import obj
 from repro.store.codec import from_json_text, to_json_text
 from repro.store.database import ObjectDatabase
+from repro.store.storage import FileStorage
 from repro.workloads import make_document_collection
 
 SIZES = [200, 1000]
@@ -87,3 +96,65 @@ def test_codec_round_trip(benchmark, count):
         return from_json_text(to_json_text(collection))
 
     assert benchmark(run) == collection
+
+
+@pytest.mark.benchmark(group="B10-commit")
+@pytest.mark.parametrize("writes_per_commit", [1, 16])
+def test_commit_throughput_memory(benchmark, writes_per_commit):
+    database = ObjectDatabase()
+    payloads = [obj({"slot": position}) for position in range(writes_per_commit)]
+
+    def run():
+        with database.transaction() as txn:
+            for position, payload in enumerate(payloads):
+                txn.put(f"slot{position}", payload)
+
+    benchmark(run)
+    assert len(database) == writes_per_commit
+
+
+@pytest.mark.benchmark(group="B10-commit")
+@pytest.mark.parametrize("writes_per_commit", [16])
+def test_commit_throughput_wal(benchmark, writes_per_commit, tmp_path):
+    database = ObjectDatabase(FileStorage(str(tmp_path / "db.wal")))
+    payloads = [obj({"slot": position}) for position in range(writes_per_commit)]
+
+    def run():
+        with database.transaction() as txn:
+            for position, payload in enumerate(payloads):
+                txn.put(f"slot{position}", payload)
+
+    benchmark(run)
+    assert len(database) == writes_per_commit
+    database.close()
+
+
+@pytest.mark.benchmark(group="B10-recovery")
+@pytest.mark.parametrize("count", [200])
+def test_wal_recovery(benchmark, count, tmp_path):
+    path = str(tmp_path / "db.wal")
+    seeding = ObjectDatabase(FileStorage(path))
+    for position, document in enumerate(_documents(count)):
+        seeding.put(f"doc{position}", document)
+    seeding.close()
+
+    def run():
+        storage = FileStorage(path)
+        names = storage.names()
+        storage.close()
+        return names
+
+    assert len(benchmark(run)) == count
+
+
+@pytest.mark.benchmark(group="B10-indexed-write")
+@pytest.mark.parametrize("count", [1000])
+def test_indexed_write_throughput(benchmark, count):
+    database = _loaded_database(count, indexed=True)
+    documents = _documents(count)
+    target = f"doc{count // 2}"
+    replacement = documents[0]
+
+    # Each put must evict the old index entries for the name and add the new
+    # ones; with the reverse map this costs O(keys), not O(index).
+    benchmark(database.put, target, replacement)

@@ -14,6 +14,10 @@ Subcommands
               indexed engine of :mod:`repro.engine`; ``--stats`` prints its
               instrumentation record.
 ``check``     run the static rule diagnostics over a program.
+``store``     operate on a durable, WAL-backed object store: ``--db-path``
+              opens (or creates) a :class:`repro.store.storage.FileStorage`
+              log, and the actions ``put``/``get``/``delete``/``names``/
+              ``query``/``compact`` run against it, each commit fsynced.
 
 Examples
 --------
@@ -22,6 +26,8 @@ Examples
     python -m repro parse "[name: peter, children: {max, susan}]"
     python -m repro query --database db.obj "[r1: {[name: X]}]"
     python -m repro run program.co --database family.obj --query "[doa: X]"
+    python -m repro store --db-path db.wal put family "[family: {[name: abraham]}]"
+    python -m repro store --db-path db.wal query "[family: {[name: X]}]"
 """
 
 from __future__ import annotations
@@ -103,7 +109,70 @@ def build_parser() -> argparse.ArgumentParser:
     check_command = subcommands.add_parser("check", help="static diagnostics over a program")
     check_command.add_argument("program", help="program text, or @file")
 
+    store_command = subcommands.add_parser(
+        "store", help="operate on a durable (write-ahead-log) object store"
+    )
+    store_command.add_argument(
+        "--db-path",
+        required=True,
+        help="path of the WAL file backing the store (created when absent)",
+    )
+    store_command.add_argument(
+        "action",
+        choices=["put", "get", "delete", "names", "query", "compact"],
+        help="what to do against the store",
+    )
+    store_command.add_argument(
+        "name", nargs="?", help="object name (put/get/delete), or formula text/@file (query)"
+    )
+    store_command.add_argument("value", nargs="?", help="object text, or @file (put)")
+    store_command.add_argument(
+        "--against", help="interpret the query against one stored name (query)"
+    )
+    store_command.add_argument("--compact", action="store_true", help="one-line output")
+
     return parser
+
+
+def _run_store(arguments, stream) -> int:
+    from repro.core.errors import StoreError
+    from repro.store.database import ObjectDatabase
+    from repro.store.storage import FileStorage
+
+    database = ObjectDatabase(FileStorage(arguments.db_path))
+    try:
+        if arguments.action == "put":
+            if arguments.name is None or arguments.value is None:
+                raise StoreError("store put needs a name and an object")
+            database.put(arguments.name, parse_object(_read_source(arguments.value)))
+            print(f"stored {arguments.name!r}", file=stream)
+        elif arguments.action == "get":
+            if arguments.name is None:
+                raise StoreError("store get needs a name")
+            value = database.get(arguments.name)
+            if value is None:
+                raise StoreError(f"no object stored under {arguments.name!r}")
+            print(value.to_text() if arguments.compact else pretty(value), file=stream)
+        elif arguments.action == "delete":
+            if arguments.name is None:
+                raise StoreError("store delete needs a name")
+            database.remove(arguments.name)
+            print(f"deleted {arguments.name!r}", file=stream)
+        elif arguments.action == "names":
+            for name in database.names():
+                print(name, file=stream)
+        elif arguments.action == "query":
+            if arguments.name is None:
+                raise StoreError("store query needs a formula")
+            formula = parse_formula(_read_source(arguments.name))
+            result = database.query(formula, against=arguments.against)
+            print(pretty(result), file=stream)
+        elif arguments.action == "compact":
+            database.compact()
+            print(f"compacted {arguments.db_path}", file=stream)
+    finally:
+        database.close()
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
@@ -148,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 print(pretty(answer), file=stream)
             else:
                 print(pretty(result.value), file=stream)
+        elif arguments.command == "store":
+            return _run_store(arguments, stream)
         elif arguments.command == "check":
             rules = parse_program(_read_source(arguments.program))
             reports = analyze_rules(rules)

@@ -10,12 +10,14 @@ substrate so the calculus can be used as an actual database system:
 * :mod:`repro.store.paths` + :mod:`repro.store.updates` — attribute-path
   navigation and functional update primitives (assign, insert, remove) that
   always return new objects;
-* :mod:`repro.store.storage` — in-memory and append-only file-backed storage
-  engines with crash-safe reload;
+* :mod:`repro.store.storage` — in-memory and write-ahead-log file-backed
+  storage engines with group commit and torn-tail crash recovery;
 * :mod:`repro.store.index` — path indexes over stored collections to
-  accelerate pattern selections;
-* :mod:`repro.store.transactions` — minimal multi-statement transactions with
-  commit/abort;
+  accelerate pattern selections, with O(keys) maintenance via a reverse map;
+* :mod:`repro.store.locks` — the readers/writer lock behind the store's
+  single-writer, snapshot-reader concurrency discipline;
+* :mod:`repro.store.transactions` — atomic multi-statement transactions with
+  validate-before-apply commit and optimistic snapshot validation;
 * :mod:`repro.store.database` — the :class:`~repro.store.database.ObjectDatabase`
   facade tying everything together: named roots, calculus queries, rule
   closure, schema enforcement and updates.
@@ -24,13 +26,16 @@ substrate so the calculus can be used as an actual database system:
 from repro.store.codec import (
     decode_json,
     encode_json,
+    frame_record,
     from_json_text,
     loads_object,
     dumps_object,
+    parse_record,
     to_json_text,
 )
 from repro.store.database import ObjectDatabase
 from repro.store.index import PathIndex
+from repro.store.locks import RWLock
 from repro.store.paths import Path, get_path, has_path, iter_paths
 from repro.store.storage import FileStorage, MemoryStorage, StorageEngine
 from repro.store.transactions import Transaction
@@ -48,14 +53,17 @@ __all__ = [
     "ObjectDatabase",
     "Path",
     "PathIndex",
+    "RWLock",
     "StorageEngine",
     "Transaction",
     "assign_path",
     "decode_json",
     "dumps_object",
     "encode_json",
+    "frame_record",
     "from_json_text",
     "get_path",
+    "parse_record",
     "has_path",
     "insert_element",
     "iter_paths",

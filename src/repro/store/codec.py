@@ -12,11 +12,21 @@ Two interchange forms are provided:
   human-friendly and used by the examples.
 
 Both round-trip exactly (property-tested in ``tests/test_store_codec.py``).
+
+On top of the object forms, :func:`frame_record` / :func:`parse_record`
+implement the write-ahead log's **record framing**: one JSON object per line,
+canonically serialized, carrying a CRC-32 checksum of its own payload.  The
+framing gives :class:`~repro.store.storage.FileStorage` two guarantees that
+plain JSON lines cannot: a record is complete iff it is newline-terminated
+(a crash mid-append leaves an unterminated torn tail, which recovery drops),
+and a complete record whose bytes were damaged in place fails its checksum
+instead of being silently replayed.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any
 
 from repro.core.errors import StoreError
@@ -38,6 +48,8 @@ __all__ = [
     "from_json_text",
     "dumps_object",
     "loads_object",
+    "frame_record",
+    "parse_record",
 ]
 
 # Tag names of the JSON form.  Kept short because stored databases repeat them
@@ -120,6 +132,52 @@ def from_json_text(text: str) -> ComplexObject:
     except json.JSONDecodeError as error:
         raise StoreError(f"invalid JSON: {error}") from error
     return decode_json(data)
+
+
+# -- write-ahead-log record framing -------------------------------------------------
+
+_CHECKSUM = "crc"
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def frame_record(record: dict) -> str:
+    """Serialize a log record to one newline-terminated, checksummed line.
+
+    The checksum is CRC-32 over the canonical JSON of the record *without*
+    the checksum field, so :func:`parse_record` can recompute and compare it.
+    """
+    if _CHECKSUM in record:
+        raise StoreError(f"record already carries a {_CHECKSUM!r} field: {record!r}")
+    checksum = zlib.crc32(_canonical(record).encode("utf-8")) & 0xFFFFFFFF
+    framed = dict(record)
+    framed[_CHECKSUM] = checksum
+    return _canonical(framed) + "\n"
+
+
+def parse_record(line: str) -> dict:
+    """Parse one log line back into a record, verifying its checksum.
+
+    Records without a checksum field are accepted (the pre-WAL log format
+    never carried one); records *with* one must match, else the bytes were
+    damaged after the commit and the log is corrupt rather than torn.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise StoreError(f"malformed log record: {error}") from error
+    if not isinstance(record, dict):
+        raise StoreError(f"malformed log record (not an object): {record!r}")
+    checksum = record.pop(_CHECKSUM, None)
+    if checksum is not None:
+        expected = zlib.crc32(_canonical(record).encode("utf-8")) & 0xFFFFFFFF
+        if checksum != expected:
+            raise StoreError(
+                f"log record failed its checksum (stored {checksum}, computed {expected})"
+            )
+    return record
 
 
 def dumps_object(value: ComplexObject) -> str:

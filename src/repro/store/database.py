@@ -12,15 +12,26 @@ storage engine, with:
   objects of which a pattern is a sub-object, using path indexes when one
   covers the pattern;
 * schema enforcement: a type per name (optional) checked on every write;
-* functional updates with :mod:`repro.store.updates`, and multi-statement
-  transactions with :mod:`repro.store.transactions`.
+* functional updates with :mod:`repro.store.updates`, and atomic
+  multi-statement transactions with :mod:`repro.store.transactions`.
+
+Concurrency discipline
+----------------------
+The database is safe for concurrent use from multiple threads.  All reads run
+under the shared side of an :class:`~repro.store.locks.RWLock`; every commit
+— a single ``put``/``remove`` as much as a transaction batch — validates all
+schemas and encodes everything *first*, then takes the exclusive side once to
+conflict-check, apply to storage (one WAL append + fsync for
+:class:`~repro.store.storage.FileStorage`), and maintain the indexes.
+Readers therefore only ever observe fully-committed states, and a failed
+commit leaves the database untouched by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import SchemaError, StoreError
+from repro.core.errors import SchemaError, StoreError, TransactionError
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
 from repro.core.order import is_subobject
 from repro.calculus.fixpoint import ClosureResult, close
@@ -30,10 +41,10 @@ from repro.calculus.terms import Formula
 from repro.schema.check import check_object
 from repro.schema.types import SchemaType
 from repro.store.index import PathIndex
+from repro.store.locks import RWLock
 from repro.store.paths import Path
 from repro.store.storage import MemoryStorage, StorageEngine
 from repro.store.transactions import Transaction
-from repro.store.updates import assign_path, insert_element, merge_object, remove_element
 
 __all__ = ["ObjectDatabase"]
 
@@ -45,6 +56,8 @@ class ObjectDatabase:
         self._storage = storage if storage is not None else MemoryStorage()
         self._indexes: Dict[str, PathIndex] = {}
         self._schemas: Dict[str, SchemaType] = {}
+        self._lock = RWLock()
+        self._version = 0  # bumped once per committed batch
 
     # -- basic CRUD -----------------------------------------------------------------
     def put(self, name: str, value) -> ComplexObject:
@@ -52,65 +65,139 @@ class ObjectDatabase:
         from repro.core.builder import obj
 
         converted = obj(value)
-        schema = self._schemas.get(name)
-        if schema is not None:
-            issues = check_object(converted, schema)
-            if issues:
-                raise SchemaError(
-                    f"object for {name!r} violates its schema: {issues[0]}"
-                )
-        self._storage.write(name, converted)
-        for index in self._indexes.values():
-            index.add(name, converted)
+        self.commit_batch({name: converted})
         return converted
 
     def get(self, name: str, default=None) -> Optional[ComplexObject]:
         """Return the object stored under ``name`` (or ``default``)."""
-        value = self._storage.read(name)
+        with self._lock.read_locked():
+            value = self._storage.read(name)
         return default if value is None else value
 
     def __getitem__(self, name: str) -> ComplexObject:
-        value = self._storage.read(name)
+        with self._lock.read_locked():
+            value = self._storage.read(name)
         if value is None:
             raise KeyError(name)
         return value
 
     def __contains__(self, name: str) -> bool:
-        return self._storage.read(name) is not None
+        with self._lock.read_locked():
+            return self._storage.read(name) is not None
 
     def remove(self, name: str) -> None:
         """Delete the object stored under ``name`` (no error when absent)."""
-        self._storage.delete(name)
-        for index in self._indexes.values():
-            index.remove(name)
+        self.commit_batch({name: None})
 
     def names(self) -> Tuple[str, ...]:
         """The stored names, sorted."""
-        return self._storage.names()
+        with self._lock.read_locked():
+            return self._storage.names()
 
-    def items(self) -> Iterator[Tuple[str, ComplexObject]]:
-        """Iterate over ``(name, object)`` pairs."""
-        return self._storage.items()
+    def items(self) -> List[Tuple[str, ComplexObject]]:
+        """The ``(name, object)`` pairs in name order, from one consistent state."""
+        with self._lock.read_locked():
+            return list(self._storage.items())
 
     def __len__(self) -> int:
-        return len(self._storage.names())
+        with self._lock.read_locked():
+            return len(self._storage.names())
+
+    @property
+    def version(self) -> int:
+        """A counter bumped once per committed batch (for cheap change checks)."""
+        with self._lock.read_locked():
+            return self._version
+
+    # -- group commit ---------------------------------------------------------------
+    def commit_batch(
+        self,
+        changes: Mapping[str, Optional[ComplexObject]],
+        *,
+        expected: Optional[Mapping[str, Optional[ComplexObject]]] = None,
+    ) -> None:
+        """Apply ``changes`` (name → new value, ``None`` deletes) atomically.
+
+        The all-or-nothing discipline every commit goes through:
+
+        The exclusive lock is taken once and everything decisive happens
+        under it, in order:
+
+        1. every written value is schema-checked against the schemas in force
+           *at commit time* (checking outside the lock would race a
+           concurrent :meth:`declare_schema`), so a violation anywhere in the
+           batch rejects the whole batch before anything is touched;
+        2. ``expected`` (a snapshot of name → previously-observed value,
+           ``None`` for absent) is validated against the current state — any
+           mismatch raises :class:`TransactionError` and applies nothing
+           (first committer wins);
+        3. storage applies the batch as one unit (one WAL append + fsync for
+           file-backed engines) and the path indexes are maintained.
+
+        Deletes of names that are already absent are dropped from the batch;
+        a batch that ends up empty applies nothing and bumps no version.
+        """
+        with self._lock.write_locked():
+            for name, value in changes.items():
+                if value is None:
+                    continue
+                schema = self._schemas.get(name)
+                if schema is not None:
+                    issues = check_object(value, schema)
+                    if issues:
+                        raise SchemaError(
+                            f"object for {name!r} violates its schema: {issues[0]}"
+                        )
+            if expected is not None:
+                for name, before in expected.items():
+                    current = self._storage.read(name)
+                    if current is not before and current != before:
+                        raise TransactionError(
+                            f"write-write conflict on {name!r}: the object changed"
+                            " since the transaction first read it"
+                        )
+            effective = {
+                name: value
+                for name, value in changes.items()
+                if value is not None or self._storage.read(name) is not None
+            }
+            if not effective:
+                return
+            self._storage.apply_batch(effective)
+            for name, value in effective.items():
+                for index in self._indexes.values():
+                    if value is None:
+                        index.remove(name)
+                    else:
+                        index.add(name, value)
+            self._version += 1
 
     # -- the whole database as one object ----------------------------------------------
     def as_object(self) -> ComplexObject:
-        """The entire database as a single tuple object (Section 4 of the paper)."""
+        """The entire database as a single tuple object (Section 4 of the paper).
+
+        Built under the read lock, so the result is one consistent snapshot
+        even while writers are committing.
+        """
         return TupleObject({name: value for name, value in self.items()})
+
+    def snapshot(self) -> Dict[str, ComplexObject]:
+        """A consistent ``name → object`` copy of the current committed state."""
+        return dict(self.items())
 
     # -- schemas -------------------------------------------------------------------------
     def declare_schema(self, name: str, schema: SchemaType) -> None:
         """Attach a schema to ``name``; the current and future values must conform."""
-        current = self.get(name)
-        if current is not None:
-            issues = check_object(current, schema)
-            if issues:
-                raise SchemaError(
-                    f"existing object for {name!r} violates the declared schema: {issues[0]}"
-                )
-        self._schemas[name] = schema
+        with self._lock.write_locked():
+            current = self._storage.read(name)
+            if current is not None:
+                issues = check_object(current, schema)
+                if issues:
+                    raise SchemaError(
+                        f"existing object for {name!r} violates the declared schema:"
+                        f" {issues[0]}"
+                    )
+            self._schemas[name] = schema
 
     def schema_of(self, name: str) -> Optional[SchemaType]:
         """The declared schema of ``name`` (or ``None``)."""
@@ -120,20 +207,23 @@ class ObjectDatabase:
     def create_index(self, path: Union[Path, str]) -> PathIndex:
         """Create (or return) a path index and populate it from the stored objects."""
         key = str(path if isinstance(path, Path) else Path(path))
-        if key not in self._indexes:
-            index = PathIndex(key)
-            index.rebuild(self.items())
-            self._indexes[key] = index
-        return self._indexes[key]
+        with self._lock.write_locked():
+            if key not in self._indexes:
+                index = PathIndex(key)
+                index.rebuild(self._storage.items())
+                self._indexes[key] = index
+            return self._indexes[key]
 
     def drop_index(self, path: Union[Path, str]) -> None:
         """Remove a path index (no error when absent)."""
         key = str(path if isinstance(path, Path) else Path(path))
-        self._indexes.pop(key, None)
+        with self._lock.write_locked():
+            self._indexes.pop(key, None)
 
     def indexes(self) -> Tuple[str, ...]:
         """The paths currently indexed."""
-        return tuple(sorted(self._indexes))
+        with self._lock.read_locked():
+            return tuple(sorted(self._indexes))
 
     # -- queries --------------------------------------------------------------------------
     def query(
@@ -150,7 +240,7 @@ class ObjectDatabase:
         interpreted against :meth:`as_object`.
         """
         parsed = self._as_formula(formula)
-        target = self.as_object() if against is None else self[against]
+        target = self.as_object() if against is None else self._require(against)
         return interpret(parsed, target, allow_bottom=allow_bottom)
 
     def find(
@@ -160,30 +250,35 @@ class ObjectDatabase:
 
         When ``path`` names an index and ``pattern`` pins a value at that path,
         the index narrows the candidates before the sub-object check; otherwise
-        every stored object is scanned.
+        every stored object is scanned.  The whole search runs under the read
+        lock, against one consistent state.
         """
-        candidates: Optional[Sequence[str]] = None
-        if path is not None:
-            key = str(path if isinstance(path, Path) else Path(path))
-            index = self._indexes.get(key)
-            if index is not None:
-                from repro.store.paths import get_path
+        with self._lock.read_locked():
+            candidates: Optional[Sequence[str]] = None
+            if path is not None:
+                key = str(path if isinstance(path, Path) else Path(path))
+                index = self._indexes.get(key)
+                if index is not None:
+                    from repro.store.paths import get_path
 
-                located = get_path(pattern, key)
-                values = located.elements if isinstance(located, SetObject) else [located]
-                gathered: List[str] = []
-                for value in values:
-                    if value.is_bottom:
-                        continue
-                    gathered.extend(index.lookup(value))
-                candidates = sorted(set(gathered))
-        if candidates is None:
-            candidates = self.names()
-        return [
-            name
-            for name in candidates
-            if (stored := self.get(name)) is not None and is_subobject(pattern, stored)
-        ]
+                    located = get_path(pattern, key)
+                    values = (
+                        located.elements if isinstance(located, SetObject) else [located]
+                    )
+                    gathered: List[str] = []
+                    for value in values:
+                        if value.is_bottom:
+                            continue
+                        gathered.extend(index.lookup(value))
+                    candidates = sorted(set(gathered))
+            if candidates is None:
+                candidates = self._storage.names()
+            return [
+                name
+                for name in candidates
+                if (stored := self._storage.read(name)) is not None
+                and is_subobject(pattern, stored)
+            ]
 
     # -- rules ----------------------------------------------------------------------------
     def apply_rules(
@@ -197,7 +292,7 @@ class ObjectDatabase:
         ruleset = rules if isinstance(rules, RuleSet) else RuleSet(
             [rules] if isinstance(rules, Rule) else rules
         )
-        target = self.as_object() if against is None else self[against]
+        target = self.as_object() if against is None else self._require(against)
         return ruleset.apply(target, allow_bottom=allow_bottom)
 
     def close_under(
@@ -209,45 +304,83 @@ class ObjectDatabase:
         **guards,
     ) -> ClosureResult:
         """Compute the closure (Definition 4.6) and optionally store the result."""
-        target = self.as_object() if against is None else self[against]
+        target = self.as_object() if against is None else self._require(against)
         result = close(target, rules, **guards)
         if store_as is not None:
             self.put(store_as, result.value)
         return result
 
     # -- updates ------------------------------------------------------------------------
+    # The single-statement helpers below are read-modify-write: they re-read
+    # the current object, recompute, and commit with the read value as the
+    # expected state.  A concurrent commit in the window shows up as a
+    # conflict, and the helper simply recomputes from the new state — so no
+    # concurrent update is ever silently lost, and the retry always makes
+    # global progress (a conflict means somebody else committed).
+
+    def _read_modify_write(self, name: str, compute, *, require: bool) -> ComplexObject:
+        while True:
+            current = self._require(name) if require else self.get(name, default=None)
+            result = compute(BOTTOM if current is None else current)
+            try:
+                self.commit_batch({name: result}, expected={name: current})
+            except TransactionError:
+                continue
+            return result
+
     def update(self, name: str, path: Union[Path, str], value) -> ComplexObject:
         """Assign ``value`` at ``path`` inside the object stored under ``name``."""
         from repro.core.builder import obj
+        from repro.store.updates import assign_path
 
-        current = self._require(name)
-        return self.put(name, assign_path(current, path, obj(value)))
+        converted = obj(value)
+        return self._read_modify_write(
+            name, lambda current: assign_path(current, path, converted), require=True
+        )
 
     def insert(self, name: str, path: Union[Path, str], element) -> ComplexObject:
         """Insert ``element`` into the set at ``path`` inside ``name``."""
         from repro.core.builder import obj
+        from repro.store.updates import insert_element
 
-        current = self._require(name)
-        return self.put(name, insert_element(current, path, obj(element)))
+        converted = obj(element)
+        return self._read_modify_write(
+            name, lambda current: insert_element(current, path, converted), require=True
+        )
 
     def discard(self, name: str, path: Union[Path, str], element) -> ComplexObject:
         """Remove ``element`` from the set at ``path`` inside ``name``."""
         from repro.core.builder import obj
+        from repro.store.updates import remove_element
 
-        current = self._require(name)
-        return self.put(name, remove_element(current, path, obj(element)))
+        converted = obj(element)
+        return self._read_modify_write(
+            name, lambda current: remove_element(current, path, converted), require=True
+        )
 
     def merge(self, name: str, other) -> ComplexObject:
         """Lattice-union ``other`` into the object stored under ``name``."""
         from repro.core.builder import obj
+        from repro.store.updates import merge_object
 
-        current = self.get(name, default=BOTTOM)
-        return self.put(name, merge_object(current, obj(other)))
+        converted = obj(other)
+        return self._read_modify_write(
+            name, lambda current: merge_object(current, converted), require=False
+        )
 
     # -- transactions ----------------------------------------------------------------------
     def transaction(self) -> Transaction:
         """Start a buffered transaction against this database."""
         return Transaction(self)
+
+    # -- maintenance -----------------------------------------------------------------------
+    def compact(self) -> None:
+        """Compact the storage engine's log (engines without one reject this)."""
+        compact = getattr(self._storage, "compact", None)
+        if compact is None:
+            raise StoreError("the storage engine does not support compaction")
+        with self._lock.write_locked():
+            compact()
 
     # -- helpers ---------------------------------------------------------------------------
     def _require(self, name: str) -> ComplexObject:

@@ -5,6 +5,13 @@ through sets, see :func:`repro.store.paths.iter_paths`) to the names of the
 stored objects containing them.  The :class:`ObjectDatabase` consults its
 indexes before falling back to a scan when answering ``find`` queries, and the
 ``bench_store`` benchmark measures the difference.
+
+Maintenance is O(keys-of-the-object), not O(index): alongside the inverted
+``value → names`` entries the index keeps a reverse ``name → keys`` map, so
+:meth:`PathIndex.remove` (and therefore every re-``add`` on overwrite) drops
+exactly the entries the object contributed instead of scanning the full
+table.  ``benchmarks/run_store_benchmarks.py`` records the before/after of
+this change as the ``indexed_write`` speedup.
 """
 
 from __future__ import annotations
@@ -23,36 +30,40 @@ class PathIndex:
     def __init__(self, path: Union[Path, str]):
         self.path = path if isinstance(path, Path) else Path(path)
         self._entries: Dict[ComplexObject, Set[str]] = {}
-        self._indexed: Set[str] = set()
+        self._keys_by_name: Dict[str, Set[ComplexObject]] = {}
 
     def __repr__(self) -> str:
-        return f"<PathIndex on {self.path} covering {len(self._indexed)} objects>"
+        return f"<PathIndex on {self.path} covering {len(self._keys_by_name)} objects>"
 
     # -- maintenance ---------------------------------------------------------------
     def add(self, name: str, value: ComplexObject) -> None:
         """Index the stored object ``value`` under ``name``."""
         self.remove(name)
-        for key in self._keys(value):
+        keys = self._keys(value)
+        for key in keys:
             self._entries.setdefault(key, set()).add(name)
-        self._indexed.add(name)
+        self._keys_by_name[name] = keys
 
     def remove(self, name: str) -> None:
-        """Drop ``name`` from the index (no error when absent)."""
-        if name not in self._indexed:
+        """Drop ``name`` from the index (no error when absent).
+
+        Costs O(keys the object contributed) via the reverse map — a full
+        scan of the inverted table is never needed.
+        """
+        keys = self._keys_by_name.pop(name, None)
+        if keys is None:
             return
-        empty_keys = []
-        for key, names in self._entries.items():
-            names.discard(name)
-            if not names:
-                empty_keys.append(key)
-        for key in empty_keys:
-            del self._entries[key]
-        self._indexed.discard(name)
+        for key in keys:
+            names = self._entries.get(key)
+            if names is not None:
+                names.discard(name)
+                if not names:
+                    del self._entries[key]
 
     def rebuild(self, items: Iterable[Tuple[str, ComplexObject]]) -> None:
         """Re-index the whole collection from scratch."""
         self._entries.clear()
-        self._indexed.clear()
+        self._keys_by_name.clear()
         for name, value in items:
             self.add(name, value)
 
@@ -75,7 +86,7 @@ class PathIndex:
 
     def covers(self, name: str) -> bool:
         """``True`` when ``name`` has been indexed."""
-        return name in self._indexed
+        return name in self._keys_by_name
 
     def keys(self) -> Tuple[ComplexObject, ...]:
         """Every distinct indexed key, in canonical order."""

@@ -1,0 +1,84 @@
+"""Locking primitives for the object store.
+
+The store follows a single-writer / multi-reader discipline:
+
+* every read of database state (lookups, scans, snapshots) runs under a
+  shared **read lock**, so readers never observe a half-applied commit;
+* every commit (single ``put``/``remove`` or a transaction batch) runs under
+  the exclusive **write lock**, which also serialises the conflict check with
+  the apply step — first-committer-wins is decided under the same lock that
+  publishes the decision.
+
+:class:`RWLock` is writer-preferring: once a writer is waiting, new readers
+queue behind it, so a steady stream of readers cannot starve commits.  The
+lock is intentionally non-reentrant; the database methods are structured so a
+locked region only ever calls unlocked internals.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A writer-preferring readers/writer lock."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (read) side ------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # -- exclusive (write) side --------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RWLock readers={self._readers} writer={self._writer_active}"
+            f" waiting={self._writers_waiting}>"
+        )

@@ -1,28 +1,33 @@
 """Storage engines: where named objects physically live.
 
-Two engines implement the same small interface (:class:`StorageEngine`):
+Two engines implement the same interface (:class:`StorageEngine`):
 
 * :class:`MemoryStorage` — a plain dictionary; the default for tests,
   examples and benchmarks;
-* :class:`FileStorage` — an append-only log of JSON records (one per write or
-  delete).  On open, the log is replayed to rebuild the current state, so a
-  crash between appends loses at most the interrupted record; ``compact()``
-  rewrites the log with just the live versions.
+* :class:`FileStorage` — a **write-ahead log**: every commit is appended as a
+  single checksummed record (see :func:`repro.store.codec.frame_record`) and
+  fsynced once, whether it carries one write or a whole transaction's batch.
+  On open, the log is replayed to rebuild the current state; an unterminated
+  final line is a *torn tail* left by a crash mid-append and is truncated
+  away, while a complete record that fails to parse or fails its checksum is
+  reported as corruption.  ``compact()`` rewrites the log with just the live
+  versions.
 
-The engines store *complex objects keyed by name*; everything smarter
-(indexes, transactions, schema checks, queries) lives above them in
-:class:`repro.store.database.ObjectDatabase`.
+The unit of atomicity is :meth:`StorageEngine.apply_batch`: a mapping from
+names to new values (``None`` meaning delete) that is applied all-or-nothing.
+``write``/``delete`` are single-change conveniences over it.  Everything
+smarter (indexes, transactions, schema checks, locking, queries) lives above
+the engines in :class:`repro.store.database.ObjectDatabase`.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.errors import StoreError
 from repro.core.objects import ComplexObject
-from repro.store.codec import decode_json, encode_json
+from repro.store.codec import decode_json, encode_json, frame_record, parse_record
 
 __all__ = ["StorageEngine", "MemoryStorage", "FileStorage"]
 
@@ -42,6 +47,27 @@ class StorageEngine:
         """Remove ``name`` (no error when absent)."""
         raise NotImplementedError
 
+    def apply_batch(self, changes: Mapping[str, Optional[ComplexObject]]) -> None:
+        """Apply a group of changes atomically and (if durable) in one fsync.
+
+        ``changes`` maps names to their new values; ``None`` deletes the
+        name.  Either every change lands or none does — engines must validate
+        and encode the whole batch before mutating any state.
+
+        The default applies the batch change-by-change through ``write`` /
+        ``delete`` so engines written against the original interface keep
+        working — but that fallback is only atomic when the individual
+        operations cannot fail part-way (it validates the whole batch up
+        front to make that true for well-typed values).  Engines with a real
+        commit point (like :class:`FileStorage`) must override it.
+        """
+        _check_batch(changes)
+        for name, value in changes.items():
+            if value is None:
+                self.delete(name)
+            else:
+                self.write(name, value)
+
     def names(self) -> Tuple[str, ...]:
         """The names currently stored, sorted."""
         raise NotImplementedError
@@ -57,6 +83,16 @@ class StorageEngine:
         """Release any resources (files); the default does nothing."""
 
 
+def _check_batch(changes: Mapping[str, Optional[ComplexObject]]) -> None:
+    for name, value in changes.items():
+        if not isinstance(name, str):
+            raise StoreError(f"object names must be strings, got {type(name).__name__}")
+        if value is not None and not isinstance(value, ComplexObject):
+            raise StoreError(
+                f"only complex objects can be stored, got {type(value).__name__}"
+            )
+
+
 class MemoryStorage(StorageEngine):
     """An in-memory storage engine backed by a dictionary."""
 
@@ -67,27 +103,47 @@ class MemoryStorage(StorageEngine):
         return self._objects.get(name)
 
     def write(self, name: str, value: ComplexObject) -> None:
-        if not isinstance(value, ComplexObject):
-            raise StoreError(f"only complex objects can be stored, got {type(value).__name__}")
-        self._objects[name] = value
+        self.apply_batch({name: value})
 
     def delete(self, name: str) -> None:
-        self._objects.pop(name, None)
+        self.apply_batch({name: None})
+
+    def apply_batch(self, changes: Mapping[str, Optional[ComplexObject]]) -> None:
+        _check_batch(changes)
+        # Validation above is the only thing that can raise; the loop below
+        # cannot fail part-way, so the batch is all-or-nothing.
+        for name, value in changes.items():
+            if value is None:
+                self._objects.pop(name, None)
+            else:
+                self._objects[name] = value
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._objects))
 
 
 class FileStorage(StorageEngine):
-    """An append-only, JSON-lines file storage engine.
+    """A write-ahead-log storage engine over one append-only file.
 
-    Each line is a record ``{"op": "write"|"delete", "name": ..., "data": ...}``.
-    The constructor replays the log; writes are flushed immediately.
+    Each committed batch is one line: ``{"op": "commit", "writes": {name:
+    encoded-object-or-null, ...}, "crc": ...}`` (``null`` deletes the name).
+    The legacy per-change records ``{"op": "write"|"delete", ...}`` written
+    by earlier versions are still replayed, so old logs open unchanged.
+
+    Recovery discipline on open:
+
+    * a final line with no terminating newline is a **torn tail** — the crash
+      happened mid-append, the commit never completed, and the tail is
+      truncated off so the next append starts at a record boundary;
+    * a newline-terminated record that fails to parse, fails its checksum, or
+      has an unknown shape is **corruption** and raises :class:`StoreError` —
+      completed commits are never silently dropped.
     """
 
     def __init__(self, path: str):
         self.path = path
         self._objects: Dict[str, ComplexObject] = {}
+        self.torn_bytes_dropped = 0
         self._replay()
         # Open for appending only after a successful replay so a corrupt log
         # is reported before any new data is appended to it.
@@ -97,21 +153,49 @@ class FileStorage(StorageEngine):
     def _replay(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise StoreError(
-                        f"corrupt storage log {self.path!r} at line {line_number}: {error}"
-                    ) from error
-                self._apply_record(record, line_number)
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        if raw and not raw.endswith(b"\n"):
+            boundary = raw.rfind(b"\n") + 1
+            self.torn_bytes_dropped = len(raw) - boundary
+            raw = raw[:boundary]
+            with open(self.path, "r+b") as handle:
+                handle.truncate(boundary)
+                handle.flush()
+                os.fsync(handle.fileno())
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise StoreError(
+                f"corrupt storage log {self.path!r}: not valid UTF-8 ({error})"
+            ) from error
+        for line_number, line in enumerate(text.split("\n"), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = parse_record(line)
+            except StoreError as error:
+                raise StoreError(
+                    f"corrupt storage log {self.path!r} at line {line_number}: {error}"
+                ) from error
+            self._apply_record(record, line_number)
 
     def _apply_record(self, record: dict, line_number: int) -> None:
         operation = record.get("op")
+        if operation == "commit":
+            writes = record.get("writes")
+            if not isinstance(writes, dict):
+                raise StoreError(
+                    f"corrupt commit record (missing writes) at line {line_number}"
+                )
+            for name, data in writes.items():
+                if data is None:
+                    self._objects.pop(name, None)
+                else:
+                    self._objects[name] = decode_json(data)
+            return
+        # Legacy per-change records from the pre-WAL format.
         name = record.get("name")
         if not isinstance(name, str):
             raise StoreError(f"corrupt record (missing name) at line {line_number}")
@@ -120,10 +204,12 @@ class FileStorage(StorageEngine):
         elif operation == "delete":
             self._objects.pop(name, None)
         else:
-            raise StoreError(f"corrupt record (unknown op {operation!r}) at line {line_number}")
+            raise StoreError(
+                f"corrupt record (unknown op {operation!r}) at line {line_number}"
+            )
 
-    def _append(self, record: dict) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+    def _append(self, line: str) -> None:
+        self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
@@ -132,15 +218,30 @@ class FileStorage(StorageEngine):
         return self._objects.get(name)
 
     def write(self, name: str, value: ComplexObject) -> None:
-        if not isinstance(value, ComplexObject):
-            raise StoreError(f"only complex objects can be stored, got {type(value).__name__}")
-        self._append({"op": "write", "name": name, "data": encode_json(value)})
-        self._objects[name] = value
+        self.apply_batch({name: value})
+
+    def apply_batch(self, changes: Mapping[str, Optional[ComplexObject]]) -> None:
+        _check_batch(changes)
+        if not changes:
+            return
+        # Encode and frame the whole commit before touching the log or the
+        # in-memory state: an encoding failure leaves both untouched, and the
+        # single append + fsync makes the batch one durability point.
+        writes = {
+            name: None if value is None else encode_json(value)
+            for name, value in changes.items()
+        }
+        self._append(frame_record({"op": "commit", "writes": writes}))
+        for name, value in changes.items():
+            if value is None:
+                self._objects.pop(name, None)
+            else:
+                self._objects[name] = value
 
     def delete(self, name: str) -> None:
+        # Skip the log append when the name is absent; nothing to undo.
         if name in self._objects:
-            self._append({"op": "delete", "name": name})
-            self._objects.pop(name, None)
+            self.apply_batch({name: None})
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._objects))
@@ -150,8 +251,11 @@ class FileStorage(StorageEngine):
         temporary = self.path + ".compact"
         with open(temporary, "w", encoding="utf-8") as handle:
             for name in sorted(self._objects):
-                record = {"op": "write", "name": name, "data": encode_json(self._objects[name])}
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                record = {
+                    "op": "commit",
+                    "writes": {name: encode_json(self._objects[name])},
+                }
+                handle.write(frame_record(record))
             handle.flush()
             os.fsync(handle.fileno())
         self._handle.close()

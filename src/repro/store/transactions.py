@@ -1,15 +1,23 @@
-"""Minimal transactions over the object database.
+"""Atomic, optimistically-concurrent transactions over the object database.
 
 A :class:`Transaction` buffers writes and deletes against a snapshot of the
-database and applies them atomically on :meth:`commit` (all-or-nothing at the
-level of the in-process store; durability is the storage engine's job).  Reads
-inside the transaction see its own uncommitted writes first, then the
-snapshot.  A simple first-committer-wins conflict check rejects the commit if
-an object touched by the transaction was modified underneath it.
+database and applies them atomically on :meth:`commit` — genuinely
+all-or-nothing: every schema is validated and every change staged *before*
+anything touches storage, and the batch then lands under the database's
+exclusive write lock as one storage commit (a single WAL append + fsync on a
+file-backed engine).  A commit that fails — schema violation, conflict,
+storage error — leaves the database exactly as it was.
 
-This is intentionally lightweight — enough to give the update primitives of
-:mod:`repro.store.updates` a sane multi-statement envelope, which is all the
-paper's future-work item needs to be exercised.
+Reads inside the transaction see its own uncommitted writes first, then the
+snapshot, which is remembered lazily per name.  At commit time the *whole*
+snapshot (read set as well as write set) is validated against the current
+state under the write lock: if any object the transaction observed has since
+changed, the commit is rejected (first committer wins).  Because stored
+objects are hash-consed (PR 2), "changed" means semantically changed —
+rewriting an identical object underneath the transaction is not a conflict.
+
+A failed commit deactivates the transaction, so the context-manager exit
+never aborts a transaction that already tried to commit (no double-abort).
 """
 
 from __future__ import annotations
@@ -38,9 +46,13 @@ class Transaction:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        if exc_type is None and self._active:
+        if not self._active:
+            # Already committed or aborted (possibly a commit that failed and
+            # deactivated us) — there is nothing left to clean up.
+            return False
+        if exc_type is None:
             self.commit()
-        elif self._active:
+        else:
             self.abort()
         return False
 
@@ -85,22 +97,24 @@ class Transaction:
 
     # -- lifecycle ----------------------------------------------------------------------
     def commit(self) -> None:
-        """Apply the buffered changes atomically; first-committer-wins conflicts."""
+        """Validate everything, then apply the buffered changes as one batch.
+
+        Schema checks for every write run before any change is applied; the
+        snapshot validation and the apply step happen together under the
+        database's write lock (see :meth:`ObjectDatabase.commit_batch`).  Any
+        failure — :class:`~repro.core.errors.SchemaError`, a write-write
+        conflict, a storage error — leaves the database untouched and this
+        transaction inactive.
+        """
         self._require_active()
-        for name in self._writes:
-            current = self._database.get(name, default=None)
-            if current is not self._snapshot.get(name) and current != self._snapshot.get(name):
-                self._active = False
-                raise TransactionError(
-                    f"write-write conflict on {name!r}: the object changed since the"
-                    " transaction first read it"
-                )
-        for name, value in self._writes.items():
-            if value is _DELETED:
-                self._database.remove(name)
-            else:
-                self._database.put(name, value)
+        # Deactivate first: whatever happens below, this transaction is over,
+        # and __exit__ must not try to abort it a second time.
         self._active = False
+        changes = {
+            name: None if value is _DELETED else value
+            for name, value in self._writes.items()
+        }
+        self._database.commit_batch(changes, expected=dict(self._snapshot))
 
     def abort(self) -> None:
         """Discard the buffered changes."""

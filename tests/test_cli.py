@@ -173,3 +173,67 @@ class TestEngineSelection:
     def test_unknown_engine_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             run_cli("run", self.PROGRAM, "--engine", "quantum")
+
+
+class TestStoreCommand:
+    def test_put_get_round_trip(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        code, output = run_cli(
+            "store", "--db-path", db_path, "put", "family",
+            "[family: {[name: abraham]}]",
+        )
+        assert code == 0
+        assert "stored 'family'" in output
+        code, output = run_cli(
+            "store", "--db-path", db_path, "get", "family", "--compact"
+        )
+        assert code == 0
+        assert output.strip() == "[family: {[name: abraham]}]"
+
+    def test_durability_across_invocations(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        run_cli("store", "--db-path", db_path, "put", "a", "1")
+        run_cli("store", "--db-path", db_path, "put", "b", "2")
+        run_cli("store", "--db-path", db_path, "delete", "a")
+        code, output = run_cli("store", "--db-path", db_path, "names")
+        assert code == 0
+        assert output.split() == ["b"]
+
+    def test_query_against_stored_object(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        run_cli(
+            "store", "--db-path", db_path, "put", "people",
+            "{[name: peter, age: 25], [name: john, age: 7]}",
+        )
+        code, output = run_cli(
+            "store", "--db-path", db_path, "query", "{[name: X, age: 25]}",
+            "--against", "people",
+        )
+        assert code == 0
+        assert "peter" in output
+        assert "john" not in output
+
+    def test_compact_rewrites_the_log(self, tmp_path):
+        import os
+
+        db_path = str(tmp_path / "db.wal")
+        for version in range(10):
+            run_cli("store", "--db-path", db_path, "put", "x", str(version))
+        size_before = os.path.getsize(db_path)
+        code, output = run_cli("store", "--db-path", db_path, "compact")
+        assert code == 0
+        assert os.path.getsize(db_path) < size_before
+        code, output = run_cli("store", "--db-path", db_path, "get", "x", "--compact")
+        assert output.strip() == "9"
+
+    def test_get_missing_name_is_an_error(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        code, output = run_cli("store", "--db-path", db_path, "get", "ghost")
+        assert code == 1
+        assert "error:" in output
+
+    def test_put_without_value_is_an_error(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        code, output = run_cli("store", "--db-path", db_path, "put", "x")
+        assert code == 1
+        assert "error:" in output

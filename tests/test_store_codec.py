@@ -10,8 +10,10 @@ from repro.store.codec import (
     decode_json,
     dumps_object,
     encode_json,
+    frame_record,
     from_json_text,
     loads_object,
+    parse_record,
     to_json_text,
 )
 
@@ -77,3 +79,34 @@ class TestTextNotation:
     def test_dumps_loads_round_trip(self):
         value = parse_object("[r1: {[name: peter, age: 25]}]")
         assert loads_object(dumps_object(value)) == value
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        record = {"op": "commit", "writes": {"x": encode_json(obj(1)), "y": None}}
+        line = frame_record(record)
+        assert line.endswith("\n")
+        assert "\n" not in line[:-1]
+        assert parse_record(line) == record
+
+    def test_checksum_detects_damage(self):
+        line = frame_record({"op": "commit", "writes": {}})
+        with pytest.raises(StoreError):
+            parse_record(line.replace('"commit"', '"COMMIT"'))
+
+    def test_records_without_checksum_are_accepted(self):
+        # The pre-WAL log format never carried a checksum.
+        assert parse_record('{"op": "write", "name": "x"}') == {
+            "op": "write",
+            "name": "x",
+        }
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(StoreError):
+            parse_record("{not json}")
+        with pytest.raises(StoreError):
+            parse_record('["not", "an", "object"]')
+
+    def test_refuses_to_frame_a_record_with_a_checksum(self):
+        with pytest.raises(StoreError):
+            frame_record({"op": "commit", "crc": 1})

@@ -93,6 +93,54 @@ class TestQueries:
         assert database.indexes() == ()
 
 
+class TestMissingAgainst:
+    """A missing ``against=`` name is a StoreError, not a bare KeyError."""
+
+    def test_query_missing_against(self, database):
+        with pytest.raises(StoreError):
+            database.query("{[name: X]}", against="missing")
+
+    def test_apply_rules_missing_against(self, database):
+        rule = parse_rule("[minors: {X}] :- [people: {[name: X, age: 7]}]")
+        with pytest.raises(StoreError):
+            database.apply_rules(rule, against="missing")
+
+    def test_close_under_missing_against(self, database):
+        rule = parse_rule("[doa: {abraham}].")
+        with pytest.raises(StoreError):
+            database.close_under(rule, against="missing")
+
+
+class TestBatchCommit:
+    def test_commit_batch_applies_writes_and_deletes_together(self, database):
+        database.commit_batch({"people": None, "cities": obj(["austin"])})
+        assert "people" not in database
+        assert database["cities"] == obj(["austin"])
+
+    def test_commit_batch_maintains_indexes(self, database):
+        database.create_index("name")
+        database.commit_batch(
+            {"zoe": obj({"name": "zoe"}), "ann": obj({"name": "ann"})}
+        )
+        assert database.find(parse_object("[name: zoe]"), path="name") == ["zoe"]
+        database.commit_batch({"zoe": None})
+        assert database.find(parse_object("[name: zoe]"), path="name") == []
+
+    def test_version_bumps_once_per_batch(self, database):
+        before = database.version
+        database.commit_batch({"a": obj(1), "b": obj(2), "c": obj(3)})
+        assert database.version == before + 1
+
+    def test_removing_an_absent_name_is_a_no_op_commit(self, database):
+        before = database.version
+        database.remove("missing")
+        assert database.version == before
+
+    def test_compact_requires_a_compactable_engine(self, database):
+        with pytest.raises(StoreError):
+            database.compact()
+
+
 class TestRulesAndClosure:
     def test_apply_rules(self, database):
         rule = parse_rule("[minors: {X}] :- [people: {[name: X, age: 7]}]")

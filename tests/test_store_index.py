@@ -56,3 +56,35 @@ class TestPathIndex:
         index.add("a", obj({"city": "austin"}))
         index.add("b", obj({"city": "austin"}))
         assert index.lookup(obj("austin")) == {"a", "b"}
+
+
+class TestReverseMap:
+    """Maintenance must be O(keys of the object), tracked via the reverse map."""
+
+    def test_remove_only_visits_the_objects_own_keys(self):
+        index = PathIndex("name")
+        for position in range(100):
+            index.add(f"obj{position}", obj({"name": f"n{position}"}))
+        # Removing one name leaves every other entry untouched.
+        index.remove("obj50")
+        assert len(index) == 99
+        assert index.lookup(obj("n50")) == frozenset()
+        assert index.lookup(obj("n49")) == {"obj49"}
+
+    def test_overwrite_with_multiple_set_keys(self):
+        index = PathIndex("tags")
+        index.add("x", obj({"tags": ["a", "b", "c"]}))
+        index.add("x", obj({"tags": ["b", "d"]}))
+        assert index.lookup(obj("a")) == frozenset()
+        assert index.lookup(obj("b")) == {"x"}
+        assert index.lookup(obj("d")) == {"x"}
+        assert len(index) == 2
+
+    def test_shared_key_survives_removing_one_contributor(self):
+        index = PathIndex("city")
+        index.add("a", obj({"city": "austin"}))
+        index.add("b", obj({"city": "austin"}))
+        index.remove("a")
+        assert index.lookup(obj("austin")) == {"b"}
+        index.remove("b")
+        assert len(index) == 0

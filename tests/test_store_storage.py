@@ -8,7 +8,7 @@ import pytest
 from repro import parse_object
 from repro.core.builder import obj
 from repro.core.errors import StoreError
-from repro.store.storage import FileStorage, MemoryStorage
+from repro.store.storage import FileStorage, MemoryStorage, StorageEngine
 
 
 class TestMemoryStorage:
@@ -112,3 +112,162 @@ class TestFileStorage:
         with open(path, "a", encoding="utf-8") as handle:
             handle.write("\n\n")
         assert FileStorage(path).read("x") == obj(1)
+
+
+class TestWriteAheadLog:
+    """Group commit, checksummed framing and torn-tail crash recovery."""
+
+    def test_apply_batch_is_one_log_record(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.apply_batch({"a": obj(1), "b": obj(2), "c": obj(3)})
+        storage.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        reloaded = FileStorage(path)
+        assert reloaded.names() == ("a", "b", "c")
+        reloaded.close()
+
+    def test_batch_mixes_writes_and_deletes(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.write("old", obj(1))
+        storage.apply_batch({"old": None, "new": obj(2)})
+        storage.close()
+        reloaded = FileStorage(path)
+        assert reloaded.read("old") is None
+        assert reloaded.read("new") == obj(2)
+        reloaded.close()
+
+    def test_empty_batch_appends_nothing(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.apply_batch({})
+        storage.close()
+        assert os.path.getsize(path) == 0
+
+    def test_torn_tail_is_dropped_and_truncated(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.write("committed", obj(1))
+        storage.close()
+        size_committed = os.path.getsize(path)
+        # Simulate a crash mid-append: a partial record with no newline.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op":"commit","writes":{"in_flight":{"k"')
+        recovered = FileStorage(path)
+        assert recovered.read("committed") == obj(1)
+        assert recovered.read("in_flight") is None
+        assert recovered.names() == ("committed",)
+        assert recovered.torn_bytes_dropped > 0
+        # The tail was physically truncated, so new appends start clean.
+        assert os.path.getsize(path) == size_committed
+        recovered.write("after", obj(2))
+        recovered.close()
+        reloaded = FileStorage(path)
+        assert reloaded.names() == ("after", "committed")
+        assert reloaded.torn_bytes_dropped == 0
+        reloaded.close()
+
+    def test_torn_tail_of_empty_log_is_dropped(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"op":"commit"')  # no newline: never committed
+        storage = FileStorage(path)
+        assert storage.names() == ()
+        storage.close()
+
+    def test_complete_record_with_bad_checksum_is_corruption(self, tmp_path):
+        from repro.store.codec import frame_record
+
+        path = str(tmp_path / "store.wal")
+        line = frame_record({"op": "commit", "writes": {}})
+        damaged = line.replace('"commit"', '"COMMIT"')
+        assert damaged != line
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(damaged)
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_commit_record_without_writes_is_corruption(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": "commit"}) + "\n")
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_legacy_per_change_records_still_replay(self, tmp_path):
+        from repro.store.codec import encode_json
+
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": "write", "name": "x", "data": encode_json(obj(1))}) + "\n")
+            handle.write(json.dumps({"op": "write", "name": "y", "data": encode_json(obj(2))}) + "\n")
+            handle.write(json.dumps({"op": "delete", "name": "y"}) + "\n")
+        storage = FileStorage(path)
+        assert storage.read("x") == obj(1)
+        assert storage.read("y") is None
+        storage.close()
+
+    def test_non_utf8_log_is_corruption_not_a_crash(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        with open(path, "wb") as handle:
+            handle.write(b'{"op":"commit","writes":{}}\xff\xfe\n')
+        with pytest.raises(StoreError):
+            FileStorage(path)
+
+    def test_delete_of_absent_name_appends_nothing(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.write("x", obj(1))
+        size = os.path.getsize(path)
+        storage.delete("missing")
+        assert os.path.getsize(path) == size
+        storage.close()
+
+    def test_legacy_engine_subclasses_still_work(self):
+        # An engine written against the original interface (write/delete
+        # only) must keep working through the base apply_batch fallback.
+        class LegacyEngine(StorageEngine):
+            def __init__(self):
+                self.data = {}
+
+            def read(self, name):
+                return self.data.get(name)
+
+            def write(self, name, value):
+                self.data[name] = value
+
+            def delete(self, name):
+                self.data.pop(name, None)
+
+            def names(self):
+                return tuple(sorted(self.data))
+
+        engine = LegacyEngine()
+        engine.apply_batch({"a": obj(1), "b": obj(2)})
+        engine.apply_batch({"a": None, "c": obj(3)})
+        assert engine.names() == ("b", "c")
+        with pytest.raises(StoreError):
+            engine.apply_batch({"bad": "not-an-object"})
+
+    def test_memory_engine_batches_atomically(self):
+        storage = MemoryStorage()
+        storage.write("keep", obj(1))
+        with pytest.raises(StoreError):
+            storage.apply_batch({"keep": obj(2), "bad": "not-an-object"})
+        # The invalid batch changed nothing.
+        assert storage.read("keep") == obj(1)
+        assert storage.read("bad") is None
+
+    def test_file_engine_rejects_bad_batch_without_touching_the_log(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.write("keep", obj(1))
+        size = os.path.getsize(path)
+        with pytest.raises(StoreError):
+            storage.apply_batch({"keep": obj(2), "bad": "not-an-object"})
+        assert os.path.getsize(path) == size
+        assert storage.read("keep") == obj(1)
+        storage.close()

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.core.builder import obj
-from repro.core.errors import TransactionError
+from repro.core.errors import SchemaError, TransactionError
+from repro.schema.types import integer, set_type, string, tuple_type
 from repro.store.database import ObjectDatabase
+from repro.store.storage import FileStorage
 
 
 @pytest.fixture
@@ -82,6 +84,72 @@ class TestAbortAndLifecycle:
         txn.abort()
 
 
+class TestAtomicity:
+    """A failed commit must leave the database exactly as it was."""
+
+    SCHEMA = tuple_type({"balance": integer()}, required=["balance"])
+
+    def test_schema_failure_mid_batch_applies_nothing(self, database):
+        # Regression for the half-commit bug: the second write violates its
+        # schema, and the first — valid — write must NOT be applied.
+        database.declare_schema("account_b", self.SCHEMA)
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 0}))
+        txn.put("account_b", obj({"balance": "not-a-number"}))
+        with pytest.raises(SchemaError):
+            txn.commit()
+        assert database["account_a"] == obj({"balance": 100})
+        assert database["account_b"] == obj({"balance": 50})
+
+    def test_schema_failure_mid_batch_is_atomic_on_disk(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        database = ObjectDatabase(FileStorage(path))
+        database.put("account_a", {"balance": 100})
+        database.put("account_b", {"balance": 50})
+        database.declare_schema("account_b", self.SCHEMA)
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": 0}))
+        txn.put("account_b", obj({"balance": "oops"}))
+        with pytest.raises(SchemaError):
+            txn.commit()
+        database.close()
+        # Nothing of the failed transaction reached the log either.
+        reopened = ObjectDatabase(FileStorage(path))
+        assert reopened["account_a"] == obj({"balance": 100})
+        assert reopened["account_b"] == obj({"balance": 50})
+        reopened.close()
+
+    def test_failed_commit_deactivates_the_transaction(self, database):
+        database.declare_schema("account_a", self.SCHEMA)
+        txn = database.transaction()
+        txn.put("account_a", obj({"balance": "bad"}))
+        with pytest.raises(SchemaError):
+            txn.commit()
+        assert not txn.active
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_exit_after_failed_commit_does_not_double_abort(self, database):
+        # The context manager commits on a clean exit; when that commit fails
+        # the original error must surface — not a second TransactionError
+        # from __exit__ trying to abort the already-deactivated transaction.
+        with pytest.raises(TransactionError, match="conflict"):
+            with database.transaction() as txn:
+                txn.put("account_a", obj({"balance": 1}))
+                database.put("account_a", obj({"balance": 999}))
+        assert database["account_a"] == obj({"balance": 999})
+
+    def test_exit_after_explicit_failed_commit_is_quiet(self, database):
+        txn = database.transaction()
+        txn.__enter__()
+        txn.put("account_a", obj({"balance": 1}))
+        database.put("account_a", obj({"balance": 999}))
+        with pytest.raises(TransactionError):
+            txn.commit()
+        # Leaving the with-block afterwards must not raise again.
+        assert txn.__exit__(None, None, None) is False
+
+
 class TestConflicts:
     def test_first_committer_wins(self, database):
         first = database.transaction()
@@ -109,3 +177,36 @@ class TestConflicts:
         database.put("account_a", obj({"balance": 999}))
         with pytest.raises(TransactionError):
             txn.commit()
+
+    def test_delete_create_conflict_on_name_absent_at_snapshot(self, database):
+        # The transaction deletes a name that did not exist when it looked;
+        # a concurrent writer then creates it.  Committing the delete would
+        # silently destroy the other writer's object, so it must conflict.
+        txn = database.transaction()
+        txn.delete("ghost")
+        database.put("ghost", obj({"balance": 1}))
+        with pytest.raises(TransactionError):
+            txn.commit()
+        assert database["ghost"] == obj({"balance": 1})
+
+    def test_interned_aba_rewrite_is_not_a_conflict(self, database):
+        # A concurrent writer rewrites the identical object (hash-consing
+        # makes it the same interned value).  Nothing the transaction read
+        # has semantically changed, so the commit must go through.
+        txn = database.transaction()
+        assert txn.get("account_a") == obj({"balance": 100})  # snapshots account_a
+        txn.put("account_b", obj({"balance": 70}))
+        database.put("account_a", obj({"balance": 100}))  # identical rewrite
+        txn.commit()
+        assert database["account_b"] == obj({"balance": 70})
+
+    def test_read_set_is_validated_too(self, database):
+        # Snapshot validation covers names the transaction only read: the
+        # write to account_b was computed from a stale account_a.
+        txn = database.transaction()
+        assert txn.get("account_a") == obj({"balance": 100})
+        txn.put("account_b", obj({"balance": 150}))
+        database.put("account_a", obj({"balance": 0}))
+        with pytest.raises(TransactionError):
+            txn.commit()
+        assert database["account_b"] == obj({"balance": 50})
