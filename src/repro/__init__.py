@@ -8,9 +8,13 @@ substrates needed to evaluate it:
   (Sections 2 and 3 of the paper);
 * :mod:`repro.calculus` — well-formed formulae, rules and fixpoint semantics
   (Section 4);
+* :mod:`repro.plan` — the query pipeline every evaluator compiles through:
+  a logical plan IR, attribute-path statistics, a cost-based optimizer
+  (join reordering, index pushdown) and the EXPLAIN facility behind
+  ``Program.explain()``;
 * :mod:`repro.engine` — the pluggable evaluation engine: rule stratification,
   semi-naive delta-driven closure and match indexes behind
-  ``Program.evaluate(engine="seminaive")``;
+  ``Program.evaluate(engine="seminaive")``, executing plan IR;
 * :mod:`repro.parser` — the paper's concrete syntax;
 * :mod:`repro.relational` — a first-normal-form relational engine and an NF²
   (nested relational) extension used as baselines;

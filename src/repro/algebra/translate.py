@@ -1,4 +1,4 @@
-"""Translate "relational shape" calculus rules into algebra plans.
+"""Lower logical plans of "relational shape" rules into algebra expressions.
 
 Every rule in the paper's Example 4.2 has the same conjunctive shape::
 
@@ -7,8 +7,15 @@ Every rule in the paper's Example 4.2 has the same conjunctive shape::
 where each ``PATTERNi`` is a flat tuple of variables and constants over one
 named relation of the database and ``HEAD_PATTERN`` is a flat tuple (or a bare
 variable) built from the body's variables and fresh constants.  For that
-fragment the calculus coincides with select–project–join–rename plans, and the
-translator makes the correspondence executable:
+fragment the calculus coincides with select–project–join–rename plans.
+
+The lowering no longer re-parses the rule body itself: the body compiles
+through the shared plan pipeline (:func:`repro.plan.compile.compile_body`,
+:func:`repro.plan.optimize.optimize_body`) and this module lowers the
+resulting :class:`~repro.plan.ir.BodyPlan` — every scan leaf becomes one
+relation access, and the **optimizer's cost-ordered leaves decide the join
+order**, so the same reordering that accelerates the engine accelerates the
+algebraic route:
 
 * constants in a body pattern become pattern selections,
 * variables become (renamed) output columns,
@@ -19,9 +26,10 @@ translator makes the correspondence executable:
 
 Rules outside the fragment (nested patterns, recursion through the head,
 set-valued head nesting, several patterns per relation attribute) raise
-:class:`TranslationError`; the calculus evaluates them directly.  The
-``bench_rules_vs_algebra`` benchmark and the integration tests use the
-translator to confirm that both evaluation routes agree on the fragment.
+:class:`TranslationError` naming the offending rule, pattern and attribute
+path; the calculus evaluates them directly.  The ``bench_rules_vs_algebra``
+benchmark and the integration tests use the translator to confirm that both
+evaluation routes agree on the fragment.
 """
 
 from __future__ import annotations
@@ -44,6 +52,9 @@ from repro.algebra.expressions import (
 )
 from repro.calculus.rules import Rule
 from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.plan.compile import compile_body
+from repro.plan.ir import ScanLeaf
+from repro.plan.optimize import optimize_body
 
 __all__ = ["TranslationError", "RulePlan", "translate_rule"]
 
@@ -81,30 +92,67 @@ class RulePlan:
 def translate_rule(rule: Rule) -> RulePlan:
     """Translate ``rule`` into a :class:`RulePlan`; raises :class:`TranslationError`."""
     if rule.is_fact:
-        raise TranslationError("facts need no algebra plan")
-    atoms = _parse_body(rule.body)
-    head_relation, head_pattern = _parse_head(rule.head)
+        raise TranslationError(
+            f"cannot translate rule `{rule.to_text()}`: facts need no algebra plan"
+        )
+    atoms = _lower_body(rule)
+    head_relation, head_pattern = _parse_head(rule)
     plan, columns = _build_join_plan(atoms)
-    plan, output_columns = _apply_head(plan, columns, head_pattern)
+    plan, output_columns = _apply_head(rule, plan, columns, head_pattern)
     return RulePlan(
         rule=rule, plan=plan, head_relation=head_relation, output_columns=output_columns
     )
 
 
 # -- body ---------------------------------------------------------------------------
-def _parse_body(body: Formula) -> List[_BodyAtom]:
-    if not isinstance(body, TupleFormula):
-        raise TranslationError("the body must be a tuple of relation patterns")
+def _reject(rule: Rule, reason: str) -> TranslationError:
+    """A :class:`TranslationError` that names the offending rule."""
+    return TranslationError(f"cannot translate rule `{rule.to_text()}`: {reason}")
+
+
+def _lower_body(rule: Rule) -> List[_BodyAtom]:
+    """Lower the rule body's compiled plan into relation atoms, in plan order.
+
+    The leaves arrive cost-ordered from the optimizer, so the join plan built
+    from them inherits the optimizer's join order.
+    """
+    plan = optimize_body(compile_body(rule.body))
     atoms: List[_BodyAtom] = []
-    for relation_name, value in body.items():
-        if not isinstance(value, SetFormula) or len(value.elements) != 1:
-            raise TranslationError(
-                f"relation {relation_name!r} must be matched by exactly one set pattern"
+    seen_relations: Dict[str, int] = {}
+    for leaf in plan.leaves:
+        if not isinstance(leaf, ScanLeaf):
+            where = str(leaf.path) or "the database root"
+            raise _reject(
+                rule,
+                f"the body must be a tuple of relation patterns, but"
+                f" `{leaf.describe()}` reads {where} directly instead of"
+                " scanning a named relation",
             )
-        pattern = value.elements[0]
+        if len(leaf.path.steps) != 1:
+            where = str(leaf.path) or "the database root"
+            raise _reject(
+                rule,
+                f"the pattern `{leaf.element.to_text()}` matches a set at"
+                f" {where}; only sets stored directly under one relation"
+                " attribute are translatable",
+            )
+        relation_name = leaf.path.steps[0]
+        seen_relations[relation_name] = seen_relations.get(relation_name, 0) + 1
+        if seen_relations[relation_name] > 1:
+            raise _reject(
+                rule,
+                f"relation {relation_name!r} is matched by"
+                f" {seen_relations[relation_name]} set patterns; exactly one"
+                " is translatable (a second pattern would need a self-join"
+                " the fragment cannot express)",
+            )
+        pattern = leaf.element
         if not isinstance(pattern, TupleFormula):
-            raise TranslationError(
-                f"the pattern for relation {relation_name!r} must be a flat tuple"
+            raise _reject(
+                rule,
+                f"the pattern `{pattern.to_text()}` for relation"
+                f" {relation_name!r} must be a flat tuple of variables and"
+                " constants (bare variables need lattice meets, not joins)",
             )
         constants: List[Tuple[str, ComplexObject]] = []
         variables: List[Tuple[str, str]] = []
@@ -114,8 +162,11 @@ def _parse_body(body: Formula) -> List[_BodyAtom]:
             elif isinstance(child, Variable):
                 variables.append((attribute, child.name))
             else:
-                raise TranslationError(
-                    f"nested pattern under {relation_name}.{attribute} is not translatable"
+                raise _reject(
+                    rule,
+                    f"the nested pattern `{child.to_text()}` under"
+                    f" {relation_name}.{attribute} is not translatable"
+                    " (only flat variables and constants map to columns)",
                 )
         atoms.append(
             _BodyAtom(
@@ -125,7 +176,7 @@ def _parse_body(body: Formula) -> List[_BodyAtom]:
             )
         )
     if not atoms:
-        raise TranslationError("the body references no relation")
+        raise _reject(rule, "the body references no relation")
     return atoms
 
 
@@ -176,52 +227,87 @@ def _build_join_plan(atoms: Sequence[_BodyAtom]) -> Tuple[AlgebraExpression, Tup
 
 
 # -- head ---------------------------------------------------------------------------
-def _parse_head(head: Formula) -> Tuple[Optional[str], Formula]:
+def _parse_head(rule: Rule) -> Tuple[Optional[str], Formula]:
     """Split the head into (relation name or None, element pattern)."""
+    head = rule.head
     if isinstance(head, SetFormula):
-        return None, _single_element(head, "the head set")
+        return None, _single_element(rule, head, "the head set")
     if isinstance(head, TupleFormula):
         if len(head) != 1:
-            raise TranslationError("the head must assign to exactly one relation")
+            raise _reject(
+                rule,
+                f"the head `{head.to_text()}` must assign to exactly one"
+                f" relation, not {len(head)}",
+            )
         ((relation_name, value),) = head.items()
         if not isinstance(value, SetFormula):
-            raise TranslationError("the head relation must be set-valued")
-        return relation_name, _single_element(value, f"the head relation {relation_name!r}")
-    raise TranslationError("the head must be a set or a one-relation tuple")
+            raise _reject(
+                rule,
+                f"the head relation {relation_name!r} must be set-valued, got"
+                f" `{value.to_text()}`",
+            )
+        return relation_name, _single_element(
+            rule, value, f"the head relation {relation_name!r}"
+        )
+    raise _reject(
+        rule,
+        f"the head `{head.to_text()}` must be a set or a one-relation tuple",
+    )
 
 
-def _single_element(formula: SetFormula, what: str) -> Formula:
+def _single_element(rule: Rule, formula: SetFormula, what: str) -> Formula:
     if len(formula.elements) != 1:
-        raise TranslationError(f"{what} must contain exactly one pattern")
+        raise _reject(
+            rule,
+            f"{what} must contain exactly one pattern, got"
+            f" `{formula.to_text()}`",
+        )
     return formula.elements[0]
 
 
 def _apply_head(
-    plan: AlgebraExpression, columns: Tuple[str, ...], pattern: Formula
+    rule: Rule,
+    plan: AlgebraExpression,
+    columns: Tuple[str, ...],
+    pattern: Formula,
 ) -> Tuple[AlgebraExpression, Tuple[str, ...]]:
     if isinstance(pattern, Variable):
         if pattern.name not in columns:
-            raise TranslationError(f"head variable {pattern.name} is not produced by the body")
+            raise _reject(
+                rule,
+                f"head variable {pattern.name} is not produced by the body"
+                f" (available columns: {', '.join(columns) or 'none'})",
+            )
         # A bare-variable head collects the variable's *values*, not one-column
         # tuples, so the projected column is unwrapped.
         projected = Project(plan, (pattern.name,))
         unwrapped = MapTuple(projected, _extract_attribute_function(pattern.name))
         return unwrapped, (pattern.name,)
     if not isinstance(pattern, TupleFormula):
-        raise TranslationError("the head pattern must be a flat tuple or a variable")
+        raise _reject(
+            rule,
+            f"the head pattern `{pattern.to_text()}` must be a flat tuple or"
+            " a variable",
+        )
     variable_columns: Dict[str, str] = {}
     constant_columns: Dict[str, ComplexObject] = {}
     for attribute, child in pattern.items():
         if isinstance(child, Variable):
             if child.name not in columns:
-                raise TranslationError(
+                raise _reject(
+                    rule,
                     f"head variable {child.name} is not produced by the body"
+                    f" (available columns: {', '.join(columns) or 'none'})",
                 )
             variable_columns[attribute] = child.name
         elif isinstance(child, Constant):
             constant_columns[attribute] = child.value
         else:
-            raise TranslationError("nested head patterns are not translatable")
+            raise _reject(
+                rule,
+                f"the nested head pattern `{child.to_text()}` under"
+                f" {attribute!r} is not translatable",
+            )
     result = Project(plan, tuple(variable_columns.values()))
     result = Rename(result, {var: attr for attr, var in variable_columns.items()})
     if constant_columns:

@@ -96,6 +96,7 @@ def close(
     max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
     inflationary: bool = True,
     allow_bottom: bool = False,
+    apply=None,
 ) -> ClosureResult:
     """Compute the closure of ``database`` under ``rules`` (Definition 4.6).
 
@@ -105,14 +106,24 @@ def close(
     series reaches an object with ``R(O) = O``.  ``allow_bottom`` selects the
     literal matching semantics (see :mod:`repro.calculus.matching`).
 
+    ``apply`` overrides how one round computes ``R(O)``: a callable from the
+    current object to the rule set's joint production.  The default is the
+    baseline :meth:`RuleSet.apply`; the naive engine passes a plan-compiled
+    applier (see :mod:`repro.plan`), which computes the same union, so the
+    series — and therefore the result and the guard behaviour — is identical.
+
     Raises :class:`~repro.core.errors.DivergenceError` when a guard trips —
     which is the expected outcome for programs with no finite closure, such as
     Example 4.6.
     """
     ruleset = _as_ruleset(rules)
+    if apply is None:
+        def apply(value):
+            return ruleset.apply(value, allow_bottom=allow_bottom)
+
     current = database
     for iteration in range(1, max_iterations + 1):
-        produced = ruleset.apply(current, allow_bottom=allow_bottom)
+        produced = apply(current)
         next_value = union(current, produced) if inflationary else produced
         if next_value == current:
             return ClosureResult(value=current, iterations=iteration - 1)
@@ -120,7 +131,7 @@ def close(
         current = next_value
     # One extra check: the last computed object may already be closed even if
     # the loop ran out of iterations exactly at the fixpoint.
-    if is_subobject(ruleset.apply(current, allow_bottom=allow_bottom), current):
+    if is_subobject(apply(current), current):
         return ClosureResult(value=current, iterations=max_iterations)
     raise DivergenceError(
         f"closure did not converge within {max_iterations} iterations",

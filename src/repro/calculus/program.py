@@ -9,7 +9,11 @@ workflow:
 * rules derive new structure;
 * :meth:`Program.evaluate` computes the closure of the seed object under the
   rules with the divergence guards of :mod:`repro.calculus.fixpoint`;
-* :meth:`Program.query` interprets a formula against the evaluated closure.
+* :meth:`Program.query` interprets a formula against the evaluated closure,
+  compiled and cost-ordered through the plan pipeline of :mod:`repro.plan`;
+* :meth:`Program.explain` pretty-prints the optimized plan with estimated
+  and actual cardinalities (the EXPLAIN facility, also reachable through the
+  CLI's ``run --explain`` / ``query --explain``).
 
 Programs can be built from Python structures or parsed from the paper's
 concrete syntax via :meth:`Program.from_source` (which delegates to
@@ -28,7 +32,6 @@ from repro.calculus.fixpoint import (
     DEFAULT_MAX_NODES,
     ClosureResult,
 )
-from repro.calculus.interpretation import interpret
 from repro.calculus.rules import Rule, RuleSet
 from repro.calculus.safety import RuleDiagnostics, analyze_rules
 from repro.calculus.terms import Formula, formula as to_formula
@@ -140,9 +143,98 @@ class Program:
         return evaluator.run(self.seed())
 
     def query(self, query_formula, **guards) -> ComplexObject:
-        """Evaluate the program and interpret ``query_formula`` against the closure."""
+        """Evaluate the program and interpret ``query_formula`` against the closure.
+
+        The query formula is compiled through the plan pipeline
+        (:mod:`repro.plan`) and executed with its joins cost-ordered against
+        statistics of the closure — the same substitution set, and therefore
+        the same answer, as the baseline
+        :func:`repro.calculus.interpretation.interpret`.
+        """
+        from repro.plan import (
+            DatabaseStatistics,
+            compile_body,
+            interpret_plan,
+            optimize_body,
+        )
+
         closure = self.evaluate(**guards)
-        return interpret(to_formula(query_formula), closure.value)
+        plan = optimize_body(
+            compile_body(to_formula(query_formula)),
+            DatabaseStatistics.collect(closure.value),
+        )
+        return interpret_plan(plan, closure.value)
+
+    def explain(
+        self,
+        query_formula=None,
+        *,
+        analyze: bool = True,
+        **guards,
+    ) -> str:
+        """Pretty-print the optimized evaluation plan (the EXPLAIN facility).
+
+        Compiles every rule through :mod:`repro.plan`, optimizes against
+        statistics of the seeded database, and renders the stratified plan
+        with each leaf's estimated cardinality and access path.  With
+        ``analyze=True`` (the default) the program is also evaluated
+        (``guards`` are forwarded to :meth:`evaluate`, including ``engine=``)
+        and each rule's plan is re-executed once against the closure so the
+        rendering shows **actual** cardinalities next to the estimates; the
+        optional ``query_formula`` is planned and analyzed the same way.
+        """
+        from repro.plan import (
+            DatabaseStatistics,
+            compile_body,
+            compile_program,
+            match_plan,
+            optimize_body,
+            optimize_program,
+        )
+        from repro.plan.explain import render_body_plan, render_program_plan
+
+        seed = self.seed()
+        statistics = DatabaseStatistics.collect(seed)
+        plan = optimize_program(compile_program(self._rules), statistics)
+
+        iterations = None
+        rule_records = None
+        closure_value = None
+        if analyze:
+            result = self.evaluate(**guards)
+            closure_value = result.value
+            iterations = result.iterations
+            rule_records = {}
+            for node in plan.rule_nodes():
+                if node.body_plan is None:
+                    continue
+                record: dict = {}
+                match_plan(node.body_plan, closure_value, record=record)
+                rule_records[node.rule] = record
+
+        sections = [
+            render_program_plan(
+                plan, iterations=iterations, rule_records=rule_records
+            )
+        ]
+        if query_formula is not None:
+            parsed = to_formula(query_formula)
+            target = closure_value if closure_value is not None else seed
+            query_plan = optimize_body(
+                compile_body(parsed), DatabaseStatistics.collect(target)
+            )
+            record = None
+            if analyze:
+                record = {}
+                match_plan(query_plan, target, record=record)
+            sections.append(
+                render_body_plan(
+                    query_plan,
+                    record=record,
+                    header=f"query plan: {parsed.to_text()}",
+                )
+            )
+        return "\n".join(sections)
 
     def __repr__(self) -> str:
         return (

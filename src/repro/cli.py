@@ -6,18 +6,23 @@ programs are given in the paper's concrete syntax, either inline or in files.
 Subcommands
 -----------
 ``parse``     parse an object and pretty-print it (checks well-formedness).
-``query``     interpret a formula against a database object (Definition 4.2).
+``query``     interpret a formula against a database object (Definition 4.2);
+              ``--explain`` prints the optimized query plan (estimated vs
+              actual cardinalities) instead of the answer.
 ``apply``     apply a single rule once to a database object (Definition 4.4).
 ``run``       evaluate a program (facts + rules) to its closure and optionally
               interpret a query against the result (Example 4.5 end to end).
               ``--engine seminaive`` selects the stratified, delta-driven,
               indexed engine of :mod:`repro.engine`; ``--stats`` prints its
-              instrumentation record.
+              instrumentation record (including per-rule full-matching
+              fallbacks); ``--explain`` prints the optimized program plan.
 ``check``     run the static rule diagnostics over a program.
 ``store``     operate on a durable, WAL-backed object store: ``--db-path``
               opens (or creates) a :class:`repro.store.storage.FileStorage`
               log, and the actions ``put``/``get``/``delete``/``names``/
-              ``query``/``compact`` run against it, each commit fsynced.
+              ``query``/``compact`` run against it, each commit fsynced;
+              ``query --explain`` shows the plan and the store access path
+              (root-attribute pushdown / index short-circuit).
 
 Examples
 --------
@@ -81,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     query_command.add_argument(
         "--allow-bottom", action="store_true", help="use the literal Definition 4.2 semantics"
     )
+    query_command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized query plan (estimated vs actual rows) instead"
+        " of the answer",
+    )
 
     apply_command = subcommands.add_parser("apply", help="apply one rule to an object (r(O))")
     apply_command.add_argument("rule", help="rule text, or @file")
@@ -104,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the engine's instrumentation record as a comment line",
+    )
+    run_command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized evaluation plan (estimated vs actual rows)"
+        " instead of the closure",
     )
 
     check_command = subcommands.add_parser("check", help="static diagnostics over a program")
@@ -130,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--against", help="interpret the query against one stored name (query)"
     )
     store_command.add_argument("--compact", action="store_true", help="one-line output")
+    store_command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized query plan and the chosen store access path"
+        " instead of the answer (query)",
+    )
 
     return parser
 
@@ -165,8 +188,14 @@ def _run_store(arguments, stream) -> int:
             if arguments.name is None:
                 raise StoreError("store query needs a formula")
             formula = parse_formula(_read_source(arguments.name))
-            result = database.query(formula, against=arguments.against)
-            print(pretty(result), file=stream)
+            if arguments.explain:
+                print(
+                    database.explain_query(formula, against=arguments.against),
+                    file=stream,
+                )
+            else:
+                result = database.query(formula, against=arguments.against)
+                print(pretty(result), file=stream)
         elif arguments.action == "compact":
             database.compact()
             print(f"compacted {arguments.db_path}", file=stream)
@@ -187,8 +216,29 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
         elif arguments.command == "query":
             database = _load_database(arguments.database)
             formula = parse_formula(_read_source(arguments.formula))
-            result = interpret(formula, database, allow_bottom=arguments.allow_bottom)
-            print(pretty(result), file=stream)
+            if arguments.explain:
+                from repro.plan import (
+                    DatabaseStatistics,
+                    compile_body,
+                    match_plan,
+                    optimize_body,
+                )
+                from repro.plan.explain import render_body_plan
+
+                plan = optimize_body(
+                    compile_body(formula), DatabaseStatistics.collect(database)
+                )
+                record = {}
+                match_plan(plan, database, allow_bottom=arguments.allow_bottom, record=record)
+                print(
+                    render_body_plan(
+                        plan, record=record, header=f"query plan: {formula.to_text()}"
+                    ),
+                    file=stream,
+                )
+            else:
+                result = interpret(formula, database, allow_bottom=arguments.allow_bottom)
+                print(pretty(result), file=stream)
         elif arguments.command == "apply":
             database = _load_database(arguments.database)
             rule = parse_rule(_read_source(arguments.rule))
@@ -198,6 +248,33 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 parse_program(_read_source(arguments.program)),
                 database=_load_database(arguments.database),
             )
+            if arguments.explain:
+                if arguments.stats:
+                    # --stats composes with --explain: the instrumentation
+                    # line is printed before the plan rather than dropped.
+                    stats_result = program.evaluate(
+                        engine=arguments.engine,
+                        max_iterations=arguments.max_iterations,
+                    )
+                    print(
+                        f"% engine {arguments.engine}:"
+                        f" {stats_result.stats.summary()}",
+                        file=stream,
+                    )
+                query = (
+                    parse_formula(_read_source(arguments.query))
+                    if arguments.query
+                    else None
+                )
+                print(
+                    program.explain(
+                        query,
+                        engine=arguments.engine,
+                        max_iterations=arguments.max_iterations,
+                    ),
+                    file=stream,
+                )
+                return 0
             result = program.evaluate(
                 engine=arguments.engine, max_iterations=arguments.max_iterations
             )

@@ -14,7 +14,10 @@ complex-object calculus itself:
 * :mod:`repro.engine.indexes` — match indexes over set elements keyed by
   attribute paths of body formulae, maintained incrementally as the closure
   grows;
-* :mod:`repro.engine.matching` — the delta- and index-aware matcher;
+* :mod:`repro.engine.matching` — the delta- and index-aware matcher, a thin
+  front over the shared plan pipeline of :mod:`repro.plan` (bodies compile
+  into logical plans, the cost-based optimizer orders their joins, and one
+  physical executor serves every evaluation path);
 * :mod:`repro.engine.stats` — the :class:`EngineStats` instrumentation record;
 * :mod:`repro.engine.core` — the :class:`NaiveEngine` / :class:`SemiNaiveEngine`
   strategies behind ``Program.evaluate(engine=...)`` and the CLI's

@@ -3,20 +3,28 @@
 Both engines compute the closure of Definition 4.6 — the least object above
 the input closed under the rule set — and report it as an
 :class:`EngineResult`, a :class:`~repro.calculus.fixpoint.ClosureResult`
-extended with :class:`~repro.engine.stats.EngineStats`.
+extended with :class:`~repro.engine.stats.EngineStats`.  Both now evaluate
+rule bodies through the shared plan pipeline of :mod:`repro.plan`: each body
+compiles once into a logical plan, the cost-based optimizer orders its leaves
+against statistics of the database being closed, and the physical executor
+runs it — the engine's historical delta restriction and match indexes are the
+executor's physical operators.
 
-* :class:`NaiveEngine` delegates to :func:`repro.calculus.fixpoint.close`:
-  every round re-matches every rule against the whole database (the literal
-  reading of Theorem 4.1's series, made inflationary).
+* :class:`NaiveEngine` iterates :func:`repro.calculus.fixpoint.close` with a
+  plan-compiled applier: every round re-matches every rule against the whole
+  database (the literal reading of Theorem 4.1's series, made inflationary),
+  each body executed as an optimized plan without indexes.
 
 * :class:`SemiNaiveEngine` is the subsystem this package exists for.  It
   stratifies the rule set along its dependency graph
   (:mod:`repro.engine.dependency`), applies non-recursive strata once, and
-  iterates each recursive stratum with delta-driven matching
+  iterates each recursive stratum with delta-restricted plan execution
   (:mod:`repro.engine.delta`) accelerated by incrementally maintained match
   indexes (:mod:`repro.engine.indexes`).  Rules whose bodies cannot be
   delta-decomposed, and evaluations under the literal ``allow_bottom``
-  semantics, fall back to full matching for correctness.
+  semantics, fall back to full matching for correctness — each such fallback
+  is counted per rule in the stats record so silent de-optimizations stay
+  visible.
 
 Divergent programs raise the same
 :class:`~repro.core.errors.DivergenceError` as the naive fixpoint, with the
@@ -44,8 +52,12 @@ from repro.calculus.rules import Rule, RuleSet
 from repro.engine.delta import BodyDecomposition, decompose, new_set_elements
 from repro.engine.dependency import DependencyGraph, Stratum
 from repro.engine.indexes import IndexStore
-from repro.engine.matching import match_body
 from repro.engine.stats import EngineStats
+from repro.plan.compile import compile_body, compile_rule
+from repro.plan.execute import apply_rule_plan, match_plan
+from repro.plan.ir import BodyPlan
+from repro.plan.optimize import optimize_body, optimize_rule
+from repro.plan.statistics import DatabaseStatistics
 
 __all__ = ["EngineResult", "NaiveEngine", "SemiNaiveEngine", "create_engine", "ENGINES"]
 
@@ -66,7 +78,14 @@ def _as_ruleset(rules: Union[Rule, RuleSet, Sequence[Rule]]) -> RuleSet:
 
 
 class NaiveEngine:
-    """The baseline strategy: :func:`close` wrapped in the engine interface."""
+    """The baseline strategy: :func:`close`'s series over plan-compiled rules.
+
+    The iteration discipline — the inflationary series, convergence test,
+    guard ordering and final closed-check — is exactly :func:`close`'s; only
+    the per-round ``R(O)`` is computed by executing each rule's optimized
+    plan, which produces the identical union (see :mod:`repro.plan.ir` on
+    order independence).
+    """
 
     name = "naive"
 
@@ -84,8 +103,18 @@ class NaiveEngine:
         self.max_nodes = max_nodes
         self.max_depth = max_depth
         self.allow_bottom = allow_bottom
+        self._nodes = [compile_rule(rule) for rule in self.rules]
 
     def run(self, database: ComplexObject) -> EngineResult:
+        statistics = DatabaseStatistics.collect(database)
+        nodes = [optimize_rule(node, statistics) for node in self._nodes]
+
+        def apply_plans(current: ComplexObject) -> ComplexObject:
+            return union_all(
+                apply_rule_plan(node, current, allow_bottom=self.allow_bottom)
+                for node in nodes
+            )
+
         result = close(
             database,
             self.rules,
@@ -93,6 +122,7 @@ class NaiveEngine:
             max_nodes=self.max_nodes,
             max_depth=self.max_depth,
             allow_bottom=self.allow_bottom,
+            apply=apply_plans,
         )
         # close() applies the full rule set once per growing round plus one
         # confirming round, every application a full match of every rule.
@@ -139,12 +169,26 @@ class SemiNaiveEngine:
         self._decompositions: Dict[Rule, BodyDecomposition] = {
             rule: decompose(rule.body) for rule in self.rules
         }
+        self._body_plans: Dict[Rule, BodyPlan] = {
+            rule: compile_body(rule.body)
+            for rule in self.rules
+            if rule.body is not None
+        }
 
     # -- public API -------------------------------------------------------------------
     def run(self, database: ComplexObject) -> EngineResult:
         stats = EngineStats()
         stats.strata = len(self._strata)
         stats.recursive_strata = sum(1 for s in self._strata if s.recursive)
+        # Plans ordered against the statistics of the database being closed;
+        # run-local so concurrent run() calls on one engine instance cannot
+        # clobber each other's orderings (ordering is a pure cost decision,
+        # so even a foreign order would stay correct — just unoptimized).
+        statistics = DatabaseStatistics.collect(database)
+        plans = {
+            rule: optimize_body(plan, statistics)
+            for rule, plan in self._body_plans.items()
+        }
         indexes: Optional[IndexStore] = None
         if self.use_indexes:
             indexes = IndexStore(stats)
@@ -157,9 +201,11 @@ class SemiNaiveEngine:
         budget = [0]  # recursive rounds charged against max_iterations
         for stratum in self._strata:
             if stratum.recursive:
-                current = self._close_stratum(stratum, current, indexes, stats, budget)
+                current = self._close_stratum(
+                    stratum, current, plans, indexes, stats, budget
+                )
             else:
-                current = self._apply_once(stratum, current, indexes, stats)
+                current = self._apply_once(stratum, current, plans, indexes, stats)
         return EngineResult(
             value=current, iterations=stats.iterations, converged=True, stats=stats
         )
@@ -169,12 +215,14 @@ class SemiNaiveEngine:
         self,
         stratum: Stratum,
         current: ComplexObject,
+        plans: Dict[Rule, BodyPlan],
         indexes: Optional[IndexStore],
         stats: EngineStats,
     ) -> ComplexObject:
         """Evaluate a non-recursive stratum: one full application suffices."""
         produced = union_all(
-            self._apply_full(rule, current, indexes, stats) for rule in stratum.rules
+            self._apply_full(rule, current, plans, indexes, stats)
+            for rule in stratum.rules
         )
         next_value = union(current, produced)
         if next_value == current:
@@ -191,6 +239,7 @@ class SemiNaiveEngine:
         self,
         stratum: Stratum,
         current: ComplexObject,
+        plans: Dict[Rule, BodyPlan],
         indexes: Optional[IndexStore],
         stats: EngineStats,
         budget: List[int],
@@ -201,7 +250,8 @@ class SemiNaiveEngine:
         previous = current
         self._charge(budget, current)
         produced = union_all(
-            self._apply_full(rule, current, indexes, stats) for rule in stratum.rules
+            self._apply_full(rule, current, plans, indexes, stats)
+            for rule in stratum.rules
         )
         next_value = union(current, produced)
         if next_value == current:
@@ -215,7 +265,7 @@ class SemiNaiveEngine:
         while True:
             self._charge(budget, current)
             produced = union_all(
-                self._apply_delta(rule, previous, current, indexes, stats)
+                self._apply_delta(rule, previous, current, plans, indexes, stats)
                 for rule in stratum.rules
             )
             next_value = union(current, produced)
@@ -241,6 +291,7 @@ class SemiNaiveEngine:
         self,
         rule: Rule,
         database: ComplexObject,
+        plans: Dict[Rule, BodyPlan],
         indexes: Optional[IndexStore],
         stats: EngineStats,
     ) -> ComplexObject:
@@ -249,8 +300,8 @@ class SemiNaiveEngine:
         if rule.body is None:
             substitutions = rule.substitutions(database)
         else:
-            substitutions = match_body(
-                rule.body,
+            substitutions = match_plan(
+                plans[rule],
                 database,
                 indexes=indexes,
                 stats=stats,
@@ -265,6 +316,7 @@ class SemiNaiveEngine:
         rule: Rule,
         previous: ComplexObject,
         current: ComplexObject,
+        plans: Dict[Rule, BodyPlan],
         indexes: Optional[IndexStore],
         stats: EngineStats,
     ) -> ComplexObject:
@@ -279,12 +331,17 @@ class SemiNaiveEngine:
             return BOTTOM
         decomposition = self._decompositions[rule]
         if not decomposition.decomposable or self.allow_bottom:
-            return self._apply_full(rule, current, indexes, stats)
+            if not decomposition.decomposable:
+                # The silent de-optimization the stats record makes visible:
+                # this body re-matches in full on every delta round.
+                stats.count_fallback(rule)
+            return self._apply_full(rule, current, plans, indexes, stats)
         deltas: Dict[object, Tuple[ComplexObject, ...]] = {}
         for path in decomposition.set_paths:
             fresh = new_set_elements(previous, current, path)
             if fresh is None:
-                return self._apply_full(rule, current, indexes, stats)
+                stats.count_fallback(rule)
+                return self._apply_full(rule, current, plans, indexes, stats)
             deltas[path] = fresh
         stats.delta_matches += 1
         seen = set()
@@ -293,8 +350,8 @@ class SemiNaiveEngine:
             fresh = deltas[position.path]
             if not fresh:
                 continue
-            substitutions = match_body(
-                rule.body,
+            substitutions = match_plan(
+                plans[rule],
                 current,
                 position=position,
                 delta_elements=fresh,

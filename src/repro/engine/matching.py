@@ -1,34 +1,34 @@
-"""The engine's matcher: Definition 4.2 matching with deltas and indexes.
+"""The engine's matcher — now a thin front over the plan pipeline.
 
-This mirrors the derivation-maximal enumeration of
-:mod:`repro.calculus.matching` — same recursion, same strict-semantics filter,
-cross-checked against it by the engine's test suite — with two additions the
-baseline matcher cannot express:
+Historically this module carried its own copy of the Definition 4.2 matching
+recursion with delta restriction and index acceleration.  That loop (and the
+baseline matcher's, and the algebra translator's) has been unified into
+:mod:`repro.plan`: rule bodies compile once into a logical plan
+(:func:`repro.plan.compile.compile_body`), the cost-based optimizer orders the
+plan's leaves (:func:`repro.plan.optimize.optimize_body`), and one physical
+executor runs it (:func:`repro.plan.execute.match_plan`) with the same delta
+restriction and index narrowing this module used to implement:
 
 * **Delta restriction.**  One set-element position (a
   :class:`repro.engine.delta.DeltaPosition`) can be restricted to an explicit
   witness list: the elements the previous round contributed.  Summing the
-  matches over every position, each restricted in turn, enumerates exactly the
-  substitutions that use at least one new witness — the semi-naive frontier.
+  matches over every position, each restricted in turn, enumerates exactly
+  the substitutions that use at least one new witness — the semi-naive
+  frontier.
 
-* **Index acceleration.**  Set elements are probed through the
+* **Index acceleration.**  Scan leaves are probed through the
   :class:`repro.engine.indexes.IndexStore` when the element formula carries a
-  usable key (see :func:`repro.engine.indexes.element_keys`).  To give dynamic
-  keys a chance, the product over tuple attributes and set elements threads
-  its partial substitutions as a *narrowing context*, so a variable bound by
-  an earlier position (the join variable ``Y`` of Example 4.5, bound by
-  ``doa`` before ``family`` is scanned) turns the scan for later positions
-  into a hash lookup.  The threaded product with per-candidate ``meet`` is
-  algebraically the same cross-product-then-meet the baseline performs; when
-  no index could possibly narrow a subtree the matcher falls back to
-  computing that subtree's alternatives once and sharing them, exactly like
-  the baseline.
+  usable key (see :func:`repro.engine.indexes.element_keys`); the executor's
+  accumulated partial substitution makes a variable bound by an earlier leaf
+  (the join variable ``Y`` of Example 4.5) available to later dynamic-key
+  probes, turning their scans into hash lookups.  Narrowing is only sound
+  under the strict semantics: callers evaluating with ``allow_bottom=True``
+  must pass ``indexes=None`` and no restriction, which is exactly what the
+  engine's correctness fallback does.
 
-Narrowing discards only witnesses whose match would bind the key variable to
-something an atom meets to ⊥ — substitutions the strict semantics filters out
-anyway.  It is therefore only sound under the strict semantics: callers
-evaluating with ``allow_bottom=True`` must pass ``indexes=None`` and no
-restriction, which is exactly what the engine's correctness fallback does.
+``match_body`` keeps its historical signature so existing callers and tests
+need no change; the semi-naive engine itself calls the executor directly with
+plans optimized against the statistics of the database being closed.
 """
 
 from __future__ import annotations
@@ -37,38 +37,22 @@ from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.calculus.substitution import Substitution
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
-from repro.core.objects import BOTTOM, TOP, ComplexObject, SetObject, TupleObject
-from repro.core.order import is_subobject
+from repro.calculus.terms import Formula
+from repro.core.objects import ComplexObject
 from repro.engine.delta import DeltaPosition
-from repro.engine.indexes import IndexStore, element_keys
+from repro.engine.indexes import IndexStore
 from repro.engine.stats import EngineStats
-from repro.store.paths import Path
+from repro.plan.compile import compile_body
+from repro.plan.execute import match_plan
+from repro.plan.optimize import optimize_body
 
 __all__ = ["match_body"]
 
-_ROOT = Path(())
-_EMPTY = Substitution()
-
-Context = Tuple[Substitution, ...]
-
 
 @lru_cache(maxsize=4096)  # bounded: long-lived processes see many programs
-def _has_dynamic_keys(formula: Formula) -> bool:
-    """``True`` when an index lookup inside ``formula`` could use a context binding.
-
-    Only such subtrees are worth matching per-partial; everything else is
-    matched once and shared across partials.
-    """
-    if isinstance(formula, TupleFormula):
-        return any(_has_dynamic_keys(child) for _, child in formula.items())
-    if isinstance(formula, SetFormula):
-        return any(
-            isinstance(key, str)
-            for element in formula.elements
-            for _, key in element_keys(element)
-        )
-    return False
+def _default_plan(body: Formula):
+    """Compile + heuristically optimize a body with no database statistics."""
+    return optimize_body(compile_body(body))
 
 
 def match_body(
@@ -88,195 +72,12 @@ def match_body(
     :func:`repro.calculus.matching.match_all` (restricted to the new-witness
     subset when a position is given).
     """
-    if stats is None:
-        stats = EngineStats()
-    matcher = _Matcher(position, delta_elements, indexes, stats)
-    candidates = matcher.match(body, target, _ROOT, ())
-    seen = set()
-    results: List[Substitution] = []
-    for candidate in candidates:
-        if not allow_bottom and _has_bottom_binding(candidate):
-            continue
-        if candidate in seen:
-            continue
-        seen.add(candidate)
-        results.append(candidate)
-    stats.substitutions += len(results)
-    return results
-
-
-def _has_bottom_binding(substitution: Substitution) -> bool:
-    # ⊥ is a singleton, so the bottom test is an identity check.
-    return any(value is BOTTOM for _, value in substitution.items())
-
-
-class _Matcher:
-    """One match run; carries the restriction, the indexes and the counters."""
-
-    __slots__ = ("position", "delta_elements", "indexes", "stats")
-
-    def __init__(
-        self,
-        position: Optional[DeltaPosition],
-        delta_elements: Tuple[ComplexObject, ...],
-        indexes: Optional[IndexStore],
-        stats: EngineStats,
-    ):
-        self.position = position
-        self.delta_elements = delta_elements
-        self.indexes = indexes
-        self.stats = stats
-
-    def match(
-        self,
-        formula: Formula,
-        target: ComplexObject,
-        path: Optional[Path],
-        context: Context,
-    ) -> List[Substitution]:
-        """Mirror of ``matching._match``; ``path`` is ``None`` inside witnesses.
-
-        ``context`` holds partial substitutions from enclosing products; it is
-        consulted only for index narrowing, never merged into the returned
-        alternatives (the caller's ``meet`` does that).
-        """
-        if target is TOP:
-            return [Substitution({name: TOP for name in formula.variables()})]
-
-        if isinstance(formula, Variable):
-            return [Substitution({formula.name: target})]
-
-        if isinstance(formula, Constant):
-            # Identity fast path first: interned constants hit their exact
-            # witness by pointer comparison.
-            if formula.value is target or is_subobject(formula.value, target):
-                return [Substitution()]
-            return []
-
-        if isinstance(formula, TupleFormula):
-            if not isinstance(target, TupleObject):
-                return []
-            partials: List[Substitution] = [_EMPTY]
-            for name, child in formula.items():
-                child_path = path.child(name) if path is not None else None
-                child_target = target.get(name)
-                if self.indexes is not None and _has_dynamic_keys(child):
-                    # Per-partial matching so context bindings reach the
-                    # child's index lookups.
-                    fresh: List[Substitution] = []
-                    for partial in partials:
-                        for alternative in self.match(
-                            child, child_target, child_path, context + (partial,)
-                        ):
-                            fresh.append(partial.meet(alternative))
-                    partials = fresh
-                else:
-                    alternatives = self.match(child, child_target, child_path, context)
-                    partials = [
-                        partial.meet(candidate)
-                        for partial in partials
-                        for candidate in alternatives
-                    ]
-                if not partials:
-                    return []
-            return partials
-
-        if isinstance(formula, SetFormula):
-            if not isinstance(target, SetObject):
-                return []
-            return self._match_set(formula, target, path, context)
-
-        raise TypeError(f"not a formula: {formula!r}")
-
-    # -- set formulae ----------------------------------------------------------------
-    def _match_set(
-        self,
-        formula: SetFormula,
-        target: SetObject,
-        path: Optional[Path],
-        context: Context,
-    ) -> List[Substitution]:
-        partials: List[Substitution] = [_EMPTY]
-        for index, child in enumerate(formula.elements):
-            restricted = (
-                self.position is not None
-                and path is not None
-                and index == self.position.element_index
-                and path == self.position.path
-            )
-            base = self.delta_elements if restricted else target.elements
-            # Alternatives are identical for every partial unless an index
-            # narrows the candidate list, so the unnarrowed case is computed
-            # lazily once and shared.
-            base_alternatives: Optional[List[Substitution]] = None
-            fresh: List[Substitution] = []
-            for partial in partials:
-                narrowed = None
-                if not restricted and path is not None:
-                    narrowed = self._narrow(child, path, context + (partial,))
-                if narrowed is None:
-                    if base_alternatives is None:
-                        base_alternatives = self._alternatives(child, base, context)
-                    alternatives = base_alternatives
-                else:
-                    alternatives = self._alternatives(child, narrowed, context)
-                for alternative in alternatives:
-                    fresh.append(partial.meet(alternative))
-            if not fresh:
-                return []
-            partials = fresh
-        return partials
-
-    def _alternatives(
-        self,
-        child: Formula,
-        candidates: Tuple[ComplexObject, ...],
-        context: Context,
-    ) -> List[Substitution]:
-        """Alternatives for one element formula over an explicit witness list.
-
-        Mirrors ``matching._set_element_alternatives`` including the vanish
-        alternative for witness-less bare variables and ``bottom`` constants.
-        Under the strict semantics the variable case is filtered out at the
-        end, so a narrowed candidate list can only suppress substitutions the
-        filter would discard anyway.
-        """
-        alternatives: List[Substitution] = []
-        for element in candidates:
-            self.stats.match_attempts += 1
-            alternatives.extend(self.match(child, element, None, context))
-        if not alternatives:
-            if isinstance(child, Variable):
-                alternatives.append(Substitution({child.name: BOTTOM}))
-            elif isinstance(child, Constant) and child.value is BOTTOM:
-                alternatives.append(Substitution())
-        return alternatives
-
-    def _narrow(
-        self, child: Formula, set_path: Path, context: Context
-    ) -> Optional[Tuple[ComplexObject, ...]]:
-        """Try to answer the witness scan from an index; ``None`` = full scan."""
-        if self.indexes is None:
-            return None
-        keys = element_keys(child)
-        if not keys:
-            return None
-        for key_path, key in keys:
-            if isinstance(key, str):  # dynamic: usable once bound somewhere
-                key = self._context_binding(context, key)
-                if key is None:
-                    continue
-            candidates = self.indexes.candidates(set_path, key_path, key)
-            if candidates is not None:
-                self.stats.index_hits += 1
-                return candidates
-        self.stats.index_misses += 1
-        return None
-
-    @staticmethod
-    def _context_binding(context: Context, name: str) -> Optional[ComplexObject]:
-        for partial in reversed(context):
-            value = partial.get(name)
-            if value is not None:
-                return value
-        return None
+    return match_plan(
+        _default_plan(body),
+        target,
+        position=position,
+        delta_elements=delta_elements,
+        indexes=indexes,
+        stats=stats,
+        allow_bottom=allow_bottom,
+    )

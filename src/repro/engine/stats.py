@@ -49,6 +49,14 @@ class EngineStats:
         Match-index lookups that answered with a candidate list.
     index_misses:
         Lookups where keys existed but no index could answer (full scan).
+    full_match_fallbacks:
+        Delta rounds that had to fall back to full matching because the rule
+        body could not be delta-decomposed (or no sound per-path delta
+        existed) — the silent de-optimizations ``fallback_rules`` attributes
+        to individual rules.
+    fallback_rules:
+        Per-rule fallback counts, keyed by the rule's name (or its text when
+        unnamed); empty when every body ran delta-incrementally.
     """
 
     iterations: int = 0
@@ -61,6 +69,14 @@ class EngineStats:
     subobjects_derived: int = 0
     index_hits: int = 0
     index_misses: int = 0
+    full_match_fallbacks: int = 0
+    fallback_rules: Dict[str, int] = field(default_factory=dict)
+
+    def count_fallback(self, rule) -> None:
+        """Record one full-matching fallback attributed to ``rule``."""
+        self.full_match_fallbacks += 1
+        label = getattr(rule, "name", None) or rule.to_text()
+        self.fallback_rules[label] = self.fallback_rules.get(label, 0) + 1
 
     def as_dict(self) -> Dict[str, int]:
         """A plain-dict snapshot of every counter (stable key order)."""
@@ -75,14 +91,24 @@ class EngineStats:
             "subobjects_derived": self.subobjects_derived,
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
+            "full_match_fallbacks": self.full_match_fallbacks,
         }
 
     def summary(self) -> str:
         """One-line human-readable rendering used by the CLI."""
-        return (
+        text = (
             f"{self.iterations} rounds over {self.strata} strata"
             f" ({self.recursive_strata} recursive),"
             f" {self.match_attempts} match attempts,"
             f" {self.delta_matches} delta / {self.full_matches} full rule evaluations,"
             f" {self.index_hits} index hits"
         )
+        if self.full_match_fallbacks:
+            worst = sorted(
+                self.fallback_rules.items(), key=lambda item: (-item[1], item[0])
+            )
+            detail = ", ".join(f"{label}: {count}" for label, count in worst[:3])
+            text += (
+                f", {self.full_match_fallbacks} full-matching fallbacks ({detail})"
+            )
+        return text

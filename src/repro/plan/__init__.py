@@ -1,0 +1,83 @@
+"""repro.plan — one query pipeline: logical plans, a cost-based optimizer, EXPLAIN.
+
+The paper evaluates every rule by re-interpreting its body formula against the
+whole database object.  Before this subsystem existed the repository had three
+independent re-implementations of that step — the naive calculus matcher, the
+semi-naive engine matcher and the algebra translator — each with its own
+matching loop and no shared cost model.  ``repro.plan`` replaces them with one
+compiled path:
+
+* :mod:`repro.plan.ir` — the logical plan IR: scan / pattern-match / bind /
+  join / project / union / fixpoint nodes, with the order-independence
+  argument that makes join reordering sound;
+* :mod:`repro.plan.compile` — the rule-body compiler (formula → plan),
+  cached on the immutable formula;
+* :mod:`repro.plan.statistics` — attribute-path cardinality and
+  distinct-atom statistics collected in one walk of the database;
+* :mod:`repro.plan.optimize` — the cost-based optimizer: greedy join
+  reordering with bound-variable awareness, cross-product penalties and
+  index access-path selection;
+* :mod:`repro.plan.execute` — the physical executor shared by every
+  evaluator, with index pushdown and semi-naive delta restriction;
+* :mod:`repro.plan.explain` — the EXPLAIN renderer (estimated vs. actual
+  cardinalities) behind ``Program.explain()`` and the CLI ``--explain`` flags.
+
+Quick use::
+
+    from repro import Program
+    from repro.plan import compile_body, optimize_body, match_plan
+
+    program = Program.from_source(source, database=db)
+    print(program.explain())            # the optimized plan, est vs. actual
+
+    plan = optimize_body(compile_body(body_formula))
+    substitutions = match_plan(plan, database_object)
+"""
+
+from repro.plan.compile import compile_body, compile_program, compile_rule
+from repro.plan.execute import apply_rule_plan, interpret_plan, match_plan
+from repro.plan.explain import render_body_plan, render_program_plan, render_rule_node
+from repro.plan.ir import (
+    BindLeaf,
+    BodyPlan,
+    CheckLeaf,
+    ConstLeaf,
+    Leaf,
+    LeafEstimate,
+    ProgramPlan,
+    RuleNode,
+    ScanLeaf,
+    StratumNode,
+    leaf_key,
+)
+from repro.plan.optimize import estimate_leaf, optimize_body, optimize_program, optimize_rule
+from repro.plan.statistics import DEFAULT_CARDINALITY, DatabaseStatistics
+
+__all__ = [
+    "BindLeaf",
+    "BodyPlan",
+    "CheckLeaf",
+    "ConstLeaf",
+    "DEFAULT_CARDINALITY",
+    "DatabaseStatistics",
+    "Leaf",
+    "LeafEstimate",
+    "ProgramPlan",
+    "RuleNode",
+    "ScanLeaf",
+    "StratumNode",
+    "apply_rule_plan",
+    "compile_body",
+    "compile_program",
+    "compile_rule",
+    "estimate_leaf",
+    "interpret_plan",
+    "leaf_key",
+    "match_plan",
+    "optimize_body",
+    "optimize_program",
+    "optimize_rule",
+    "render_body_plan",
+    "render_program_plan",
+    "render_rule_node",
+]

@@ -1,0 +1,139 @@
+"""The rule-body compiler: formulae → logical plans.
+
+``compile_body`` flattens a body (or query) formula's *spine* — the part
+reachable through tuple attributes — into the conjunction of leaves described
+in :mod:`repro.plan.ir`:
+
+* each element of a set formula on the spine becomes a :class:`ScanLeaf`
+  carrying its usable index keys (static ground atoms and dynamic variables,
+  via :func:`repro.engine.indexes.element_keys`);
+* a spine variable becomes a :class:`BindLeaf`, a spine constant a
+  :class:`ConstLeaf`, an empty tuple/set formula a :class:`CheckLeaf`.
+
+Everything *below* a set element belongs to the witness and is matched
+recursively by the executor, exactly as the baseline matcher does.
+
+``compile_rule`` wraps the body plan with the head projection;
+``compile_program`` schedules a rule set into strata using the engine's
+dependency graph, producing the :class:`ProgramPlan` that every evaluator —
+naive, semi-naive, algebraic, store-side — now shares.  Compilation is pure
+and cached on the (immutable, hashable) formula.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Union
+
+from repro.calculus.rules import Rule, RuleSet
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.core.objects import Atom
+from repro.store.paths import Path
+from repro.plan.ir import (
+    BindLeaf,
+    BodyPlan,
+    CheckLeaf,
+    ConstLeaf,
+    Leaf,
+    ProgramPlan,
+    RuleNode,
+    ScanLeaf,
+    StratumNode,
+)
+
+__all__ = ["compile_body", "compile_rule", "compile_program", "split_element_keys"]
+
+_ROOT = Path(())
+
+
+def split_element_keys(element: Formula):
+    """Partition one element formula's lookup keys into (static, dynamic).
+
+    Static keys pair a key path with a ground atom; dynamic keys pair it with
+    a variable name (usable once an earlier leaf binds the variable).  The
+    single source of this classification — the executor reuses the tuples
+    stored on each :class:`ScanLeaf` rather than re-deriving them.
+    """
+    # Import deferred: repro.plan must be importable before repro.engine
+    # finishes initialising (the engine matcher itself compiles through this
+    # module).
+    from repro.engine.indexes import element_keys
+
+    static = []
+    dynamic = []
+    for key_path, key in element_keys(element):
+        if isinstance(key, Atom):
+            static.append((key_path, key))
+        else:
+            dynamic.append((key_path, key))
+    return tuple(static), tuple(dynamic)
+
+
+@lru_cache(maxsize=4096)  # bounded: long-lived processes see many programs
+def compile_body(body: Formula) -> BodyPlan:
+    """Compile a body/query formula into its source-order :class:`BodyPlan`."""
+    leaves: List[Leaf] = []
+
+    def walk(node: Formula, path: Path) -> None:
+        if isinstance(node, TupleFormula):
+            if not len(node):
+                leaves.append(CheckLeaf(path=path, shape="tuple"))
+                return
+            for name, child in node.items():
+                walk(child, path.child(name))
+            return
+        if isinstance(node, SetFormula):
+            if not len(node):
+                leaves.append(CheckLeaf(path=path, shape="set"))
+                return
+            for index, element in enumerate(node.elements):
+                static, dynamic = split_element_keys(element)
+                leaves.append(
+                    ScanLeaf(
+                        path=path,
+                        element_index=index,
+                        element=element,
+                        static_keys=static,
+                        dynamic_keys=dynamic,
+                        variables=element.variables(),
+                    )
+                )
+            return
+        if isinstance(node, Variable):
+            leaves.append(BindLeaf(path=path, name=node.name))
+            return
+        if isinstance(node, Constant):
+            leaves.append(ConstLeaf(path=path, value=node.value))
+            return
+        raise TypeError(f"not a formula: {node!r}")
+
+    walk(body, _ROOT)
+    return BodyPlan(body=body, leaves=tuple(leaves))
+
+
+def compile_rule(rule: Rule) -> RuleNode:
+    """Compile one rule into a :class:`RuleNode` (facts carry no body plan)."""
+    if rule.body is None:
+        return RuleNode(rule=rule, body_plan=None)
+    return RuleNode(rule=rule, body_plan=compile_body(rule.body))
+
+
+def compile_program(rules: Union[RuleSet, Sequence[Rule]]) -> ProgramPlan:
+    """Schedule ``rules`` into strata and compile every rule.
+
+    Strata come from :class:`repro.engine.dependency.DependencyGraph` — the
+    same producers-first SCC order the semi-naive engine iterates — so one
+    plan serves naive evaluation, semi-naive evaluation and EXPLAIN alike.
+    """
+    from repro.engine.dependency import DependencyGraph
+
+    ruleset = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+    strata: List[StratumNode] = []
+    for stratum in DependencyGraph(ruleset.rules).strata():
+        strata.append(
+            StratumNode(
+                rules=tuple(compile_rule(rule) for rule in stratum.rules),
+                recursive=stratum.recursive,
+            )
+        )
+    return ProgramPlan(strata=tuple(strata))

@@ -1,0 +1,408 @@
+"""The physical executor: run a :class:`BodyPlan` against a database object.
+
+This is the one matching loop every evaluation path now shares — the naive
+and semi-naive engines, ``Program.query``, the store's query/find pushdowns
+and EXPLAIN all call :func:`match_plan`.  It mirrors the derivation-maximal
+enumeration of :mod:`repro.calculus.matching` exactly (cross-checked by the
+engine and plan test suites), with three additions:
+
+* **Leaf ordering.**  The body's leaves are executed in the optimizer's
+  order.  Because the result is the meet-product over the leaves'
+  alternatives, deduplicated at the end, any order yields the same
+  substitution set (see :mod:`repro.plan.ir`) — ordering is purely a cost
+  decision.
+
+* **Index pushdown.**  A scan leaf probes the supplied index store before
+  scanning: static keys immediately, dynamic keys per partial substitution —
+  the accumulated partial carries every binding made by earlier leaves, so a
+  join variable bound by a cheap leaf turns later scans into hash lookups.
+  Narrowing discards only witnesses whose match would bind the key variable
+  to something an atom meets to ⊥ — substitutions the strict semantics
+  filters out anyway.  It is therefore disabled under ``allow_bottom=True``.
+
+* **Delta restriction.**  One scan leaf can be restricted to an explicit
+  witness list (the semi-naive frontier), identified by its
+  ``(path, element_index)`` position exactly as in :mod:`repro.engine.delta`.
+
+Runtime shape anomalies — ⊤ on the spine, a tuple formula over a non-tuple
+value — collapse the affected subtree into a single constant-alternative
+leaf, reproducing the recursive matcher's behaviour for those cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.calculus.substitution import Substitution
+from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.core.lattice import union_all
+from repro.core.objects import BOTTOM, TOP, ComplexObject, SetObject, TupleObject
+from repro.core.order import is_subobject
+from repro.store.paths import Path
+from repro.plan.ir import BodyPlan, RuleNode, ScanLeaf, leaf_key
+
+__all__ = ["match_plan", "interpret_plan", "apply_rule_plan"]
+
+_ROOT = Path(())
+_EMPTY = Substitution()
+
+
+def match_plan(
+    plan: BodyPlan,
+    target: ComplexObject,
+    *,
+    position=None,
+    delta_elements: Tuple[ComplexObject, ...] = (),
+    indexes=None,
+    stats=None,
+    allow_bottom: bool = False,
+    record: Optional[dict] = None,
+) -> List[Substitution]:
+    """Deduplicated derivation-maximal substitutions of the plan's body.
+
+    Agrees with :func:`repro.calculus.matching.match_all` on every body and
+    target (restricted to the new-witness subset when ``position`` — a
+    :class:`repro.engine.delta.DeltaPosition` — is given).  ``indexes`` is an
+    :class:`repro.engine.indexes.IndexStore` (or anything with its
+    ``candidates`` method); ``record``, when given, is filled with actual
+    per-leaf cardinalities for EXPLAIN.
+    """
+    if stats is None:
+        from repro.engine.stats import EngineStats
+
+        stats = EngineStats()
+    executor = _Executor(
+        position=position,
+        delta_elements=delta_elements,
+        indexes=indexes if not allow_bottom else None,
+        stats=stats,
+        record=record,
+    )
+    candidates = executor.run(plan, target)
+    seen = set()
+    results: List[Substitution] = []
+    for candidate in candidates:
+        if not allow_bottom and _has_bottom_binding(candidate):
+            continue
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        results.append(candidate)
+    stats.substitutions += len(results)
+    if record is not None:
+        record["rows"] = len(results)
+    return results
+
+
+def interpret_plan(
+    plan: BodyPlan,
+    target: ComplexObject,
+    *,
+    allow_bottom: bool = False,
+    stats=None,
+    indexes=None,
+    record: Optional[dict] = None,
+) -> ComplexObject:
+    """``E(O)`` through the plan pipeline: union of the matching instantiations.
+
+    Agrees with :func:`repro.calculus.interpretation.interpret`.
+    """
+    substitutions = match_plan(
+        plan,
+        target,
+        indexes=indexes,
+        stats=stats,
+        allow_bottom=allow_bottom,
+        record=record,
+    )
+    instantiations = [substitution.apply(plan.body) for substitution in substitutions]
+    return union_all(dict.fromkeys(instantiations))
+
+
+def apply_rule_plan(
+    node: RuleNode,
+    target: ComplexObject,
+    *,
+    indexes=None,
+    stats=None,
+    allow_bottom: bool = False,
+) -> ComplexObject:
+    """``r(O)`` of Definition 4.4 through the plan pipeline.
+
+    Agrees with :meth:`repro.calculus.rules.Rule.apply`.
+    """
+    if node.body_plan is None:
+        substitutions: List[Substitution] = [_EMPTY]
+    else:
+        substitutions = match_plan(
+            node.body_plan,
+            target,
+            indexes=indexes,
+            stats=stats,
+            allow_bottom=allow_bottom,
+        )
+    heads = [substitution.apply(node.rule.head) for substitution in substitutions]
+    if stats is not None:
+        stats.subobjects_derived += len(heads)
+    return union_all(dict.fromkeys(heads))
+
+
+def _has_bottom_binding(substitution: Substitution) -> bool:
+    # ⊥ is a singleton, so the bottom test is an identity check.
+    return any(value is BOTTOM for _, value in substitution.items())
+
+
+class _Instance:
+    """One runtime leaf: either fixed alternatives or a scan with witnesses."""
+
+    __slots__ = ("rank", "order", "spec", "witnesses", "restricted", "alternatives")
+
+    def __init__(self, rank, order, spec=None, witnesses=None, restricted=False, alternatives=None):
+        self.rank = rank
+        self.order = order
+        self.spec = spec
+        self.witnesses = witnesses
+        self.restricted = restricted
+        self.alternatives = alternatives
+
+
+class _Executor:
+    """One match run; carries restriction, indexes, counters and the recorder."""
+
+    __slots__ = ("position", "delta_elements", "indexes", "stats", "record")
+
+    def __init__(self, position, delta_elements, indexes, stats, record):
+        self.position = position
+        self.delta_elements = delta_elements
+        self.indexes = indexes
+        self.stats = stats
+        self.record = record
+
+    # -- top level --------------------------------------------------------------------
+    def run(self, plan: BodyPlan, target: ComplexObject) -> List[Substitution]:
+        leaves = {leaf_key(leaf): (rank, leaf) for rank, leaf in enumerate(plan.leaves)}
+        instances: List[_Instance] = []
+        if not self._flatten(plan.body, target, _ROOT, leaves, instances):
+            return []
+        # Stable sort: optimizer rank first, arrival order as the tiebreak;
+        # collapsed subtrees (⊤ on the spine) carry rank -1 and run first.
+        instances.sort(key=lambda instance: (instance.rank, instance.order))
+
+        actuals: Optional[Dict[Tuple, int]] = None
+        if self.record is not None:
+            actuals = {}
+            self.record["by_leaf"] = actuals
+
+        partials: List[Substitution] = [_EMPTY]
+        for instance in instances:
+            if instance.spec is None:
+                alternatives = instance.alternatives
+                partials = [
+                    partial.meet(candidate)
+                    for partial in partials
+                    for candidate in alternatives
+                ]
+            else:
+                partials = self._scan_step(instance, partials)
+            if actuals is not None and instance.spec is not None:
+                actuals[leaf_key(instance.spec)] = len(partials)
+            if not partials:
+                return []
+        return partials
+
+    # -- runtime flattening -------------------------------------------------------------
+    def _flatten(
+        self,
+        node: Formula,
+        target: ComplexObject,
+        path: Path,
+        leaves: Dict[Tuple, Tuple[int, object]],
+        out: List[_Instance],
+    ) -> bool:
+        """Collect runtime leaf instances; ``False`` means a definite non-match."""
+        if target is TOP:
+            # ⊤ dominates every instantiation: the whole subtree contributes a
+            # single alternative binding its variables to ⊤.
+            out.append(
+                _Instance(
+                    rank=-1,
+                    order=len(out),
+                    alternatives=[
+                        Substitution({name: TOP for name in node.variables()})
+                    ],
+                )
+            )
+            return True
+        rank, _ = leaves.get((path.steps, -1), (-1, None))
+        if isinstance(node, TupleFormula):
+            if not len(node):
+                return isinstance(target, TupleObject)
+            if not isinstance(target, TupleObject):
+                return False
+            for name, child in node.items():
+                if not self._flatten(child, target.get(name), path.child(name), leaves, out):
+                    return False
+            return True
+        if isinstance(node, SetFormula):
+            if not len(node):
+                return isinstance(target, SetObject)
+            if not isinstance(target, SetObject):
+                return False
+            for index, element in enumerate(node.elements):
+                # Flattening walks plan.body — the very formula compile_body
+                # built the leaves from — so every runtime set position has a
+                # compiled leaf; a KeyError here means the plan and the body
+                # diverged and should fail loudly.
+                leaf_rank, spec = leaves[(path.steps, index)]
+                restricted = (
+                    self.position is not None
+                    and index == self.position.element_index
+                    and path == self.position.path
+                )
+                out.append(
+                    _Instance(
+                        rank=leaf_rank,
+                        order=len(out),
+                        spec=spec,
+                        witnesses=self.delta_elements if restricted else target.elements,
+                        restricted=restricted,
+                    )
+                )
+            return True
+        if isinstance(node, Variable):
+            out.append(
+                _Instance(
+                    rank=rank,
+                    order=len(out),
+                    alternatives=[Substitution({node.name: target})],
+                )
+            )
+            return True
+        if isinstance(node, Constant):
+            # Identity fast path first: interned constants hit their exact
+            # witness by pointer comparison.
+            if node.value is target or is_subobject(node.value, target):
+                out.append(_Instance(rank=rank, order=len(out), alternatives=[_EMPTY]))
+                return True
+            return False
+        raise TypeError(f"not a formula: {node!r}")
+
+    # -- scan leaves --------------------------------------------------------------------
+    def _scan_step(
+        self, instance: _Instance, partials: List[Substitution]
+    ) -> List[Substitution]:
+        """One meet-product step over a scan leaf, with index narrowing."""
+        element = instance.spec.element
+        static_keys, dynamic_keys = (), ()
+        if self.indexes is not None and not instance.restricted:
+            static_keys = instance.spec.static_keys
+            dynamic_keys = instance.spec.dynamic_keys
+        # A static probe answers identically for every partial, so it is
+        # attempted once; dynamic keys depend on the accumulated bindings.
+        static_candidates: Optional[Tuple[ComplexObject, ...]] = None
+        if static_keys:
+            static_candidates = self._probe(
+                instance.spec.path, static_keys, count_miss=not dynamic_keys
+            )
+        base_alternatives: Optional[List[Substitution]] = None
+        fresh: List[Substitution] = []
+        for partial in partials:
+            narrowed = static_candidates
+            if narrowed is None and dynamic_keys:
+                narrowed = self._probe_dynamic(instance.spec.path, dynamic_keys, partial)
+            if narrowed is None:
+                if base_alternatives is None:
+                    base_alternatives = self._alternatives(element, instance.witnesses)
+                alternatives = base_alternatives
+            else:
+                alternatives = self._alternatives(element, narrowed)
+            for alternative in alternatives:
+                fresh.append(partial.meet(alternative))
+        return fresh
+
+    def _probe(self, set_path, keys, *, count_miss: bool):
+        for key_path, atom in keys:
+            candidates = self.indexes.candidates(set_path, key_path, atom)
+            if candidates is not None:
+                self.stats.index_hits += 1
+                return candidates
+        if count_miss:
+            self.stats.index_misses += 1
+        return None
+
+    def _probe_dynamic(self, set_path, keys, partial: Substitution):
+        for key_path, name in keys:
+            value = partial.get(name)
+            if value is None:
+                continue
+            candidates = self.indexes.candidates(set_path, key_path, value)
+            if candidates is not None:
+                self.stats.index_hits += 1
+                return candidates
+        self.stats.index_misses += 1
+        return None
+
+    # -- witnesses ----------------------------------------------------------------------
+    def _alternatives(
+        self, child: Formula, candidates: Tuple[ComplexObject, ...]
+    ) -> List[Substitution]:
+        """Alternatives for one element formula over an explicit witness list.
+
+        Includes the *vanish* alternative for witness-less bare variables and
+        ``bottom`` constants, mirroring
+        ``matching._set_element_alternatives``.  Under the strict semantics
+        the variable case is filtered out at the end, so a narrowed candidate
+        list can only suppress substitutions the filter would discard anyway.
+        """
+        alternatives: List[Substitution] = []
+        for element in candidates:
+            self.stats.match_attempts += 1
+            alternatives.extend(self._match_witness(child, element))
+        if not alternatives:
+            if isinstance(child, Variable):
+                alternatives.append(Substitution({child.name: BOTTOM}))
+            elif isinstance(child, Constant) and child.value is BOTTOM:
+                alternatives.append(_EMPTY)
+        return alternatives
+
+    def _match_witness(
+        self, formula: Formula, target: ComplexObject
+    ) -> List[Substitution]:
+        """Derivation-maximal matching *inside* a witness (no narrowing)."""
+        if target is TOP:
+            return [Substitution({name: TOP for name in formula.variables()})]
+        if isinstance(formula, Variable):
+            return [Substitution({formula.name: target})]
+        if isinstance(formula, Constant):
+            if formula.value is target or is_subobject(formula.value, target):
+                return [_EMPTY]
+            return []
+        if isinstance(formula, TupleFormula):
+            if not isinstance(target, TupleObject):
+                return []
+            partials: List[Substitution] = [_EMPTY]
+            for name, child in formula.items():
+                alternatives = self._match_witness(child, target.get(name))
+                if not alternatives:
+                    return []
+                partials = [
+                    partial.meet(candidate)
+                    for partial in partials
+                    for candidate in alternatives
+                ]
+            return partials
+        if isinstance(formula, SetFormula):
+            if not isinstance(target, SetObject):
+                return []
+            partials = [_EMPTY]
+            for child in formula.elements:
+                alternatives = self._alternatives(child, target.elements)
+                if not alternatives:
+                    return []
+                partials = [
+                    partial.meet(candidate)
+                    for partial in partials
+                    for candidate in alternatives
+                ]
+            return partials
+        raise TypeError(f"not a formula: {formula!r}")

@@ -1,0 +1,95 @@
+"""EXPLAIN rendering: pretty-print optimized plans with cardinalities.
+
+The renderer turns the IR of :mod:`repro.plan.ir` into an indented text tree:
+one block per stratum (apply-once vs fixpoint), one block per rule, one line
+per leaf showing the optimizer's **estimated** surviving rows and chosen
+access path, and — when an execution record from
+:func:`repro.plan.execute.match_plan` is supplied — the **actual** rows that
+survived each leaf, so a bad estimate is visible at a glance.
+
+``Program.explain()``, the CLI's ``run/query --explain`` and the store's
+``store query --explain`` all render through this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.plan.ir import BodyPlan, ProgramPlan, RuleNode, leaf_key
+
+__all__ = ["render_body_plan", "render_rule_node", "render_program_plan"]
+
+
+def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
+    lines = []
+    actuals: Dict = (record or {}).get("by_leaf", {})
+    estimates = plan.estimates or (None,) * len(plan.leaves)
+    for position, (leaf, estimate) in enumerate(zip(plan.leaves, estimates), start=1):
+        line = f"{indent}{position}. {leaf.describe()}"
+        notes = []
+        if estimate is not None:
+            notes.append(f"est {estimate.rows:g} rows via {estimate.access}")
+        actual = actuals.get(leaf_key(leaf))
+        if actual is not None:
+            notes.append(f"actual {actual}")
+        if notes:
+            line += "  [" + ", ".join(notes) + "]"
+        lines.append(line)
+    if record is not None and "rows" in record:
+        lines.append(f"{indent}=> {record['rows']} substitutions (actual)")
+    return lines
+
+
+def render_body_plan(
+    plan: BodyPlan, *, record: Optional[dict] = None, header: Optional[str] = None
+) -> str:
+    """Render one body/query plan (the shape behind ``query --explain``)."""
+    kind = "join" if len(plan.leaves) > 1 else "match"
+    mode = "cost-ordered" if plan.optimized else "source-ordered"
+    lines = []
+    if header:
+        lines.append(header)
+    lines.append(f"{kind} over {len(plan.leaves)} leaves ({mode})")
+    lines.extend(_leaf_lines(plan, record, "  "))
+    return "\n".join(lines)
+
+
+def render_rule_node(
+    node: RuleNode, *, record: Optional[dict] = None, indent: str = ""
+) -> str:
+    """Render one planned rule: the head projection over its body plan."""
+    lines = [f"{indent}rule {node.rule.to_text()}"]
+    if node.body_plan is None:
+        lines.append(f"{indent}  emit ground head (fact)")
+        return "\n".join(lines)
+    lines.append(f"{indent}  project {node.rule.head.to_text()}")
+    lines.extend(_leaf_lines(node.body_plan, record, indent + "    "))
+    return "\n".join(lines)
+
+
+def render_program_plan(
+    plan: ProgramPlan,
+    *,
+    iterations: Optional[int] = None,
+    rule_records: Optional[Dict] = None,
+) -> str:
+    """Render a whole program plan, stratum by stratum.
+
+    ``rule_records`` maps a :class:`~repro.calculus.rules.Rule` to the
+    execution record collected for it; ``iterations`` is the fixpoint's
+    actual round count when the program has been evaluated.
+    """
+    recursive = sum(1 for stratum in plan.strata if stratum.recursive)
+    lines = [f"program plan: {len(plan.strata)} strata ({recursive} recursive)"]
+    for number, stratum in enumerate(plan.strata, start=1):
+        if stratum.recursive:
+            note = f", {iterations} iterations total" if iterations is not None else ""
+            lines.append(f"stratum {number}: fixpoint (iterate to closure{note})")
+        else:
+            lines.append(f"stratum {number}: apply once")
+        for node in stratum.rules:
+            record = None
+            if rule_records is not None:
+                record = rule_records.get(node.rule)
+            lines.append(render_rule_node(node, record=record, indent="  "))
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""The logical plan IR: one intermediate representation for every evaluator.
+
+A rule body (or a query formula) compiles into a :class:`BodyPlan` — a flat
+conjunction of *leaves*, each describing one access the matcher must perform
+against the database object:
+
+* :class:`ScanLeaf` — enumerate the elements of the set found at an attribute
+  path and match one element formula against each of them (the pattern-match /
+  scan node; a probe of the paper's Definition 4.2 witness choice);
+* :class:`BindLeaf` — bind a spine variable to the whole sub-object at a path;
+* :class:`ConstLeaf` — check that a ground constant is a sub-object of the
+  value at a path (a pure selection);
+* :class:`CheckLeaf` — check the shape (tuple/set) of the value at a path,
+  contributed by empty tuple/set formulae.
+
+Executing a body is the *meet-product* over the leaves' alternative
+substitution lists — and because the substitution meet is commutative and
+associative and results are deduplicated, **any leaf order computes the same
+substitution set**.  That order-independence is the soundness argument behind
+the cost-based join reordering of :mod:`repro.plan.optimize`.
+
+Rules wrap a body plan with the head to instantiate (:class:`RuleNode`, the
+project node); strata group rules into apply-once unions or fixpoint loops
+(:class:`StratumNode`, the union / fixpoint nodes); a whole program is a
+:class:`ProgramPlan`.  The same IR is what :mod:`repro.plan.explain` renders,
+what :mod:`repro.plan.execute` runs, and what :mod:`repro.algebra.translate`
+lowers to algebra expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.calculus.rules import Rule
+from repro.calculus.terms import Formula
+from repro.core.objects import Atom, ComplexObject
+from repro.store.paths import Path
+
+__all__ = [
+    "Leaf",
+    "ScanLeaf",
+    "BindLeaf",
+    "ConstLeaf",
+    "CheckLeaf",
+    "LeafEstimate",
+    "BodyPlan",
+    "RuleNode",
+    "StratumNode",
+    "ProgramPlan",
+    "leaf_key",
+]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """One conjunct of a compiled body: an access at an attribute path."""
+
+    path: Path
+
+    def describe(self) -> str:  # pragma: no cover - overridden by subclasses
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanLeaf(Leaf):
+    """Match ``element`` against every element of the set at ``path``.
+
+    ``element_index`` is the element formula's position inside its set formula
+    (the identity the semi-naive delta discipline restricts by).
+    ``static_keys`` are (key path, ground atom) pairs usable for an index probe
+    immediately; ``dynamic_keys`` are (key path, variable name) pairs usable
+    once the variable is bound by an earlier leaf — the optimizer orders
+    binding leaves first exactly to turn these into hash lookups.
+    """
+
+    element_index: int
+    element: Formula
+    static_keys: Tuple[Tuple[Path, Atom], ...] = ()
+    dynamic_keys: Tuple[Tuple[Path, str], ...] = ()
+    variables: FrozenSet[str] = frozenset()
+
+    def describe(self) -> str:
+        where = str(self.path) or "<root>"
+        return f"scan {where} ~ {self.element.to_text()}"
+
+
+@dataclass(frozen=True)
+class BindLeaf(Leaf):
+    """Bind spine variable ``name`` to the sub-object at ``path``."""
+
+    name: str = ""
+
+    def describe(self) -> str:
+        where = str(self.path) or "<root>"
+        return f"bind {self.name} := {where}"
+
+
+@dataclass(frozen=True)
+class ConstLeaf(Leaf):
+    """Require the ground ``value`` to be a sub-object of the value at ``path``."""
+
+    value: ComplexObject = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        where = str(self.path) or "<root>"
+        return f"select {where} >= {self.value.to_text()}"
+
+
+@dataclass(frozen=True)
+class CheckLeaf(Leaf):
+    """Require a tuple/set shape at ``path`` (an empty tuple/set formula)."""
+
+    shape: str = "tuple"  # "tuple" | "set"
+
+    def describe(self) -> str:
+        where = str(self.path) or "<root>"
+        return f"check {where} is {self.shape}"
+
+
+@dataclass(frozen=True)
+class LeafEstimate:
+    """The optimizer's annotation for one leaf: estimated rows and access path."""
+
+    rows: float
+    access: str  # e.g. "scan", "index name=abraham", "index name=$X"
+
+
+@dataclass(frozen=True)
+class BodyPlan:
+    """A compiled body: its leaves, in execution order.
+
+    ``optimized`` records whether :func:`repro.plan.optimize.optimize_body`
+    chose the order (else the leaves are in source order); ``estimates`` is a
+    tuple parallel to ``leaves`` carrying the optimizer's cost annotations.
+    """
+
+    body: Formula
+    leaves: Tuple[Leaf, ...]
+    optimized: bool = False
+    estimates: Optional[Tuple[LeafEstimate, ...]] = None
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return self.body.variables()
+
+    def describe(self) -> str:
+        inner = ", ".join(leaf.describe() for leaf in self.leaves)
+        kind = "join" if len(self.leaves) > 1 else "match"
+        return f"{kind}({inner})"
+
+
+@dataclass(frozen=True)
+class RuleNode:
+    """One planned rule: instantiate ``rule.head`` over the body plan's rows."""
+
+    rule: Rule
+    body_plan: Optional[BodyPlan]  # None for facts
+
+    @property
+    def is_fact(self) -> bool:
+        return self.body_plan is None
+
+    def describe(self) -> str:
+        if self.body_plan is None:
+            return f"emit {self.rule.head.to_text()}"
+        return f"project {self.rule.head.to_text()} over {self.body_plan.describe()}"
+
+
+@dataclass(frozen=True)
+class StratumNode:
+    """A scheduling stratum: a union of rules, iterated when ``recursive``."""
+
+    rules: Tuple[RuleNode, ...]
+    recursive: bool
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """A whole program: strata in topological (producers-first) order."""
+
+    strata: Tuple[StratumNode, ...]
+
+    def rule_nodes(self) -> Tuple[RuleNode, ...]:
+        return tuple(node for stratum in self.strata for node in stratum.rules)
+
+
+def leaf_key(leaf: Leaf) -> Tuple[Tuple[str, ...], int]:
+    """The identity of a leaf inside its body: (path steps, element index).
+
+    Non-scan leaves use index ``-1``; tuple attributes are unique, so the pair
+    identifies each leaf of a body unambiguously.  The executor uses this key
+    to map runtime leaf instances onto the optimizer's chosen order.
+    """
+    index = leaf.element_index if isinstance(leaf, ScanLeaf) else -1
+    return (leaf.path.steps, index)

@@ -1,0 +1,151 @@
+"""The cost-based optimizer: join (leaf) reordering and access-path selection.
+
+Because a body's result is the meet-product of its leaves' alternatives and
+the meet is commutative and associative (see :mod:`repro.plan.ir`), the
+optimizer may execute leaves in **any** order; it picks the one that keeps
+the running partial-substitution count small:
+
+1. free leaves first — binds, constant selections and shape checks produce at
+   most one row each, and a :class:`BindLeaf` makes its variable available to
+   later dynamic index probes;
+2. then a greedy ordering of the scan leaves by estimated surviving rows
+   (from :class:`~repro.plan.statistics.DatabaseStatistics`): a static-key
+   probe is estimated at ``card/distinct``, a dynamic key counts only once
+   its variable is bound by an already-placed leaf, an unkeyed scan at the
+   full cardinality — and leaves sharing no variable with what is already
+   bound are penalised so cross products run last.
+
+Each placed leaf also records its **access path** — the index probe the
+executor should attempt first — which is how selection and attribute-path
+pushdown reach :class:`repro.engine.IndexStore` (during evaluation) and
+:class:`repro.store.PathIndex` (store-side, see
+:meth:`repro.store.ObjectDatabase.query`).  Without statistics the same
+greedy pass runs on defaults, which still orders static-key probes before
+bare scans — the heuristic the algebra lowering uses at translation time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.plan.ir import (
+    BindLeaf,
+    BodyPlan,
+    CheckLeaf,
+    Leaf,
+    LeafEstimate,
+    ProgramPlan,
+    RuleNode,
+    ScanLeaf,
+    StratumNode,
+)
+from repro.plan.statistics import DatabaseStatistics
+
+__all__ = ["optimize_body", "optimize_rule", "optimize_program", "estimate_leaf"]
+
+#: Multiplier applied to a scan leaf sharing no variable with the bound set —
+#: a cross product is never *wrong* (the meet-product absorbs it) but almost
+#: always the worst possible next step.
+_CROSS_PRODUCT_PENALTY = 1.0e6
+
+
+def estimate_leaf(
+    leaf: Leaf,
+    bound: Set[str],
+    statistics: Optional[DatabaseStatistics],
+) -> LeafEstimate:
+    """Estimated surviving rows and chosen access path for one leaf.
+
+    ``bound`` is the set of variables bound by the leaves placed before this
+    one; only those make a dynamic key probeable.
+    """
+    if not isinstance(leaf, ScanLeaf):
+        # Free leaves produce at most one row; label them by what they do.
+        if isinstance(leaf, BindLeaf):
+            access = "bind"
+        elif isinstance(leaf, CheckLeaf):
+            access = "check"
+        else:
+            access = "select"
+        return LeafEstimate(rows=1.0, access=access)
+    stats = statistics if statistics is not None else DatabaseStatistics()
+    cardinality = stats.cardinality(leaf.path)
+    if leaf.static_keys:
+        key_path, atom = leaf.static_keys[0]
+        return LeafEstimate(
+            rows=stats.equality_estimate(leaf.path, key_path),
+            access=f"index {key_path}={atom.to_text()}",
+        )
+    for key_path, name in leaf.dynamic_keys:
+        if name in bound:
+            return LeafEstimate(
+                rows=stats.equality_estimate(leaf.path, key_path),
+                access=f"index {key_path}=${name}",
+            )
+    return LeafEstimate(rows=cardinality, access="scan")
+
+
+def optimize_body(
+    plan: BodyPlan, statistics: Optional[DatabaseStatistics] = None
+) -> BodyPlan:
+    """Reorder ``plan``'s leaves by estimated cost; annotate each with its estimate."""
+    free = [leaf for leaf in plan.leaves if not isinstance(leaf, ScanLeaf)]
+    scans = [leaf for leaf in plan.leaves if isinstance(leaf, ScanLeaf)]
+
+    ordered: List[Leaf] = list(free)
+    estimates: List[LeafEstimate] = [
+        estimate_leaf(leaf, set(), statistics) for leaf in free
+    ]
+    bound: Set[str] = set()
+    for leaf in free:
+        if isinstance(leaf, BindLeaf) and leaf.name:
+            bound.add(leaf.name)
+
+    remaining = list(scans)
+    while remaining:
+        best_index = 0
+        best_estimate: Optional[LeafEstimate] = None
+        best_score = float("inf")
+        for index, leaf in enumerate(remaining):
+            estimate = estimate_leaf(leaf, bound, statistics)
+            connected = not bound or bool(leaf.variables & bound) or not leaf.variables
+            score = estimate.rows if connected else estimate.rows * _CROSS_PRODUCT_PENALTY
+            if score < best_score:
+                best_score = score
+                best_index = index
+                best_estimate = estimate
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        estimates.append(best_estimate)
+        bound |= chosen.variables
+
+    return BodyPlan(
+        body=plan.body,
+        leaves=tuple(ordered),
+        optimized=True,
+        estimates=tuple(estimates),
+    )
+
+
+def optimize_rule(
+    node: RuleNode, statistics: Optional[DatabaseStatistics] = None
+) -> RuleNode:
+    """Optimize one rule node (facts pass through unchanged)."""
+    if node.body_plan is None:
+        return node
+    return RuleNode(rule=node.rule, body_plan=optimize_body(node.body_plan, statistics))
+
+
+def optimize_program(
+    plan: ProgramPlan, statistics: Optional[DatabaseStatistics] = None
+) -> ProgramPlan:
+    """Optimize every rule of a program plan."""
+    return ProgramPlan(
+        strata=tuple(
+            StratumNode(
+                rules=tuple(optimize_rule(node, statistics) for node in stratum.rules),
+                recursive=stratum.recursive,
+            )
+            for stratum in plan.strata
+        )
+    )

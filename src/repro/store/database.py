@@ -6,11 +6,14 @@ storage engine, with:
 * calculus queries: :meth:`ObjectDatabase.query` interprets a formula against
   one stored object (or against the whole database seen as a single tuple
   object, exactly the paper's "the entire database can be modeled by a single
-  object"), and :meth:`ObjectDatabase.apply_rules` / :meth:`close_under`
-  evaluate rules and closures in place;
+  object") through the plan pipeline of :mod:`repro.plan`, pushing
+  root-attribute and indexed-path selections into the store instead of
+  materialising the snapshot (``--explain`` on the CLI shows the plan), and
+  :meth:`ObjectDatabase.apply_rules` / :meth:`close_under` evaluate rules and
+  closures in place (the latter through the plan-compiled engines);
 * pattern search across objects: :meth:`find` returns the names of the stored
-  objects of which a pattern is a sub-object, using path indexes when one
-  covers the pattern;
+  objects of which a pattern is a sub-object, prefiltering through every
+  path index the pattern pins (``access_stats`` counts prefilters vs scans);
 * schema enforcement: a type per name (optional) checked on every write;
 * functional updates with :mod:`repro.store.updates`, and atomic
   multi-statement transactions with :mod:`repro.store.transactions`.
@@ -29,6 +32,7 @@ commit leaves the database untouched by construction.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import SchemaError, StoreError, TransactionError
@@ -37,7 +41,7 @@ from repro.core.order import is_subobject
 from repro.calculus.fixpoint import ClosureResult, close
 from repro.calculus.interpretation import interpret
 from repro.calculus.rules import Rule, RuleSet
-from repro.calculus.terms import Formula
+from repro.calculus.terms import Formula, TupleFormula
 from repro.schema.check import check_object
 from repro.schema.types import SchemaType
 from repro.store.index import PathIndex
@@ -58,6 +62,27 @@ class ObjectDatabase:
         self._schemas: Dict[str, SchemaType] = {}
         self._lock = RWLock()
         self._version = 0  # bumped once per committed batch
+        # Access-path counters: how often queries/finds used an index or
+        # pushdown instead of scanning the snapshot (see ``access_stats``).
+        # Increments happen under the shared read lock, so they go through
+        # their own mutex (read-locked sections run concurrently).
+        self._stats_lock = threading.Lock()
+        self._access_stats = {
+            "find_index_prefilters": 0,
+            "find_path_lookups": 0,
+            "find_scans": 0,
+            "query_root_pushdowns": 0,
+            "query_index_shortcircuits": 0,
+            "query_scans": 0,
+        }
+        # Names whose stored value is ⊤.  A ⊤ value collapses as_object() to
+        # ⊤ whether or not a formula mentions its name, so the query pushdown
+        # must fall back to the snapshot while any exist.  ⊤ can only occur
+        # as a whole stored value (any object containing ⊤ collapses to ⊤ at
+        # construction), so a value identity test is complete.
+        self._top_names = {
+            name for name, value in self._storage.items() if value.is_top
+        }
 
     # -- basic CRUD -----------------------------------------------------------------
     def put(self, name: str, value) -> ComplexObject:
@@ -165,6 +190,10 @@ class ObjectDatabase:
                 return
             self._storage.apply_batch(effective)
             for name, value in effective.items():
+                if value is not None and value.is_top:
+                    self._top_names.add(name)
+                else:
+                    self._top_names.discard(name)
                 for index in self._indexes.values():
                     if value is None:
                         index.remove(name)
@@ -226,6 +255,16 @@ class ObjectDatabase:
             return tuple(sorted(self._indexes))
 
     # -- queries --------------------------------------------------------------------------
+    @property
+    def access_stats(self) -> Dict[str, int]:
+        """Counters of index pushdowns vs full scans (a copy; see ``query``/``find``)."""
+        with self._stats_lock:
+            return dict(self._access_stats)
+
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            self._access_stats[counter] += 1
+
     def query(
         self,
         formula,
@@ -237,11 +276,174 @@ class ObjectDatabase:
 
         ``formula`` may be a :class:`~repro.calculus.terms.Formula` or source
         text in the paper's notation.  With ``against=None`` the formula is
-        interpreted against :meth:`as_object`.
+        interpreted against :meth:`as_object` — but instead of materialising
+        the whole snapshot the planner pushes selections down:
+
+        * **root-attribute pushdown** — a tuple-shaped formula only reads the
+          root attributes it mentions, so only those stored objects are
+          fetched and joined into the target;
+        * **index short-circuit** — a formula pinning a ground atom at a path
+          covered by a :class:`PathIndex` answers ⊥ straight from the index
+          when no stored object carries that atom (sound because the index
+          wildcard-tracks ⊤, see :mod:`repro.store.index`).
+
+        Both are pure access-path decisions: the answer is identical to
+        interpreting against the full :meth:`as_object`, which the property
+        suite pins.  In particular, while any stored value is ⊤ — which
+        collapses :meth:`as_object` to ⊤ regardless of which names a formula
+        mentions — the pushdown is disabled and the snapshot path answers.
         """
         parsed = self._as_formula(formula)
-        target = self.as_object() if against is None else self._require(against)
-        return interpret(parsed, target, allow_bottom=allow_bottom)
+        if against is not None:
+            return interpret(parsed, self._require(against), allow_bottom=allow_bottom)
+        kind, reason, restricted, _ = self._choose_access_path(parsed, allow_bottom)
+        if kind == "refuted":
+            self._bump("query_index_shortcircuits")
+            return BOTTOM
+        if kind == "pushdown":
+            self._bump("query_root_pushdowns")
+            from repro.plan import interpret_plan
+
+            target = TupleObject(restricted)
+            plan = self._pushdown_plan(parsed, target)
+            return interpret_plan(plan, target, allow_bottom=allow_bottom)
+        self._bump("query_scans")
+        return interpret(parsed, self.as_object(), allow_bottom=allow_bottom)
+
+    def _choose_access_path(self, parsed: Formula, allow_bottom: bool):
+        """One locked decision pass shared by :meth:`query` and :meth:`explain_query`.
+
+        Returns ``(kind, reason, restricted, total)``: ``kind`` is
+        ``"refuted"`` (an index proves ⊥), ``"pushdown"`` (read only the
+        mentioned root attributes — ``restricted`` holds them) or
+        ``"snapshot"`` (interpret against the full :meth:`as_object`, with
+        ``reason`` saying why); ``total`` is the stored-object count at
+        decision time.  Keeping the decision in one place guarantees EXPLAIN
+        describes exactly the access path :meth:`query` takes.
+        """
+        with self._lock.read_locked():
+            total = len(self._storage.names())
+            if not isinstance(parsed, TupleFormula):
+                return "snapshot", "formula is not tuple-shaped", None, total
+            if self._top_names:
+                return (
+                    "snapshot",
+                    "a stored value is ⊤, which collapses the database object",
+                    None,
+                    total,
+                )
+            restricted: Dict[str, ComplexObject] = {}
+            for name in parsed.attributes:
+                value = self._storage.read(name)
+                if value is not None:
+                    restricted[name] = value
+            if not allow_bottom and self._index_refutes(parsed):
+                return "refuted", "a path index refutes the query", restricted, total
+            return "pushdown", "", restricted, total
+
+    @staticmethod
+    def _pushdown_plan(parsed: Formula, target: ComplexObject):
+        """The plan :meth:`query` executes against a pushed-down target.
+
+        Reordering only pays off with several scans to order; a
+        single-relation query skips the statistics walk entirely.
+        """
+        from repro.plan import DatabaseStatistics, ScanLeaf, compile_body, optimize_body
+
+        plan = compile_body(parsed)
+        if sum(1 for leaf in plan.leaves if isinstance(leaf, ScanLeaf)) > 1:
+            plan = optimize_body(plan, DatabaseStatistics.collect(target))
+        return plan
+
+    def _index_refutes(self, parsed: "TupleFormula") -> bool:
+        """``True`` when a path index proves the whole-database query answers ⊥.
+
+        Looks for a scan leaf of the compiled plan that pins a ground atom at
+        an indexed path under one root attribute; if the index (wildcards
+        included) maps that atom to no stored name — or not to the leaf's
+        root attribute — the leaf has no witness, its element formula cannot
+        vanish (vanishing needs a bare variable or a ⊥ constant, which carry
+        no static key), and the conjunction is empty.  Callers hold the read
+        lock.
+        """
+        if not self._indexes:
+            return False
+        from repro.plan import ScanLeaf, compile_body
+
+        for leaf in compile_body(parsed).leaves:
+            if not isinstance(leaf, ScanLeaf) or not leaf.static_keys:
+                continue
+            if not leaf.path.steps:
+                continue
+            root, inner = leaf.path.steps[0], leaf.path.steps[1:]
+            for key_path, atom in leaf.static_keys:
+                index = self._indexes.get(".".join(inner + key_path.steps))
+                if index is None:
+                    continue
+                if root not in index.lookup(atom):
+                    return True
+        return False
+
+    def explain_query(
+        self,
+        formula,
+        *,
+        against: Optional[str] = None,
+        allow_bottom: bool = False,
+    ) -> str:
+        """EXPLAIN for :meth:`query`: the chosen access path with est/actual rows.
+
+        Renders exactly the plan a :meth:`query` call with the same arguments
+        executes — both go through :meth:`_choose_access_path` and
+        :meth:`_pushdown_plan`, so the notes and the leaf order cannot drift
+        from the real access path.
+        """
+        from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
+        from repro.plan.explain import render_body_plan
+
+        parsed = self._as_formula(formula)
+        notes: List[str] = []
+        plan = None
+        analyze = True
+        if against is not None:
+            target = self._require(against)
+            notes.append(f"target: stored object {against!r}")
+        else:
+            kind, reason, restricted, total = self._choose_access_path(
+                parsed, allow_bottom
+            )
+            if kind == "snapshot":
+                target = self.as_object()
+                notes.append(f"target: full snapshot ({reason})")
+            elif kind == "refuted":
+                # query() answers ⊥ straight from the index — it reads no
+                # stored objects and executes no plan, so neither does the
+                # analysis; the plan is shown with estimates only.
+                target = TupleObject(restricted)
+                plan = self._pushdown_plan(parsed, target)
+                analyze = False
+                notes.append(
+                    "index short-circuit: a path index refutes the query;"
+                    " answers ⊥ without reading or interpreting"
+                    " (plan shown with estimates only)"
+                )
+            else:
+                target = TupleObject(restricted)
+                notes.append(
+                    f"target: root-attribute pushdown reads {len(restricted)}"
+                    f" of {total} stored objects"
+                )
+                plan = self._pushdown_plan(parsed, target)
+        if plan is None:
+            plan = optimize_body(compile_body(parsed), DatabaseStatistics.collect(target))
+        record: Optional[dict] = None
+        if analyze:
+            record = {}
+            match_plan(plan, target, allow_bottom=allow_bottom, record=record)
+        rendered = render_body_plan(
+            plan, record=record, header=f"query plan: {parsed.to_text()}"
+        )
+        return "\n".join(notes + [rendered])
 
     def find(
         self, pattern: ComplexObject, *, path: Optional[Union[Path, str]] = None
@@ -249,12 +451,16 @@ class ObjectDatabase:
         """Names of the stored objects of which ``pattern`` is a sub-object.
 
         When ``path`` names an index and ``pattern`` pins a value at that path,
-        the index narrows the candidates before the sub-object check; otherwise
-        every stored object is scanned.  The whole search runs under the read
-        lock, against one consistent state.
+        the index narrows the candidates before the sub-object check.  With no
+        explicit path, every index whose path the pattern pins with ground
+        atoms prefilters the candidates (their intersection), so path-rooted
+        patterns avoid the full-snapshot scan entirely; ``access_stats``
+        counts prefiltered vs scanned searches.  The whole search runs under
+        the read lock, against one consistent state.
         """
         with self._lock.read_locked():
             candidates: Optional[Sequence[str]] = None
+            counter = "find_scans"
             if path is not None:
                 key = str(path if isinstance(path, Path) else Path(path))
                 index = self._indexes.get(key)
@@ -271,14 +477,46 @@ class ObjectDatabase:
                             continue
                         gathered.extend(index.lookup(value))
                     candidates = sorted(set(gathered))
+                    counter = "find_path_lookups"
+            elif self._indexes:
+                candidates = self._prefilter_candidates(pattern)
+                if candidates is not None:
+                    counter = "find_index_prefilters"
             if candidates is None:
                 candidates = self._storage.names()
+            self._bump(counter)
             return [
                 name
                 for name in candidates
                 if (stored := self._storage.read(name)) is not None
                 and is_subobject(pattern, stored)
             ]
+
+    def _prefilter_candidates(self, pattern: ComplexObject) -> Optional[List[str]]:
+        """Candidate names from every index the pattern pins with ground atoms.
+
+        Each pinned atom's lookup is individually a superset of the true
+        matches (an atom is only dominated by itself or ⊤, and ⊤-carrying
+        objects are in every lookup via the wildcard set), so their
+        intersection — across values and across indexes — is a sound
+        prefilter; the final sub-object check still runs.  ``None`` means no
+        index constrained the pattern.  Callers hold the read lock.
+        """
+        from repro.store.paths import get_path
+
+        narrowed: Optional[set] = None
+        for index in self._indexes.values():
+            located = get_path(pattern, index.path)
+            values = located.elements if isinstance(located, SetObject) else (located,)
+            atoms = [value for value in values if value.is_atom]
+            for atom in atoms:
+                names = index.lookup(atom)
+                narrowed = set(names) if narrowed is None else (narrowed & names)
+                if not narrowed:
+                    return []
+        if narrowed is None:
+            return None
+        return sorted(narrowed)
 
     # -- rules ----------------------------------------------------------------------------
     def apply_rules(
@@ -301,11 +539,26 @@ class ObjectDatabase:
         *,
         against: Optional[str] = None,
         store_as: Optional[str] = None,
+        engine: Optional[str] = "seminaive",
         **guards,
     ) -> ClosureResult:
-        """Compute the closure (Definition 4.6) and optionally store the result."""
+        """Compute the closure (Definition 4.6) and optionally store the result.
+
+        Evaluation routes through the plan-compiled engines of
+        :mod:`repro.engine` (``engine="seminaive"`` by default — stratified,
+        delta-driven and index-accelerated; ``"naive"`` iterates the full rule
+        set each round).  Pass ``engine=None``, or any keyword only
+        :func:`repro.calculus.fixpoint.close` understands (``inflationary``),
+        to fall back to the baseline fixpoint.  All engines compute the same
+        closure and raise the same :class:`DivergenceError` on divergence.
+        """
         target = self.as_object() if against is None else self._require(against)
-        result = close(target, rules, **guards)
+        if engine is None or "inflationary" in guards:
+            result = close(target, rules, **guards)
+        else:
+            from repro.engine import create_engine
+
+            result = create_engine(engine, rules, **guards).run(target)
         if store_as is not None:
             self.put(store_as, result.value)
         return result

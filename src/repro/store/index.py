@@ -3,8 +3,10 @@
 A :class:`PathIndex` maps the values found at one attribute path (descending
 through sets, see :func:`repro.store.paths.iter_paths`) to the names of the
 stored objects containing them.  The :class:`ObjectDatabase` consults its
-indexes before falling back to a scan when answering ``find`` queries, and the
-``bench_store`` benchmark measures the difference.
+indexes before falling back to a scan when answering ``find`` queries, and
+the query planner pushes static selections into them to short-circuit
+whole-database queries (see :meth:`repro.store.ObjectDatabase.query`);
+``benchmarks/run_plan_benchmarks.py`` measures that pushdown.
 
 Maintenance is O(keys-of-the-object), not O(index): alongside the inverted
 ``value → names`` entries the index keeps a reverse ``name → keys`` map, so
@@ -12,14 +14,23 @@ Maintenance is O(keys-of-the-object), not O(index): alongside the inverted
 exactly the entries the object contributed instead of scanning the full
 table.  ``benchmarks/run_store_benchmarks.py`` records the before/after of
 this change as the ``indexed_write`` speedup.
+
+Wildcards
+---------
+An object carrying ⊤ on (or at the end of) the indexed path matches *any*
+probe value under the sub-object order, so such names are kept in a separate
+wildcard set that every :meth:`lookup` unions in.  This makes a lookup miss a
+definitive "no stored witness" — the property the query planner's index
+short-circuit relies on — instead of silently dropping ⊤-carrying objects
+the way a plain value bucket would.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Set, Tuple, Union
 
-from repro.core.objects import BOTTOM, ComplexObject, SetObject
-from repro.store.paths import Path, get_path
+from repro.core.objects import ComplexObject, SetObject, TupleObject
+from repro.store.paths import Path
 
 __all__ = ["PathIndex"]
 
@@ -31,6 +42,7 @@ class PathIndex:
         self.path = path if isinstance(path, Path) else Path(path)
         self._entries: Dict[ComplexObject, Set[str]] = {}
         self._keys_by_name: Dict[str, Set[ComplexObject]] = {}
+        self._wildcards: Set[str] = set()
 
     def __repr__(self) -> str:
         return f"<PathIndex on {self.path} covering {len(self._keys_by_name)} objects>"
@@ -39,7 +51,9 @@ class PathIndex:
     def add(self, name: str, value: ComplexObject) -> None:
         """Index the stored object ``value`` under ``name``."""
         self.remove(name)
-        keys = self._keys(value)
+        keys: Set[ComplexObject] = set()
+        if self._collect(value, self.path.steps, keys):
+            self._wildcards.add(name)
         for key in keys:
             self._entries.setdefault(key, set()).add(name)
         self._keys_by_name[name] = keys
@@ -50,6 +64,7 @@ class PathIndex:
         Costs O(keys the object contributed) via the reverse map — a full
         scan of the inverted table is never needed.
         """
+        self._wildcards.discard(name)
         keys = self._keys_by_name.pop(name, None)
         if keys is None:
             return
@@ -64,25 +79,59 @@ class PathIndex:
         """Re-index the whole collection from scratch."""
         self._entries.clear()
         self._keys_by_name.clear()
+        self._wildcards.clear()
         for name, value in items:
             self.add(name, value)
 
-    def _keys(self, value: ComplexObject) -> Set[ComplexObject]:
-        located = get_path(value, self.path)
-        if isinstance(located, SetObject):
-            return set(located.elements)
-        if located is BOTTOM:
-            return set()
-        return {located}
+    def _collect(
+        self, value: ComplexObject, steps: Tuple[str, ...], keys: Set[ComplexObject]
+    ) -> bool:
+        """Gather the values at the path into ``keys``; ``True`` marks a wildcard.
+
+        Follows the same traversal as :func:`repro.store.paths.get_path`
+        (tuple attributes consume steps, sets are descended transparently)
+        but keeps every collected value instead of folding them into a
+        normalized set — set reduction would absorb dominated keys — and
+        flags ⊤ anywhere along or at the end of the path as a wildcard.
+        """
+        if value.is_top:
+            return True
+        if not steps:
+            if isinstance(value, SetObject):
+                wildcard = False
+                for element in value.elements:
+                    if element.is_top:
+                        wildcard = True
+                    else:
+                        keys.add(element)
+                return wildcard
+            if value.is_bottom:
+                return False
+            keys.add(value)
+            return False
+        if isinstance(value, TupleObject):
+            return self._collect(value.get(steps[0]), steps[1:], keys)
+        if isinstance(value, SetObject):
+            wildcard = False
+            for element in value.elements:
+                if element.is_top:
+                    wildcard = True
+                elif isinstance(element, (TupleObject, SetObject)):
+                    wildcard |= self._collect(element, steps, keys)
+            return wildcard
+        return False
 
     # -- queries --------------------------------------------------------------------
     def lookup(self, key: ComplexObject) -> FrozenSet[str]:
         """Names of the objects whose path value equals (or contains) ``key``.
 
-        Stored values and probe keys are both interned, so the dict probe
-        resolves on cached hashes and pointer equality — no tree traversal.
+        Wildcard names — objects carrying ⊤ on the path — are always
+        included, so a miss is a definitive "no stored object can contain
+        this value at the path".  Stored values and probe keys are both
+        interned, so the dict probe resolves on cached hashes and pointer
+        equality — no tree traversal.
         """
-        return frozenset(self._entries.get(key, set()))
+        return frozenset(self._entries.get(key, set()) | self._wildcards)
 
     def covers(self, name: str) -> bool:
         """``True`` when ``name`` has been indexed."""

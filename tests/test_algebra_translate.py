@@ -79,3 +79,18 @@ class TestUntranslatableRules:
     def test_rejected(self, source):
         with pytest.raises(TranslationError):
             translate_rule(parse_rule(source))
+
+    def test_errors_name_the_offending_rule(self):
+        rule = parse_rule("[r: {X}] :- [r1: {[a: [nested: X]]}]")
+        with pytest.raises(TranslationError, match=r"cannot translate rule"):
+            translate_rule(rule)
+
+    def test_nested_pattern_error_names_the_attribute_path(self):
+        with pytest.raises(TranslationError, match=r"r1\.a"):
+            translate_rule(parse_rule("[r: {X}] :- [r1: {[a: [nested: X]]}]"))
+        with pytest.raises(TranslationError, match=r"\[nested: X\]"):
+            translate_rule(parse_rule("[r: {X}] :- [r1: {[a: [nested: X]]}]"))
+
+    def test_self_join_error_names_the_relation(self):
+        with pytest.raises(TranslationError, match=r"relation 'r1' is matched by 2"):
+            translate_rule(parse_rule("[r: {X}] :- [r1: {[a: X], [b: X]}]"))

@@ -1,0 +1,216 @@
+"""Property-based equivalence of the plan pipeline with the naive baselines.
+
+The plan pipeline's contract is behavioural identity along every entry point:
+
+* plan-compiled rule evaluation ≡ the naive fixpoint ``close()`` ≡ the
+  semi-naive engine, on randomized programs over genealogy and
+  part-hierarchy workloads (extending ``test_engine_properties.py``);
+* plan-compiled matching ≡ ``match_all`` on randomized formula/database
+  pairs, under both semantics and regardless of leaf order;
+* the store's pushed-down ``query``/``find`` ≡ interpreting/scanning the
+  full snapshot.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import Program, interpret, is_subobject, parse_formula, parse_object  # noqa: E402
+from repro.calculus.matching import match_all  # noqa: E402
+from repro.calculus.fixpoint import close  # noqa: E402
+from repro.calculus.rules import Rule, RuleSet  # noqa: E402
+from repro.calculus.terms import Constant, formula, var  # noqa: E402
+from repro.plan import (  # noqa: E402
+    DatabaseStatistics,
+    compile_body,
+    compile_program,
+    match_plan,
+    optimize_body,
+    optimize_program,
+)
+from repro.plan.execute import apply_rule_plan  # noqa: E402
+from repro.core.objects import Atom, SetObject, TupleObject  # noqa: E402
+from repro.store.database import ObjectDatabase  # noqa: E402
+from repro.workloads import make_genealogy, make_part_hierarchy  # noqa: E402
+
+_ATTRIBUTE_NAMES = ("a", "b", "c", "d", "r1", "r2", "name")
+
+
+def _atoms():
+    return st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Atom),
+        st.sampled_from(["john", "mary", "x", "y"]).map(Atom),
+    )
+
+
+def complex_objects(max_depth: int = 3):
+    """Reduced complex objects of bounded depth (mirrors tests/conftest.py)."""
+    if max_depth <= 1:
+        return _atoms()
+    children = complex_objects(max_depth - 1)
+    tuples = st.dictionaries(
+        st.sampled_from(_ATTRIBUTE_NAMES), children, max_size=3
+    ).map(TupleObject)
+    sets = st.lists(children, max_size=3).map(SetObject)
+    return st.one_of(_atoms(), tuples, sets)
+
+DESCENDANTS_RULES = """
+[doa: {abraham}].
+[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].
+"""
+
+# Satellite rules drawn alongside the recursive core: a projection, a
+# two-pattern join, and a non-decomposable accumulator that forces the
+# full-matching fallback inside a recursive stratum.
+EXTRA_RULES = {
+    "names": "[names: {Y}] :- [family: {[name: Y]}].",
+    "grand": (
+        "[grand: {[gp: G, gc: C]}] :-"
+        " [family: {[name: G, children: {[name: P]}],"
+        " [name: P, children: {[name: C]}]}]."
+    ),
+    "seen": "[seen: {X}] :- [family: {[name: X]}, doa: S].",
+}
+
+BODY_SHAPES = [
+    "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+    "[r1: {[name: X]}]",
+    "[r1: {X}, r2: {X}]",
+    "[r1: {[a: X], [b: Y]}]",
+    "[r1: {[a: X, b: X]}]",
+    "X",
+    "[r1: X, r2: {[c: Y]}]",
+]
+
+
+@st.composite
+def genealogy_programs(draw):
+    generations = draw(st.integers(min_value=0, max_value=3))
+    fanout = draw(st.integers(min_value=1, max_value=3))
+    extras = draw(st.sets(st.sampled_from(sorted(EXTRA_RULES))))
+    tree = make_genealogy(generations, fanout)
+    source = DESCENDANTS_RULES + "".join(EXTRA_RULES[name] for name in sorted(extras))
+    return Program.from_source(source, database=tree.family_object)
+
+
+@st.composite
+def hierarchy_programs(draw):
+    levels = draw(st.integers(min_value=0, max_value=3))
+    children = draw(st.integers(min_value=1, max_value=2))
+    assembly = make_part_hierarchy(levels, children, rng=draw(st.integers(0, 99)))
+    rules = [
+        Rule(formula({"all": [Constant(assembly.nested_object)]})),
+        Rule(
+            formula({"all": [var("X")]}),
+            formula({"all": [formula({"components": [var("X")]})]}),
+        ),
+    ]
+    return Program(rules)
+
+
+def assert_all_routes_agree(program):
+    """naive close() ≡ plan-compiled naive engine ≡ semi-naive engine."""
+    baseline = close(program.seed(), program.rules)
+    naive = program.evaluate(engine="naive")
+    semi = program.evaluate(engine="seminaive")
+    assert naive.value == baseline.value
+    assert semi.value == baseline.value
+    assert naive.iterations == baseline.iterations
+    assert naive.converged and semi.converged and baseline.converged
+
+
+@settings(max_examples=20, deadline=None)
+@given(genealogy_programs())
+def test_plan_compiled_evaluation_matches_close_on_genealogies(program):
+    assert_all_routes_agree(program)
+
+
+@settings(max_examples=12, deadline=None)
+@given(hierarchy_programs())
+def test_plan_compiled_evaluation_matches_close_on_hierarchies(program):
+    assert_all_routes_agree(program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(BODY_SHAPES),
+    complex_objects(max_depth=3),
+    st.booleans(),
+)
+def test_match_plan_equals_match_all_on_random_objects(body_text, database, allow):
+    body = parse_formula(body_text)
+    plan = optimize_body(compile_body(body), DatabaseStatistics.collect(database))
+    expected = set(match_all(body, database, allow_bottom=allow))
+    assert set(match_plan(plan, database, allow_bottom=allow)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(BODY_SHAPES), complex_objects(max_depth=3))
+def test_rule_application_through_plans_matches_rule_apply(body_text, database):
+    body = parse_formula(body_text)
+    if not body.variables():
+        return
+    head = formula({"out": [var(sorted(body.variables())[0])]})
+    rule = Rule(head, body)
+    program = optimize_program(compile_program(RuleSet([rule])))
+    (node,) = program.rule_nodes()
+    assert apply_rule_plan(node, database) == rule.apply(database)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.sampled_from(
+        [
+            "[alpha: [tag: {t0}]]",
+            "[alpha: [tag: {T}], beta: [num: N]]",
+            "[gamma: [num: 3]]",
+            "[delta: [tag: {t9}]]",
+        ]
+    ),
+)
+def test_store_query_pushdown_equals_snapshot_interpretation(rows, query_text):
+    database = ObjectDatabase()
+    for name, tag, num in rows:
+        database.put(name, parse_object(f"[tag: {{t{tag}}}, num: {num}]"))
+    database.create_index("tag")
+    query = parse_formula(query_text)
+    assert database.query(query) == interpret(query, database.as_object())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=4),
+)
+def test_store_find_prefilter_equals_full_scan(rows, probe):
+    database = ObjectDatabase()
+    for position, (num, tag) in enumerate(rows):
+        database.put(
+            f"obj{position}", parse_object(f"[tag: {{t{tag}}}, num: {num}]")
+        )
+    pattern = parse_object(f"[tag: {{t{probe}}}]")
+    scanned = database.find(pattern)
+    database.create_index("tag")
+    prefiltered = database.find(pattern)
+    assert prefiltered == scanned
+    expected = sorted(
+        name for name in database.names() if is_subobject(pattern, database[name])
+    )
+    assert prefiltered == expected
