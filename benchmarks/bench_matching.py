@@ -12,7 +12,8 @@ from functools import lru_cache
 
 import pytest
 
-from repro import interpret, parse_formula
+from repro import parse_formula
+from repro.calculus.interpretation import interpret
 from repro.calculus.matching import match_all
 from repro.workloads import make_join_workload
 

@@ -11,7 +11,8 @@ from functools import lru_cache
 
 import pytest
 
-from repro import interpret, parse_formula, parse_rule
+from repro import parse_formula, parse_rule
+from repro.calculus.interpretation import interpret
 from repro.algebra.ops import pattern_select
 from repro.core.builder import obj
 from repro.relational.algebra import select

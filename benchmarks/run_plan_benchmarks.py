@@ -56,7 +56,9 @@ def _median_ns(func, *, repeats: int, number: int) -> float:
 
 
 def run_suite(smoke: bool) -> dict:
-    from repro import interpret, parse_formula, parse_object
+    from repro import parse_formula, parse_object
+    from repro.api import Session
+    from repro.calculus.interpretation import interpret
     from repro.core.objects import BOTTOM
     from repro.engine.indexes import IndexStore
     from repro.engine.stats import EngineStats
@@ -121,12 +123,15 @@ def run_suite(smoke: bool) -> dict:
         )
     store.put("family", parse_object("[family: {[name: abraham, kids: {isaac}]}]"))
     store.create_index("family.name")
+    # Queries run through the session facade (the path ObjectDatabase.query
+    # now delegates to); the baseline interprets the materialised snapshot.
+    session = Session(database=store)
     query = parse_formula("[family: [family: {[name: X]}]]")
-    assert store.query(query) == interpret(query, store.as_object())
+    assert session.query(query) == interpret(query, store.as_object())
 
     pushed = record(
         "store_query_pushdown",
-        lambda: store.query(query),
+        lambda: session.query(query),
         number=50,
         objects=stored_objects + 1,
     )
@@ -141,11 +146,11 @@ def run_suite(smoke: bool) -> dict:
     absent = parse_formula("[family: [family: {[name: nobody, kids: K]}]]")
     # Guard against an unsound refutation, not just against a non-⊥ answer:
     # the shortcut must agree with the snapshot interpretation it replaces.
-    assert store.query(absent) == interpret(absent, store.as_object())
-    assert store.query(absent).is_bottom
+    assert session.query(absent) == interpret(absent, store.as_object())
+    assert session.query(absent).is_bottom
     shortcircuit = record(
         "store_query_shortcircuit",
-        lambda: store.query(absent),
+        lambda: session.query(absent),
         number=200,
         objects=stored_objects + 1,
     )

@@ -23,7 +23,8 @@ Run with::
 import sys
 import time
 
-from repro import interpret, parse_formula, parse_object
+from repro import parse_formula, parse_object
+from repro.calculus.interpretation import interpret
 from repro.core.objects import SetObject, TupleObject
 from repro.relational.algebra import equijoin, rename, select
 from repro.store.database import ObjectDatabase

@@ -23,7 +23,8 @@ import sys
 import tempfile
 import time
 
-from repro import interpret, parse_formula, parse_object, parse_rule
+from repro import parse_formula, parse_object, parse_rule
+from repro.api import Session
 from repro.core.builder import obj
 from repro.core.errors import SchemaError
 from repro.schema.inference import infer_type
@@ -39,6 +40,7 @@ def main() -> None:
     with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as handle:
         path = handle.name
     store = ObjectDatabase(FileStorage(path))
+    session = Session(database=store)  # the query facade over the store
     store.put("library", collection)
     print(f"Stored {documents} documents in {path}")
 
@@ -56,13 +58,13 @@ def main() -> None:
     # --- content queries ---------------------------------------------------------------
     query = parse_formula("[docs: {[title: T, sections: {[keywords: {lattice}]}]}]")
     start = time.perf_counter()
-    result = store.query(query, against="library")
+    result = session.query(query, against="library")
     elapsed = (time.perf_counter() - start) * 1000
     hits = 0 if result.is_bottom else len(result.get("docs"))
     print(f"\nDocuments mentioning 'lattice': {hits}  ({elapsed:.2f} ms, calculus formula)")
 
     # Documents by a given author (some documents have no author at all).
-    by_author = store.query("[docs: {[title: T, author: mary]}]", against="library")
+    by_author = session.query("[docs: {[title: T, author: mary]}]", against="library")
     authored = 0 if by_author.is_bottom else len(by_author.get("docs"))
     print(f"Documents authored by mary: {authored}")
 

@@ -20,7 +20,8 @@ Run with::
 import sys
 import time
 
-from repro import Program, interpret, parse_formula
+from repro import Program, parse_formula
+from repro.calculus.interpretation import interpret
 from repro.datalog import DatalogEngine
 from repro.relational.algebra import equijoin, project, rename, union as relation_union
 from repro.relational.relation import Relation

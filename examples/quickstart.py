@@ -14,7 +14,6 @@ from repro import (
     BOTTOM,
     TOP,
     Program,
-    interpret,
     intersection,
     is_subobject,
     obj,
@@ -23,6 +22,7 @@ from repro import (
     parse_rule,
     union,
 )
+from repro.calculus.interpretation import interpret
 
 
 def banner(title: str) -> None:

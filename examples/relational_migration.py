@@ -17,7 +17,8 @@ Run with::
     python examples/relational_migration.py
 """
 
-from repro import interpret, parse_formula, parse_rule
+from repro import parse_formula, parse_rule
+from repro.calculus.interpretation import interpret
 from repro.algebra.expressions import Join, Project, Relation as Rel, SelectPattern
 from repro.algebra.ops import nest_object
 from repro.algebra.translate import translate_rule

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.2.0",
     description=(
         "A Calculus for Complex Objects (Bancilhon & Khoshafian, PODS 1986) — "
         "full reproduction: complex-object lattice, object calculus, relational/"

@@ -8,6 +8,10 @@ substrates needed to evaluate it:
   (Sections 2 and 3 of the paper);
 * :mod:`repro.calculus` — well-formed formulae, rules and fixpoint semantics
   (Section 4);
+* :mod:`repro.api` — the public query surface: :func:`repro.connect` opens a
+  :class:`Session` (in-memory or WAL-backed) with prepared, parameterized,
+  streaming queries and version-keyed plan caches — the one execution path
+  the legacy entry points now delegate to;
 * :mod:`repro.plan` — the query pipeline every evaluator compiles through:
   a logical plan IR, attribute-path statistics, a cost-based optimizer
   (join reordering, index pushdown) and the EXPLAIN facility behind
@@ -32,11 +36,13 @@ Quickstart::
 
     import repro
 
-    db = repro.parse_object(
-        "[r1: {[name: peter, age: 25], [name: john, age: 7]}]"
-    )
-    query = repro.parse_formula("[r1: {[name: X]}]")
-    print(repro.interpret(query, db))   # [r1: {[name: john], [name: peter]}]
+    with repro.connect() as session:        # repro.connect("db.wal") persists
+        session.put("r1", repro.parse_object(
+            "{[name: peter, age: 25], [name: john, age: 7]}"))
+        people = session.prepare("[r1: {[name: $who, age: A]}]")
+        print(people.execute(who="peter").all())   # [r1: {[age: 25, name: peter]}]
+        for match in people.execute(who="john"):   # streams lazily
+            print(match)
 """
 
 from repro.core import (
@@ -69,6 +75,7 @@ from repro.core import (
 from repro.core.errors import (
     ComplexObjectError,
     DivergenceError,
+    ParameterError,
     ParseError,
     SchemaError,
     StoreError,
@@ -77,6 +84,7 @@ from repro.calculus import (
     ClosureResult,
     Constant,
     Formula,
+    Parameter,
     Program,
     Rule,
     RuleSet,
@@ -86,11 +94,12 @@ from repro.calculus import (
     Variable,
     apply_rule,
     apply_rules,
+    bind_parameters,
     close,
     closure_series,
     formula,
-    interpret,
     match,
+    param,
     var,
 )
 from repro.engine import (
@@ -103,7 +112,19 @@ from repro.engine import (
 )
 from repro.parser import parse_formula, parse_object, parse_program, parse_rule, pretty
 
-__version__ = "1.1.0"
+# The session facade is the public query surface; ``interpret`` is its
+# deprecation shim for the pre-session free function (same semantics, one
+# execution path).
+from repro.api import (
+    Cursor,
+    PreparedQuery,
+    ReproError,
+    Session,
+    connect,
+    interpret,
+)
+
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",
@@ -113,18 +134,24 @@ __all__ = [
     "ComplexObject",
     "ComplexObjectError",
     "Constant",
+    "Cursor",
     "DivergenceError",
     "ENGINES",
     "EngineResult",
     "EngineStats",
     "Formula",
     "NaiveEngine",
-    "SemiNaiveEngine",
+    "Parameter",
+    "ParameterError",
     "ParseError",
+    "PreparedQuery",
     "Program",
+    "ReproError",
     "Rule",
     "RuleSet",
     "SchemaError",
+    "SemiNaiveEngine",
+    "Session",
     "SetFormula",
     "SetObject",
     "StoreError",
@@ -137,9 +164,11 @@ __all__ = [
     "apply_rule",
     "apply_rules",
     "atom",
+    "bind_parameters",
     "clear_object_caches",
     "close",
     "closure_series",
+    "connect",
     "create_engine",
     "depth",
     "formula",
@@ -153,6 +182,7 @@ __all__ = [
     "match",
     "obj",
     "objects_equal",
+    "param",
     "parse_formula",
     "parse_object",
     "parse_program",

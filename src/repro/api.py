@@ -1,0 +1,730 @@
+"""repro.api — the public query surface: sessions, prepared queries, cursors.
+
+The paper defines one semantics — ``E(O)`` (Definition 4.2), ``r(O)``
+(Definition 4.4) and the closure ``R*(O)`` (Definition 4.6) — but the library
+historically exposed it through four disjoint call surfaces (the
+``interpret``/``apply_rule`` free functions, :class:`repro.calculus.Program`,
+:meth:`repro.store.ObjectDatabase.query` and the CLI), each parsing and
+planning from scratch on every call.  This module is the single facade the
+others now delegate to, shaped like a classic database client API:
+
+* :func:`connect` opens a :class:`Session` over an in-memory store
+  (``connect()``) or a durable WAL-backed store (``connect(path)``);
+* :meth:`Session.prepare` parses and cost-optimizes a query **once**,
+  returning a :class:`PreparedQuery` whose plan is cached keyed on the
+  store's statistics version — re-executions skip parse *and* optimize;
+* queries may declare named ``$parameters`` (constants bound at execute
+  time), so one prepared plan serves many bindings without re-planning;
+* :meth:`PreparedQuery.execute` / :meth:`Session.execute` return a
+  :class:`Cursor` that **streams** matches lazily (``for match in cursor``,
+  ``cursor.one()``) instead of materialising the full answer, with
+  ``cursor.all()`` folding the stream into the classic ``E(O)`` union and
+  ``cursor.explain()`` rendering the plan;
+* :meth:`Session.register` + :meth:`Session.close` evaluate rule closures
+  through the same cache; every cache invalidates automatically when the
+  underlying store commits (its ``version`` counter bumps).
+
+Sessions are cheap, single-threaded handles; the underlying
+:class:`~repro.store.ObjectDatabase` remains safe for concurrent use, so the
+scale-out pattern is one session per worker over one shared database.
+
+Quick use::
+
+    import repro
+
+    with repro.connect() as session:                  # or connect("db.wal")
+        session.put("r1", repro.parse_object(
+            "{[name: peter, age: 25], [name: john, age: 7]}"))
+        ages = session.prepare("[r1: {[name: $who, age: A]}]")
+        for match in ages.execute(who="peter"):       # streams lazily
+            print(match)
+        print(ages.execute(who="john").all())         # the E(O) union
+        print(session.cache_info()["plan_hits"])      # 1 — no re-planning
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.builder import obj
+from repro.core.errors import ComplexObjectError, ParameterError, StoreError
+from repro.core.lattice import union, union_all
+from repro.core.objects import BOTTOM, ComplexObject, TupleObject
+from repro.calculus.fixpoint import ClosureResult
+from repro.calculus.rules import Rule
+from repro.calculus.substitution import Substitution
+from repro.calculus.terms import Formula, bind_parameters, formula as to_formula
+from repro.store.database import ObjectDatabase
+from repro.store.storage import FileStorage, MemoryStorage
+
+__all__ = [
+    "Cursor",
+    "ParameterError",
+    "PreparedQuery",
+    "ReproError",
+    "Session",
+    "connect",
+    "interpret",
+]
+
+#: The one exception type a caller needs: every error raised by the library
+#: derives from it (parse, plan, parameter, schema, store, divergence...).
+ReproError = ComplexObjectError
+
+#: Upper bound on per-session cached plans/closures; beyond it the
+#: least-recently-used entry is evicted, so a session that rotates through
+#: more distinct queries than this re-optimizes only the coldest ones.
+_CACHE_LIMIT = 512
+
+#: Keyword options `execute`/`query`/`explain`/`prepare` accept: the target
+#: selectors, the semantics flag, and the closure engine/guards forwarded to
+#: :meth:`Session.close` when ``on_closure`` is set.  Anything else is a
+#: typo and is rejected, mirroring the strict ``$parameter`` policy.
+_QUERY_OPTIONS = frozenset(
+    {
+        "against",
+        "on_closure",
+        "allow_bottom",
+        "engine",
+        "max_iterations",
+        "max_nodes",
+        "max_depth",
+    }
+)
+
+
+def _check_options(options: Mapping) -> None:
+    unknown = set(options) - _QUERY_OPTIONS
+    if unknown:
+        raise ReproError(
+            f"unknown query option(s) {sorted(unknown)}; valid options:"
+            f" {sorted(_QUERY_OPTIONS)}"
+        )
+
+
+def connect(path: Optional[str] = None, *, rules=(), default_engine: str = "seminaive") -> "Session":
+    """Open a :class:`Session` — the library's front door.
+
+    ``connect()`` gives a private in-memory store; ``connect(path)`` opens
+    (or creates) the durable, WAL-backed store at ``path`` — the same log
+    format as ``python -m repro store --db-path``.  ``rules`` pre-registers
+    a rule program (source text or :class:`~repro.calculus.rules.Rule`
+    objects) for :meth:`Session.close`.
+    """
+    return Session(path, rules=rules, default_engine=default_engine)
+
+
+class Session:
+    """One connection: a store, a rule set, and version-keyed plan caches.
+
+    A session owns (or wraps) an :class:`~repro.store.ObjectDatabase` and
+    funnels **every** evaluation path — prepared queries, ad-hoc queries,
+    rule closures, the CLI, and the legacy ``interpret`` / ``Program.query``
+    / ``ObjectDatabase.query`` entry points — through one pipeline::
+
+        parse → compile (cached) → optimize (cached on store version)
+              → bind $parameters → stream
+
+    Plans and closures are cached keyed on the store's ``version`` counter
+    (plus the session's own seed/rule revisions), so a commit invalidates
+    exactly the entries whose statistics went stale, and re-executing a
+    :class:`PreparedQuery` on an unchanged store skips parse and optimize
+    entirely (watch ``cache_info()["plan_hits"]``).
+
+    Sessions are **not** thread-safe; the underlying database is.  Use one
+    session per thread over a shared database.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        database: Optional[ObjectDatabase] = None,
+        rules=(),
+        seed=None,
+        default_engine: str = "seminaive",
+    ):
+        if database is not None:
+            self._db = database
+            self._owns_db = False
+        else:
+            storage = FileStorage(path) if path is not None else MemoryStorage()
+            self._db = ObjectDatabase(storage)
+            self._owns_db = True
+        self._default_engine = default_engine
+        self._rules: List[Rule] = []
+        self._rules_version = 0
+        self._seed: ComplexObject = BOTTOM
+        # Seeded sessions evaluate against the seed object — even when it is
+        # ⊥ (an empty database is ⊥, not the empty store's [] snapshot);
+        # unseeded sessions evaluate against the store.
+        self._seeded = False
+        self._seed_version = 0
+        self._plan_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._closure_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._counters = {
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "closure_hits": 0,
+            "closure_misses": 0,
+            "prepared_queries": 0,
+        }
+        if seed is not None:
+            self.seed_object(seed)
+        if rules:
+            self.register(rules)
+
+    # -- constructors ------------------------------------------------------------------
+    @classmethod
+    def over_object(cls, value, rules=()) -> "Session":
+        """An in-memory session whose database *is* one complex object.
+
+        This is how the CLI (and the legacy ``interpret`` shim) evaluate
+        against an inline object: the object seeds the session and queries
+        run against it directly, no store writes involved.
+        """
+        return cls(seed=value, rules=rules)
+
+    @classmethod
+    def over_program(cls, program) -> "Session":
+        """An in-memory session seeded from a :class:`~repro.calculus.Program`."""
+        session = cls()
+        session._rules = list(program.facts) + list(program.rules)
+        session._seed = program.database
+        session._seeded = True
+        return session
+
+    # -- store passthrough --------------------------------------------------------------
+    @property
+    def database(self) -> ObjectDatabase:
+        """The underlying object database (indexes, schemas, transactions...)."""
+        return self._db
+
+    @property
+    def version(self) -> Tuple[int, int, int]:
+        """The cache key revision: (store commits, seed edits, rule edits)."""
+        return (self._db.version, self._seed_version, self._rules_version)
+
+    def put(self, name: str, value) -> ComplexObject:
+        """Store an object under ``name`` (commits, bumping the version)."""
+        return self._db.put(name, value)
+
+    def get(self, name: str, default=None) -> Optional[ComplexObject]:
+        """The object stored under ``name`` (or ``default``)."""
+        return self._db.get(name, default)
+
+    def remove(self, name: str) -> None:
+        """Delete the object stored under ``name`` (no error when absent)."""
+        self._db.remove(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """The stored names, sorted."""
+        return self._db.names()
+
+    def compact(self) -> None:
+        """Compact the store's log (WAL-backed sessions)."""
+        self._db.compact()
+
+    # -- seeding and rules ---------------------------------------------------------------
+    def seed_object(self, value) -> "Session":
+        """Union ``value`` into the session's seed object (outside the store).
+
+        The seed participates in every whole-database query and closure the
+        session runs, without being committed to storage — the vehicle for
+        evaluating against transient objects (the CLI's ``--database``).
+        """
+        converted = obj(value)
+        self._seed = converted if self._seed is BOTTOM else union(self._seed, converted)
+        self._seeded = True
+        self._seed_version += 1
+        return self
+
+    def register(self, rules) -> "Session":
+        """Register rules/facts (source text, Rule(s) or a RuleSet) for :meth:`close`."""
+        if isinstance(rules, str):
+            from repro.parser import parse_program
+
+            parsed = parse_program(rules)
+        elif isinstance(rules, Rule):
+            parsed = [rules]
+        else:
+            parsed = list(rules)
+        for rule in parsed:
+            if not isinstance(rule, Rule):
+                raise TypeError(f"not a rule: {rule!r}")
+        self._rules.extend(parsed)
+        self._rules_version += 1
+        return self
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """The registered rules and facts, in registration order."""
+        return tuple(self._rules)
+
+    def program(self):
+        """The registered rules and the current database as a :class:`Program`."""
+        from repro.calculus.program import Program
+
+        return Program(self._rules, database=self._base_object())
+
+    # -- the query pipeline --------------------------------------------------------------
+    def prepare(self, query, **options) -> "PreparedQuery":
+        """Parse and remember a query for repeated execution.
+
+        ``query`` is source text in the paper's notation (which may contain
+        ``$name`` parameter slots) or a :class:`Formula`.  ``options`` fix
+        the execution target for every run of the prepared query — the same
+        keywords :meth:`execute` takes (``against=``, ``on_closure=``,
+        ``allow_bottom=``, ``engine=`` and closure guards).
+        """
+        _check_options(options)
+        parsed = self._as_formula(query)
+        source = query if isinstance(query, str) else parsed.to_text()
+        self._counters["prepared_queries"] += 1
+        return PreparedQuery(self, source, parsed, options)
+
+    def execute(self, query, params: Optional[Mapping] = None, **options) -> "Cursor":
+        """Run a query and return a streaming :class:`Cursor` over its matches.
+
+        ``query`` may be source text, a :class:`Formula` or a
+        :class:`PreparedQuery`; ``params`` binds its ``$parameters``.
+        Keyword options:
+
+        ``against=name``
+            evaluate against one stored object instead of the whole database;
+        ``on_closure=True``
+            evaluate against the closure of the database under the
+            registered rules (computed through :meth:`close`, hence cached);
+        ``allow_bottom=True``
+            the literal Definition 4.2 semantics (keep ⊥ bindings);
+        ``engine=`` and guards (``max_iterations=``...)
+            forwarded to :meth:`close` when ``on_closure`` is set.
+        """
+        if isinstance(query, PreparedQuery):
+            merged = dict(query.options)
+            merged.update(options)
+            return self._execute(query.formula, dict(params or {}), **merged)
+        return self._execute(self._as_formula(query), dict(params or {}), **options)
+
+    def query(self, query, params: Optional[Mapping] = None, **options) -> ComplexObject:
+        """Run a query and materialize the full answer — ``E(O)`` of Definition 4.2."""
+        return self.execute(query, params, **options).all()
+
+    def explain(self, query, params: Optional[Mapping] = None, **options) -> str:
+        """EXPLAIN for :meth:`execute`: the chosen access path and plan."""
+        if isinstance(query, PreparedQuery):
+            merged = dict(query.options)
+            merged.update(options)
+            return self._explain(query.formula, dict(params or {}), **merged)
+        return self._explain(self._as_formula(query), dict(params or {}), **options)
+
+    # -- closures -----------------------------------------------------------------------
+    def close(self, *, engine: Optional[str] = None, **guards) -> ClosureResult:
+        """The closure of the database under the registered rules (cached).
+
+        This is the paper's ``R*(O)`` (Definition 4.6) — *not* a resource
+        release; sessions are torn down with :meth:`shutdown` (or by leaving
+        their ``with`` block).  The result is cached keyed on the session
+        :attr:`version`, so repeated calls after unchanged commits are free
+        and any store commit invalidates the closure automatically.
+        """
+        chosen = engine if engine is not None else self._default_engine
+        key = (chosen, tuple(sorted(guards.items())))
+        entry = self._closure_cache.get(key)
+        version = self.version
+        if entry is not None and entry[0] == version:
+            self._counters["closure_hits"] += 1
+            self._closure_cache.move_to_end(key)
+            return entry[1]
+        self._counters["closure_misses"] += 1
+        result = self.program().evaluate(engine=chosen, **guards)
+        self._closure_cache[key] = (version, result)
+        self._closure_cache.move_to_end(key)
+        while len(self._closure_cache) > _CACHE_LIMIT:
+            self._closure_cache.popitem(last=False)
+        return result
+
+    def close_under(self, rules, **options) -> ClosureResult:
+        """One-shot closure under ad-hoc ``rules`` (delegates to the store)."""
+        return self._db.close_under(rules, **options)
+
+    # -- cache bookkeeping ----------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Counters: plan/closure cache hits and misses, prepared queries, sizes."""
+        info = dict(self._counters)
+        info["plans_cached"] = len(self._plan_cache)
+        info["closures_cached"] = len(self._closure_cache)
+        return info
+
+    # -- lifecycle ------------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release the session: drop caches and close an owned store."""
+        self._plan_cache.clear()
+        self._closure_cache.clear()
+        if self._owns_db:
+            self._db.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        backend = "wal" if isinstance(self._db._storage, FileStorage) else "memory"
+        return (
+            f"<Session {backend} store, {len(self._db)} objects,"
+            f" {len(self._rules)} rules, {len(self._plan_cache)} cached plans>"
+        )
+
+    # -- internals ------------------------------------------------------------------------
+    @staticmethod
+    def _as_formula(query) -> Formula:
+        if isinstance(query, Formula):
+            return query
+        if isinstance(query, str):
+            from repro.parser import parse_formula
+
+            return parse_formula(query)
+        return to_formula(query)
+
+    def _convert_params(self, formula: Formula, params: Mapping) -> Dict[str, ComplexObject]:
+        from repro.plan.parameters import validate_parameters
+
+        provided = {name: obj(value) for name, value in params.items()}
+        validate_parameters(formula.parameters(), provided)
+        return provided
+
+    def _base_object(self) -> ComplexObject:
+        """The whole database as one object: stored names joined with the seed.
+
+        A seeded session over an empty store *is* its seed — in particular ⊥
+        when seeded with ⊥ (the paper's empty database), never the empty
+        store's ``[]`` snapshot, so the legacy ``interpret(f, BOTTOM)`` /
+        ``Program(database=BOTTOM)`` semantics are preserved exactly.
+        """
+        if self._seeded:
+            if len(self._db) == 0:
+                return self._seed
+            return union(self._db.as_object(), self._seed)
+        return self._db.as_object()
+
+    def _plan_for(self, formula: Formula, mode: Tuple, target: ComplexObject):
+        """The optimized plan for ``formula``, cached on the session version.
+
+        Compilation is already memoized on the formula; what this cache
+        saves is the statistics walk plus the cost-based reordering — the
+        expensive per-execution work a :class:`PreparedQuery` exists to skip.
+        """
+        from repro.plan import DatabaseStatistics, compile_body, optimize_body
+
+        cached = self._cached_plan(formula, mode)
+        if cached is not None:
+            return cached
+        self._counters["plan_misses"] += 1
+        plan = optimize_body(compile_body(formula), DatabaseStatistics.collect(target))
+        self._plan_cache[(formula, mode)] = (self.version, plan)
+        self._plan_cache.move_to_end((formula, mode))
+        while len(self._plan_cache) > _CACHE_LIMIT:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def _resolve_target(self, bound: Formula, options: dict):
+        """Pick the execution target for a non-store execution.
+
+        Returns ``(mode, target)`` where ``mode`` keys the plan cache:
+        ``against`` targets one stored object, ``closure`` the (cached)
+        closure under the registered rules, and the fallback is the seeded
+        whole-database object.  Store-backed whole-database executions take
+        the access-path machinery in :meth:`_execute` instead.
+        """
+        against = options.get("against")
+        if against is not None:
+            value = self._db.get(against)
+            if value is None:
+                raise StoreError(f"no object stored under {against!r}")
+            return ("against", against), value
+        if options.get("on_closure"):
+            guards = {
+                name: value
+                for name, value in options.items()
+                if name not in ("against", "on_closure", "allow_bottom", "engine")
+            }
+            result = self.close(engine=options.get("engine"), **guards)
+            return ("closure",), result.value
+        return ("seed",), self._base_object()
+
+    def _cached_plan(self, formula: Formula, mode: Tuple):
+        """The still-valid cached plan for ``(formula, mode)``, or ``None``."""
+        entry = self._plan_cache.get((formula, mode))
+        if entry is not None and entry[0] == self.version:
+            self._counters["plan_hits"] += 1
+            self._plan_cache.move_to_end((formula, mode))
+            return entry[1]
+        return None
+
+    def _execute(self, formula: Formula, params: Mapping, **options) -> "Cursor":
+        from repro.plan import bind_body_plan
+
+        _check_options(options)
+        values = self._convert_params(formula, params)
+        bound = bind_parameters(formula, values) if values else formula
+        allow_bottom = options.get("allow_bottom", False)
+        explain = lambda: self._explain(formula, params, **options)
+
+        store_mode = (
+            not self._seeded
+            and options.get("against") is None
+            and not options.get("on_closure")
+        )
+        if store_mode:
+            # Store-backed whole-database execution: the store's access-path
+            # selection (root-attribute pushdown, index ⊥-short-circuit) and
+            # access counters, exactly as ``ObjectDatabase.query`` always
+            # decided.  The refutation probe always reads a binding of the
+            # *parameterized* compiled plan (cached-optimized when available,
+            # else the compile-memoized source order — leaf order is
+            # irrelevant to refutation), so no bound formula is ever
+            # compiled: distinct parameter values, refuted or not, cannot
+            # churn the global compile cache.
+            from repro.plan import compile_body
+
+            cached = self._cached_plan(formula, ("db",))
+            probe_plan = bind_body_plan(
+                cached if cached is not None else compile_body(formula), values
+            )
+            kind, _, restricted, _ = self._db._choose_access_path(
+                bound, allow_bottom, plan=probe_plan
+            )
+            if kind == "refuted":
+                self._db._bump("query_index_shortcircuits")
+                return Cursor(None, None, allow_bottom=allow_bottom, explain=explain)
+            if kind == "pushdown":
+                self._db._bump("query_root_pushdowns")
+                target: ComplexObject = TupleObject(restricted)
+            else:
+                self._db._bump("query_scans")
+                target = self._db.as_object()
+            if cached is not None:
+                bound_plan = probe_plan
+            else:
+                bound_plan = bind_body_plan(
+                    self._plan_for(formula, ("db",), target), values
+                )
+            return Cursor(
+                bound_plan, target, allow_bottom=allow_bottom, explain=explain
+            )
+
+        mode, target = self._resolve_target(bound, options)
+        plan = self._plan_for(formula, mode, target)
+        return Cursor(
+            bind_body_plan(plan, values),
+            target,
+            allow_bottom=allow_bottom,
+            explain=explain,
+        )
+
+    def _explain(self, formula: Formula, params: Mapping, **options) -> str:
+        from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
+        from repro.plan.explain import render_body_plan
+
+        _check_options(options)
+        values = self._convert_params(formula, params)
+        bound = bind_parameters(formula, values) if values else formula
+        allow_bottom = options.get("allow_bottom", False)
+        against = options.get("against")
+        if not self._seeded and not options.get("on_closure"):
+            # Store-backed targets: the store's EXPLAIN already renders the
+            # access-path decision (pushdown / short-circuit / snapshot) this
+            # session's execution takes, through the same decision code.
+            return self._db.explain_query(
+                bound, against=against, allow_bottom=allow_bottom
+            )
+        mode, target = self._resolve_target(bound, options)
+        if target is None:  # pragma: no cover - seeded sessions never refute
+            target = BOTTOM
+        plan = optimize_body(compile_body(bound), DatabaseStatistics.collect(target))
+        record: dict = {}
+        match_plan(plan, target, allow_bottom=allow_bottom, record=record)
+        return render_body_plan(
+            plan, record=record, header=f"query plan: {bound.to_text()}"
+        )
+
+
+class PreparedQuery:
+    """A parsed, cost-optimized query awaiting parameter values.
+
+    Created by :meth:`Session.prepare`.  Holds the parsed formula (with its
+    ``$parameter`` slots) and the execution options fixed at prepare time;
+    each :meth:`execute` binds values into the session's cached plan — on an
+    unchanged store that is a dictionary lookup plus a structural
+    substitution, no parsing and no optimization.
+    """
+
+    __slots__ = ("_session", "source", "formula", "options")
+
+    def __init__(self, session: Session, source: str, formula: Formula, options: dict):
+        self._session = session
+        self.source = source
+        self.formula = formula
+        self.options = options
+
+    @property
+    def parameters(self):
+        """The ``$parameter`` names the query declares."""
+        return self.formula.parameters()
+
+    def execute(self, params: Optional[Mapping] = None, **kwparams) -> "Cursor":
+        """Execute with ``params`` (a mapping, and/or keyword arguments)."""
+        merged = dict(params or {})
+        merged.update(kwparams)
+        return self._session._execute(self.formula, merged, **self.options)
+
+    def one(self, params: Optional[Mapping] = None, **kwparams) -> ComplexObject:
+        """First matching instantiation (⊥ when nothing matches)."""
+        return self.execute(params, **kwparams).one()
+
+    def all(self, params: Optional[Mapping] = None, **kwparams) -> ComplexObject:
+        """The materialized answer — ``E(O)`` of Definition 4.2."""
+        return self.execute(params, **kwparams).all()
+
+    def explain(self, params: Optional[Mapping] = None, **kwparams) -> str:
+        """EXPLAIN of one execution with the given parameter values."""
+        merged = dict(params or {})
+        merged.update(kwparams)
+        return self._session._explain(self.formula, merged, **self.options)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.parameters)) or "none"
+        return f"<PreparedQuery {self.source!r} parameters: {names}>"
+
+
+class Cursor:
+    """A lazy stream of query matches.
+
+    Iterating yields the deduplicated matching instantiations ``σE`` of
+    Definition 4.2 one at a time, in the executor's order, computing each
+    only when asked — ``.one()`` pays for a single match even when the full
+    answer is large.  The terminal operations:
+
+    * :meth:`one` — the next match, ⊥ when the stream is exhausted;
+    * :meth:`all` — drain and fold into the union ``E(O)`` (every match the
+      cursor ever produced participates, so ``all()`` after partial
+      iteration still returns the complete answer);
+    * :meth:`bindings` — the raw variable :class:`Substitution` stream;
+    * :meth:`explain` — the plan this cursor executes.
+
+    A cursor is single-pass: it consumes its substitution stream once,
+    shared by all of the above.  Re-execute the prepared query for a fresh
+    cursor.
+    """
+
+    def __init__(
+        self,
+        plan,
+        target: Optional[ComplexObject],
+        *,
+        allow_bottom: bool = False,
+        explain=None,
+    ):
+        self._plan = plan
+        self._target = target
+        self._allow_bottom = allow_bottom
+        self._explain_thunk = explain
+        self._started = False
+        if plan is None:
+            self._substitutions: Iterator[Substitution] = iter(())
+        else:
+            from repro.plan import iter_match_plan
+
+            self._substitutions = iter_match_plan(
+                plan, target, allow_bottom=allow_bottom
+            )
+        self._seen = set()
+        self._matches: List[ComplexObject] = []
+        self._result: Optional[ComplexObject] = None
+
+    # -- streaming --------------------------------------------------------------------
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> ComplexObject:
+        self._started = True
+        for substitution in self._substitutions:
+            instantiation = substitution.apply(self._plan.body)
+            if instantiation in self._seen:
+                continue
+            self._seen.add(instantiation)
+            self._matches.append(instantiation)
+            return instantiation
+        raise StopIteration
+
+    def bindings(self) -> Iterator[Substitution]:
+        """Stream the raw substitutions (each still counts toward :meth:`all`)."""
+        self._started = True
+        for substitution in self._substitutions:
+            instantiation = substitution.apply(self._plan.body)
+            if instantiation not in self._seen:
+                self._seen.add(instantiation)
+                self._matches.append(instantiation)
+            yield substitution
+
+    # -- terminals --------------------------------------------------------------------
+    def one(self) -> ComplexObject:
+        """The next match, or ⊥ when the stream is exhausted."""
+        try:
+            return next(self)
+        except StopIteration:
+            return BOTTOM
+
+    def all(self) -> ComplexObject:
+        """Drain the stream and union every match: ``E(O)`` (⊥ when empty)."""
+        if self._result is None:
+            if not self._started and self._plan is not None:
+                # Nothing consumed yet: the batch executor computes the same
+                # union without the per-row generator machinery (the common
+                # ``Session.query`` path).  The stream is left exhausted,
+                # exactly as a drain would.
+                from repro.plan import interpret_plan
+
+                self._result = interpret_plan(
+                    self._plan, self._target, allow_bottom=self._allow_bottom
+                )
+                self._substitutions = iter(())
+                self._started = True
+            else:
+                for _ in self:
+                    pass
+                self._result = union_all(self._matches)
+        return self._result
+
+    def explain(self) -> str:
+        """Render the plan (and access path) behind this cursor."""
+        if self._explain_thunk is None:
+            raise ReproError("this cursor carries no explain context")
+        return self._explain_thunk()
+
+    def __repr__(self) -> str:
+        return f"<Cursor {len(self._matches)} matches streamed>"
+
+
+def interpret(
+    formula, database: ComplexObject, *, allow_bottom: bool = False
+) -> ComplexObject:
+    """Deprecated shim: ``E(O)`` through the session pipeline.
+
+    ``repro.interpret`` predates sessions; it now routes through
+    :class:`Session` so there is exactly one execution path.  New code
+    should use ``repro.connect()`` and :meth:`Session.query` (which also
+    caches plans across calls — this shim cannot).  The calculus-level
+    baseline lives on as :func:`repro.calculus.interpretation.interpret`.
+    """
+    warnings.warn(
+        "repro.interpret() is deprecated; use repro.connect() and"
+        " Session.query()/Session.execute() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Session.over_object(database).query(formula, allow_bottom=allow_bottom)

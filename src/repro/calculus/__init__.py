@@ -25,10 +25,13 @@ from repro.calculus.substitution import Substitution
 from repro.calculus.terms import (
     Constant,
     Formula,
+    Parameter,
     SetFormula,
     TupleFormula,
     Variable,
+    bind_parameters,
     formula,
+    param,
     var,
 )
 
@@ -36,6 +39,7 @@ __all__ = [
     "ClosureResult",
     "Constant",
     "Formula",
+    "Parameter",
     "Program",
     "Rule",
     "RuleDiagnostics",
@@ -48,11 +52,13 @@ __all__ = [
     "analyze_rules",
     "apply_rule",
     "apply_rules",
+    "bind_parameters",
     "close",
     "closure_series",
     "formula",
     "interpret",
     "interpret_bruteforce",
     "match",
+    "param",
     "var",
 ]

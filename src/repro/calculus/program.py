@@ -143,27 +143,31 @@ class Program:
         return evaluator.run(self.seed())
 
     def query(self, query_formula, **guards) -> ComplexObject:
-        """Evaluate the program and interpret ``query_formula`` against the closure.
+        """Deprecated shim: evaluate the program and query the closure.
 
-        The query formula is compiled through the plan pipeline
-        (:mod:`repro.plan`) and executed with its joins cost-ordered against
-        statistics of the closure — the same substitution set, and therefore
-        the same answer, as the baseline
-        :func:`repro.calculus.interpretation.interpret`.
+        Delegates to the session facade (:mod:`repro.api`) so there is
+        exactly one execution path; new code should hold a
+        :class:`repro.api.Session`, register the rules once, and query the
+        (cached) closure through it — which also makes repeated queries skip
+        re-evaluation and re-planning, something this per-call shim cannot.
+        The answer is the same substitution set, and therefore the same
+        object, as the baseline
+        :func:`repro.calculus.interpretation.interpret` against the closure.
         """
-        from repro.plan import (
-            DatabaseStatistics,
-            compile_body,
-            interpret_plan,
-            optimize_body,
-        )
+        import warnings
 
-        closure = self.evaluate(**guards)
-        plan = optimize_body(
-            compile_body(to_formula(query_formula)),
-            DatabaseStatistics.collect(closure.value),
+        warnings.warn(
+            "Program.query() is deprecated; use repro.api.Session"
+            " (session.register(rules); session.query(..., on_closure=True))",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return interpret_plan(plan, closure.value)
+        from repro.api import Session
+
+        engine = guards.pop("engine", "naive")
+        return Session.over_program(self).query(
+            to_formula(query_formula), on_closure=True, engine=engine, **guards
+        )
 
     def explain(
         self,

@@ -13,9 +13,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
+from repro.core.errors import ParameterError
 from repro.core.lattice import intersection
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.calculus.terms import (
+    Constant,
+    Formula,
+    Parameter,
+    SetFormula,
+    TupleFormula,
+    Variable,
+)
 
 __all__ = ["Substitution", "instantiate"]
 
@@ -136,6 +144,11 @@ def instantiate(
     """
     if isinstance(target, Constant):
         return target.value
+    if isinstance(target, Parameter):
+        raise ParameterError(
+            f"cannot instantiate ${target.name}: parameters must be bound"
+            " (see repro.calculus.terms.bind_parameters) before evaluation"
+        )
     if isinstance(target, Variable):
         value = substitution.get(target.name)
         if value is None:

@@ -21,16 +21,19 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.core.builder import obj
-from repro.core.errors import NotAnObjectError
+from repro.core.errors import NotAnObjectError, ParameterError
 from repro.core.objects import ComplexObject
 
 __all__ = [
     "Formula",
     "Variable",
     "Constant",
+    "Parameter",
     "TupleFormula",
     "SetFormula",
+    "bind_parameters",
     "formula",
+    "param",
     "var",
 ]
 
@@ -48,6 +51,10 @@ class Formula:
     def variables(self) -> FrozenSet[str]:
         """The names of the variables occurring in the formula."""
         raise NotImplementedError
+
+    def parameters(self) -> FrozenSet[str]:
+        """The names of the ``$parameter`` slots occurring in the formula."""
+        return frozenset()
 
     @property
     def is_ground(self) -> bool:
@@ -134,6 +141,45 @@ class Constant(Formula):
         return ("const", self.value)
 
 
+class Parameter(Formula):
+    """A named constant slot ``$name``, bound to a ground object at execute time.
+
+    Parameters extend Definition 4.1 the way classic prepared statements
+    extend SQL: a parameter stands for a *constant* whose value is supplied
+    when the query is executed, not when it is parsed or planned.  A formula
+    containing parameters can therefore be compiled and cost-ordered once
+    (see :mod:`repro.plan`) and re-executed with different bindings without
+    re-planning — :func:`bind_parameters` substitutes the values structurally,
+    which cannot change the formula's shape, leaf paths or variable set.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("parameter names must be non-empty strings")
+        if not (name[0].isalpha() or name[0] == "_"):
+            raise ValueError(
+                f"parameter names must start with a letter or '_': {name!r}"
+            )
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Parameter is immutable")
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def parameters(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def to_text(self) -> str:
+        return f"${self.name}"
+
+    def _signature(self):
+        return ("param", self.name)
+
+
 class TupleFormula(Formula):
     """A tuple-shaped formula ``[a1: w1, ..., an: wn]`` (Definition 4.1(iii))."""
 
@@ -182,6 +228,12 @@ class TupleFormula(Formula):
             names |= value.variables()
         return names
 
+    def parameters(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for _, value in self._attrs:
+            names |= value.parameters()
+        return names
+
     def to_text(self) -> str:
         inner = ", ".join(f"{name}: {value.to_text()}" for name, value in self._attrs)
         return f"[{inner}]"
@@ -219,6 +271,12 @@ class SetFormula(Formula):
             names |= element.variables()
         return names
 
+    def parameters(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for element in self.elements:
+            names |= element.parameters()
+        return names
+
     def to_text(self) -> str:
         inner = ", ".join(element.to_text() for element in self.elements)
         return "{" + inner + "}"
@@ -233,6 +291,46 @@ class SetFormula(Formula):
 def var(name: str) -> Variable:
     """Shorthand constructor for a variable."""
     return Variable(name)
+
+
+def param(name: str) -> Parameter:
+    """Shorthand constructor for a named ``$parameter`` slot."""
+    return Parameter(name)
+
+
+def bind_parameters(
+    target: Formula, values: Mapping[str, ComplexObject]
+) -> Formula:
+    """Substitute ground objects for every ``$parameter`` slot of ``target``.
+
+    The substitution is purely structural — a parameter becomes a
+    :class:`Constant` carrying its value — so the result has exactly the
+    shape, paths and variables of ``target``.  Sub-formulae without
+    parameters are returned *as the same object*, which keeps the
+    ``lru_cache``-keyed plan compilation effective for the unchanged parts.
+    Raises :class:`~repro.core.errors.ParameterError` when a slot has no
+    value; extra names in ``values`` are the caller's concern (see
+    :meth:`repro.api.PreparedQuery.execute`, which rejects them).
+    """
+    if not target.parameters():
+        return target
+    if isinstance(target, Parameter):
+        value = values.get(target.name)
+        if value is None:
+            raise ParameterError(f"no value bound for parameter ${target.name}")
+        if not isinstance(value, ComplexObject):
+            raise NotAnObjectError(
+                f"parameter ${target.name} must be bound to a ComplexObject,"
+                f" got {type(value).__name__}"
+            )
+        return Constant(value)
+    if isinstance(target, TupleFormula):
+        return TupleFormula(
+            {name: bind_parameters(child, values) for name, child in target.items()}
+        )
+    if isinstance(target, SetFormula):
+        return SetFormula(bind_parameters(child, values) for child in target.elements)
+    raise TypeError(f"not a formula: {target!r}")
 
 
 FormulaLike = Union[Formula, ComplexObject, None, bool, int, float, str, dict, list, tuple, set]

@@ -2,11 +2,16 @@
 
 The CLI makes the library usable without writing Python: objects, formulae and
 programs are given in the paper's concrete syntax, either inline or in files.
+Every evaluating subcommand executes through the session facade of
+:mod:`repro.api` — the same parse → plan → execute pipeline the Python API
+uses — and every library failure is reported as one ``error:`` line with a
+non-zero exit code (no traceback).
 
 Subcommands
 -----------
 ``parse``     parse an object and pretty-print it (checks well-formedness).
 ``query``     interpret a formula against a database object (Definition 4.2);
+              ``--param name=value`` binds a ``$name`` parameter slot;
               ``--explain`` prints the optimized query plan (estimated vs
               actual cardinalities) instead of the answer.
 ``apply``     apply a single rule once to a database object (Definition 4.4).
@@ -21,8 +26,9 @@ Subcommands
               opens (or creates) a :class:`repro.store.storage.FileStorage`
               log, and the actions ``put``/``get``/``delete``/``names``/
               ``query``/``compact`` run against it, each commit fsynced;
-              ``query --explain`` shows the plan and the store access path
-              (root-attribute pushdown / index short-circuit).
+              ``query`` accepts ``--param`` bindings, and ``--explain`` shows
+              the plan and the store access path (root-attribute pushdown /
+              index short-circuit).
 
 Examples
 --------
@@ -30,23 +36,25 @@ Examples
 
     python -m repro parse "[name: peter, children: {max, susan}]"
     python -m repro query --database db.obj "[r1: {[name: X]}]"
+    python -m repro query --database db.obj '[r1: {[name: $who]}]' --param who=peter
     python -m repro run program.co --database family.obj --query "[doa: X]"
     python -m repro store --db-path db.wal put family "[family: {[name: abraham]}]"
-    python -m repro store --db-path db.wal query "[family: {[name: X]}]"
+    python -m repro store --db-path db.wal query '[family: {[name: $who]}]' --param who=abraham
+
+(single-quote formulae containing ``$name`` parameters so the shell does not
+expand them as environment variables)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.errors import ComplexObjectError
-from repro.calculus.fixpoint import close
-from repro.calculus.interpretation import interpret
-from repro.calculus.program import Program
+from repro.api import ReproError, Session, connect
 from repro.calculus.safety import analyze_rules
-from repro.core.objects import BOTTOM
+from repro.core.errors import ParameterError
+from repro.core.objects import BOTTOM, ComplexObject
 from repro.engine import ENGINES
 from repro.parser import parse_formula, parse_object, parse_program, parse_rule
 from repro.parser.printer import pretty
@@ -66,6 +74,19 @@ def _load_database(value: Optional[str]):
     if value is None:
         return BOTTOM
     return parse_object(_read_source(value))
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, ComplexObject]:
+    """Parse repeated ``--param name=value`` options (values are object text)."""
+    bindings: Dict[str, ComplexObject] = {}
+    for pair in pairs or ():
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ParameterError(
+                f"malformed --param {pair!r}: expected name=value"
+            )
+        bindings[name] = parse_object(_read_source(value))
+    return bindings
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the optimized query plan (estimated vs actual rows) instead"
         " of the answer",
+    )
+    query_command.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME parameter slot to an object (repeatable)",
     )
 
     apply_command = subcommands.add_parser("apply", help="apply one rule to an object (r(O))")
@@ -153,54 +180,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the optimized query plan and the chosen store access path"
         " instead of the answer (query)",
     )
+    store_command.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME parameter slot to an object (query, repeatable)",
+    )
 
     return parser
 
 
 def _run_store(arguments, stream) -> int:
     from repro.core.errors import StoreError
-    from repro.store.database import ObjectDatabase
-    from repro.store.storage import FileStorage
 
-    database = ObjectDatabase(FileStorage(arguments.db_path))
+    session = connect(arguments.db_path)
     try:
         if arguments.action == "put":
             if arguments.name is None or arguments.value is None:
                 raise StoreError("store put needs a name and an object")
-            database.put(arguments.name, parse_object(_read_source(arguments.value)))
+            session.put(arguments.name, parse_object(_read_source(arguments.value)))
             print(f"stored {arguments.name!r}", file=stream)
         elif arguments.action == "get":
             if arguments.name is None:
                 raise StoreError("store get needs a name")
-            value = database.get(arguments.name)
+            value = session.get(arguments.name)
             if value is None:
                 raise StoreError(f"no object stored under {arguments.name!r}")
             print(value.to_text() if arguments.compact else pretty(value), file=stream)
         elif arguments.action == "delete":
             if arguments.name is None:
                 raise StoreError("store delete needs a name")
-            database.remove(arguments.name)
+            session.remove(arguments.name)
             print(f"deleted {arguments.name!r}", file=stream)
         elif arguments.action == "names":
-            for name in database.names():
+            for name in session.names():
                 print(name, file=stream)
         elif arguments.action == "query":
             if arguments.name is None:
                 raise StoreError("store query needs a formula")
             formula = parse_formula(_read_source(arguments.name))
+            params = _parse_params(arguments.param)
             if arguments.explain:
                 print(
-                    database.explain_query(formula, against=arguments.against),
+                    session.explain(formula, params, against=arguments.against),
                     file=stream,
                 )
             else:
-                result = database.query(formula, against=arguments.against)
+                result = session.query(formula, params, against=arguments.against)
                 print(pretty(result), file=stream)
         elif arguments.action == "compact":
-            database.compact()
+            session.compact()
             print(f"compacted {arguments.db_path}", file=stream)
     finally:
-        database.close()
+        session.shutdown()
     return 0
 
 
@@ -214,48 +246,37 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
             rendered = value.to_text() if arguments.compact else pretty(value)
             print(rendered, file=stream)
         elif arguments.command == "query":
-            database = _load_database(arguments.database)
+            session = Session.over_object(_load_database(arguments.database))
             formula = parse_formula(_read_source(arguments.formula))
+            params = _parse_params(arguments.param)
             if arguments.explain:
-                from repro.plan import (
-                    DatabaseStatistics,
-                    compile_body,
-                    match_plan,
-                    optimize_body,
-                )
-                from repro.plan.explain import render_body_plan
-
-                plan = optimize_body(
-                    compile_body(formula), DatabaseStatistics.collect(database)
-                )
-                record = {}
-                match_plan(plan, database, allow_bottom=arguments.allow_bottom, record=record)
                 print(
-                    render_body_plan(
-                        plan, record=record, header=f"query plan: {formula.to_text()}"
+                    session.explain(
+                        formula, params, allow_bottom=arguments.allow_bottom
                     ),
                     file=stream,
                 )
             else:
-                result = interpret(formula, database, allow_bottom=arguments.allow_bottom)
+                result = session.query(
+                    formula, params, allow_bottom=arguments.allow_bottom
+                )
                 print(pretty(result), file=stream)
         elif arguments.command == "apply":
             database = _load_database(arguments.database)
             rule = parse_rule(_read_source(arguments.rule))
             print(pretty(rule.apply(database)), file=stream)
         elif arguments.command == "run":
-            program = Program(
-                parse_program(_read_source(arguments.program)),
-                database=_load_database(arguments.database),
-            )
+            session = Session.over_object(_load_database(arguments.database))
+            session.register(parse_program(_read_source(arguments.program)))
+            guards = {
+                "engine": arguments.engine,
+                "max_iterations": arguments.max_iterations,
+            }
             if arguments.explain:
                 if arguments.stats:
                     # --stats composes with --explain: the instrumentation
                     # line is printed before the plan rather than dropped.
-                    stats_result = program.evaluate(
-                        engine=arguments.engine,
-                        max_iterations=arguments.max_iterations,
-                    )
+                    stats_result = session.close(**guards)
                     print(
                         f"% engine {arguments.engine}:"
                         f" {stats_result.stats.summary()}",
@@ -266,18 +287,9 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                     if arguments.query
                     else None
                 )
-                print(
-                    program.explain(
-                        query,
-                        engine=arguments.engine,
-                        max_iterations=arguments.max_iterations,
-                    ),
-                    file=stream,
-                )
+                print(session.program().explain(query, **guards), file=stream)
                 return 0
-            result = program.evaluate(
-                engine=arguments.engine, max_iterations=arguments.max_iterations
-            )
+            result = session.close(**guards)
             print(f"% closure reached after {result.iterations} iterations", file=stream)
             if arguments.stats:
                 stats = getattr(result, "stats", None)
@@ -290,7 +302,13 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 else:
                     print(f"% engine {arguments.engine}: {stats.summary()}", file=stream)
             if arguments.query:
-                answer = interpret(parse_formula(_read_source(arguments.query)), result.value)
+                # The closure is cached on the session, so this re-uses the
+                # evaluation above rather than running the program again.
+                answer = session.query(
+                    parse_formula(_read_source(arguments.query)),
+                    on_closure=True,
+                    **guards,
+                )
                 print(pretty(answer), file=stream)
             else:
                 print(pretty(result.value), file=stream)
@@ -306,7 +324,9 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 print(f"{status:12s} {report.rule.to_text()}", file=stream)
                 for warning in report.warnings:
                     print(f"             warning: {warning}", file=stream)
-    except ComplexObjectError as error:
+    except ReproError as error:
+        # One catch covers the whole library surface (parse, plan, parameter,
+        # schema, store, divergence): a single line, no traceback, exit 1.
         print(f"error: {error}", file=stream)
         return 1
     except OSError as error:

@@ -63,6 +63,15 @@ class ParseError(ComplexObjectError, ValueError):
         self.position = position
 
 
+class ParameterError(ComplexObjectError, ValueError):
+    """A parameterized query was executed with missing or unknown parameters.
+
+    Prepared queries (see :mod:`repro.api`) may contain named ``$parameter``
+    slots; every slot must be bound at execute time, and binding a name the
+    query does not mention is rejected rather than silently ignored.
+    """
+
+
 class SchemaError(ComplexObjectError, ValueError):
     """An object or formula does not conform to a declared type."""
 

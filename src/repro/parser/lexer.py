@@ -8,6 +8,8 @@ produces a flat list of :class:`Token` objects.  It recognises:
 * numbers: integers (``25``, ``-3``) and floats (``2.5``, ``-0.5``, ``1e-3``);
 * identifiers: ``john`` (constant) or ``X1`` (variable — the distinction is
   made by the parser, the lexer only reports IDENT);
+* named parameters: ``$name`` (a PARAM token whose value is the bare name,
+  only legal in query formulae — see :mod:`repro.api`);
 * quoted strings with ``\\"`` and ``\\\\`` escapes;
 * ``%`` line comments and arbitrary whitespace, both skipped.
 """
@@ -39,6 +41,7 @@ class TokenType(Enum):
     FLOAT = "float"
     STRING = "string"
     IDENT = "ident"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -106,6 +109,18 @@ def _scan(text: str) -> Iterator[Token]:
             # consumed by the number scanner above.
             yield Token(TokenType.PERIOD, ".", ".", index)
             index += 1
+            continue
+        if char == "$":
+            # A named parameter: '$' immediately followed by an identifier.
+            if index + 1 >= length or not (
+                text[index + 1].isalpha() or text[index + 1] == "_"
+            ):
+                raise ParseError(
+                    "expected a parameter name after '$'", text, index
+                )
+            token, end = _scan_identifier(text, index + 1)
+            yield Token(TokenType.PARAM, text[index:end], token.value, index)
+            index = end
             continue
         if char.isalpha() or char == "_":
             token, index = _scan_identifier(text, index)

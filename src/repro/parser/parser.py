@@ -13,12 +13,14 @@ Grammar (EBNF, whitespace and comments implicit):
     pair      ::= attribute ":" term
     attribute ::= IDENT | STRING
     set       ::= "{" [ term { "," term } ] "}"
-    scalar    ::= INTEGER | FLOAT | STRING | IDENT
+    scalar    ::= INTEGER | FLOAT | STRING | IDENT | PARAM
 
 An IDENT in term position is interpreted by the Prolog convention: ``top``,
 ``bottom``, ``true`` and ``false`` are the special constants, an identifier
 starting with an upper-case letter or ``_`` is a variable (only legal in
-formulae), anything else is a string constant.
+formulae), anything else is a string constant.  A PARAM (``$name``) is a
+named constant slot bound at execute time; parameters are only legal in
+query formulae (:func:`parse_formula`), not in objects, rules or programs.
 """
 
 from __future__ import annotations
@@ -28,7 +30,14 @@ from typing import List, Optional
 from repro.core.errors import ParseError
 from repro.core.objects import BOTTOM, TOP, Atom, ComplexObject, SetObject, TupleObject
 from repro.calculus.rules import Rule
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.calculus.terms import (
+    Constant,
+    Formula,
+    Parameter,
+    SetFormula,
+    TupleFormula,
+    Variable,
+)
 from repro.parser.lexer import Token, TokenType, tokenize
 
 __all__ = ["parse_object", "parse_formula", "parse_rule", "parse_program"]
@@ -46,8 +55,13 @@ def parse_object(text: str) -> ComplexObject:
 
 
 def parse_formula(text: str) -> Formula:
-    """Parse a well-formed formula (objects with Prolog-style variables)."""
-    parser = _Parser(text, allow_variables=True)
+    """Parse a well-formed formula (objects with Prolog-style variables).
+
+    Query formulae may additionally contain named ``$parameter`` slots,
+    constants whose values are supplied at execute time (see
+    :meth:`repro.api.Session.prepare`).
+    """
+    parser = _Parser(text, allow_variables=True, allow_parameters=True)
     return parser.parse_single_term()
 
 
@@ -71,11 +85,12 @@ def parse_program(text: str) -> List[Rule]:
 class _Parser:
     """Stateful cursor over the token list; one instance per parse call."""
 
-    def __init__(self, text: str, allow_variables: bool):
+    def __init__(self, text: str, allow_variables: bool, allow_parameters: bool = False):
         self.text = text
         self.tokens = tokenize(text)
         self.index = 0
         self.allow_variables = allow_variables
+        self.allow_parameters = allow_parameters
 
     # -- token plumbing -----------------------------------------------------------
     def peek(self) -> Token:
@@ -176,6 +191,15 @@ class _Parser:
 
     def parse_scalar(self) -> Formula:
         token = self.peek()
+        if token.type is TokenType.PARAM:
+            if not self.allow_parameters:
+                raise ParseError(
+                    f"parameters are only allowed in query formulae: ${token.value}",
+                    self.text,
+                    token.position,
+                )
+            self.advance()
+            return Parameter(str(token.value))
         if token.type in (TokenType.INTEGER, TokenType.FLOAT):
             self.advance()
             return Constant(Atom(token.value))
@@ -213,6 +237,8 @@ def _to_object(formula: Formula) -> ComplexObject:
     """Convert a variable-free formula into the complex object it denotes."""
     if isinstance(formula, Constant):
         return formula.value
+    if isinstance(formula, Parameter):
+        raise ParseError(f"unexpected parameter ${formula.name} in a ground object")
     if isinstance(formula, Variable):
         raise ParseError(f"unexpected variable {formula.name!r} in a ground object")
     if isinstance(formula, TupleFormula):

@@ -35,7 +35,7 @@ Quick use::
 """
 
 from repro.plan.compile import compile_body, compile_program, compile_rule
-from repro.plan.execute import apply_rule_plan, interpret_plan, match_plan
+from repro.plan.execute import apply_rule_plan, interpret_plan, iter_match_plan, match_plan
 from repro.plan.explain import render_body_plan, render_program_plan, render_rule_node
 from repro.plan.ir import (
     BindLeaf,
@@ -44,6 +44,7 @@ from repro.plan.ir import (
     ConstLeaf,
     Leaf,
     LeafEstimate,
+    ParamLeaf,
     ProgramPlan,
     RuleNode,
     ScanLeaf,
@@ -51,6 +52,7 @@ from repro.plan.ir import (
     leaf_key,
 )
 from repro.plan.optimize import estimate_leaf, optimize_body, optimize_program, optimize_rule
+from repro.plan.parameters import bind_body_plan
 from repro.plan.statistics import DEFAULT_CARDINALITY, DatabaseStatistics
 
 __all__ = [
@@ -62,16 +64,19 @@ __all__ = [
     "DatabaseStatistics",
     "Leaf",
     "LeafEstimate",
+    "ParamLeaf",
     "ProgramPlan",
     "RuleNode",
     "ScanLeaf",
     "StratumNode",
     "apply_rule_plan",
+    "bind_body_plan",
     "compile_body",
     "compile_program",
     "compile_rule",
     "estimate_leaf",
     "interpret_plan",
+    "iter_match_plan",
     "leaf_key",
     "match_plan",
     "optimize_body",

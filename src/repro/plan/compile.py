@@ -26,7 +26,14 @@ from functools import lru_cache
 from typing import List, Sequence, Union
 
 from repro.calculus.rules import Rule, RuleSet
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.calculus.terms import (
+    Constant,
+    Formula,
+    Parameter,
+    SetFormula,
+    TupleFormula,
+    Variable,
+)
 from repro.core.objects import Atom
 from repro.store.paths import Path
 from repro.plan.ir import (
@@ -35,13 +42,20 @@ from repro.plan.ir import (
     CheckLeaf,
     ConstLeaf,
     Leaf,
+    ParamLeaf,
     ProgramPlan,
     RuleNode,
     ScanLeaf,
     StratumNode,
 )
 
-__all__ = ["compile_body", "compile_rule", "compile_program", "split_element_keys"]
+__all__ = [
+    "compile_body",
+    "compile_rule",
+    "compile_program",
+    "parameter_keys",
+    "split_element_keys",
+]
 
 _ROOT = Path(())
 
@@ -67,6 +81,26 @@ def split_element_keys(element: Formula):
         else:
             dynamic.append((key_path, key))
     return tuple(static), tuple(dynamic)
+
+
+def parameter_keys(element: Formula):
+    """(key path, parameter name) pairs an element formula pins with ``$slots``.
+
+    Mirrors :func:`repro.engine.indexes.element_keys` (tuple-attribute paths
+    only, nothing below a nested set formula) for :class:`Parameter` nodes —
+    the keys that become static equality probes once the parameter is bound.
+    """
+    found = []
+
+    def walk(node: Formula, path: Path) -> None:
+        if isinstance(node, TupleFormula):
+            for name, child in node.items():
+                walk(child, path.child(name))
+        elif isinstance(node, Parameter):
+            found.append((path, node.name))
+
+    walk(element, _ROOT)
+    return tuple(found)
 
 
 @lru_cache(maxsize=4096)  # bounded: long-lived processes see many programs
@@ -96,11 +130,15 @@ def compile_body(body: Formula) -> BodyPlan:
                         static_keys=static,
                         dynamic_keys=dynamic,
                         variables=element.variables(),
+                        param_keys=parameter_keys(element),
                     )
                 )
             return
         if isinstance(node, Variable):
             leaves.append(BindLeaf(path=path, name=node.name))
+            return
+        if isinstance(node, Parameter):
+            leaves.append(ParamLeaf(path=path, name=node.name))
             return
         if isinstance(node, Constant):
             leaves.append(ConstLeaf(path=path, value=node.value))

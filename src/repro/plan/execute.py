@@ -31,17 +31,25 @@ leaf, reproducing the recursive matcher's behaviour for those cases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.calculus.substitution import Substitution
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.calculus.terms import (
+    Constant,
+    Formula,
+    Parameter,
+    SetFormula,
+    TupleFormula,
+    Variable,
+)
+from repro.core.errors import ParameterError
 from repro.core.lattice import union_all
 from repro.core.objects import BOTTOM, TOP, ComplexObject, SetObject, TupleObject
 from repro.core.order import is_subobject
 from repro.store.paths import Path
 from repro.plan.ir import BodyPlan, RuleNode, ScanLeaf, leaf_key
 
-__all__ = ["match_plan", "interpret_plan", "apply_rule_plan"]
+__all__ = ["match_plan", "iter_match_plan", "interpret_plan", "apply_rule_plan"]
 
 _ROOT = Path(())
 _EMPTY = Substitution()
@@ -92,6 +100,48 @@ def match_plan(
     if record is not None:
         record["rows"] = len(results)
     return results
+
+
+def iter_match_plan(
+    plan: BodyPlan,
+    target: ComplexObject,
+    *,
+    position=None,
+    delta_elements: Tuple[ComplexObject, ...] = (),
+    indexes=None,
+    stats=None,
+    allow_bottom: bool = False,
+) -> Iterator[Substitution]:
+    """Stream the substitutions of :func:`match_plan` lazily, one at a time.
+
+    Yields exactly the substitutions — in exactly the order — that
+    :func:`match_plan` would return for the same arguments, but
+    depth-first: the first substitution is produced after walking one
+    alternative per leaf instead of after materialising the full
+    meet-product.  This is the executor behind :class:`repro.api.Cursor`
+    streaming, where first-row latency matters and a consumer may stop
+    early (``.one()``) without paying for the rest of the result.
+    """
+    if stats is None:
+        from repro.engine.stats import EngineStats
+
+        stats = EngineStats()
+    executor = _Executor(
+        position=position,
+        delta_elements=delta_elements,
+        indexes=indexes if not allow_bottom else None,
+        stats=stats,
+        record=None,
+    )
+    seen = set()
+    for candidate in executor.stream(plan, target):
+        if not allow_bottom and _has_bottom_binding(candidate):
+            continue
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        stats.substitutions += 1
+        yield candidate
 
 
 def interpret_plan(
@@ -210,6 +260,72 @@ class _Executor:
                 return []
         return partials
 
+    def stream(self, plan: BodyPlan, target: ComplexObject) -> Iterator[Substitution]:
+        """Depth-first enumeration of the meet-product, leftmost leaf outermost.
+
+        The breadth-first :meth:`run` expands partials instance by instance
+        with the existing-partials loop outermost, so its final list is in
+        lexicographic order over the instances' alternative lists with the
+        first instance most significant — exactly the order a depth-first
+        walk with the first instance outermost produces.  The two therefore
+        enumerate the same candidates in the same order; ``stream`` just
+        yields them as they complete.
+        """
+        leaves = {leaf_key(leaf): (rank, leaf) for rank, leaf in enumerate(plan.leaves)}
+        instances: List[_Instance] = []
+        if not self._flatten(plan.body, target, _ROOT, leaves, instances):
+            return
+        instances.sort(key=lambda instance: (instance.rank, instance.order))
+        # Per-instance scan preparation (static probe + fallback witness
+        # alternatives) is computed lazily on first visit and shared across
+        # every partial that reaches the instance, matching run()'s
+        # once-per-instance probe accounting.
+        preparations: Dict[int, list] = {}
+
+        def descend(depth: int, partial: Substitution) -> Iterator[Substitution]:
+            if depth == len(instances):
+                yield partial
+                return
+            instance = instances[depth]
+            if instance.spec is None:
+                alternatives = instance.alternatives
+            else:
+                alternatives = self._scan_alternatives(instance, partial, preparations)
+            for alternative in alternatives:
+                yield from descend(depth + 1, partial.meet(alternative))
+
+        yield from descend(0, _EMPTY)
+
+    def _scan_alternatives(
+        self, instance: _Instance, partial: Substitution, preparations: Dict[int, list]
+    ) -> List[Substitution]:
+        """Alternatives of one scan leaf for one partial (index-narrowed)."""
+        preparation = preparations.get(id(instance))
+        if preparation is None:
+            static_keys, dynamic_keys = (), ()
+            if self.indexes is not None and not instance.restricted:
+                static_keys = instance.spec.static_keys
+                dynamic_keys = instance.spec.dynamic_keys
+            static_candidates = None
+            if static_keys:
+                static_candidates = self._probe(
+                    instance.spec.path, static_keys, count_miss=not dynamic_keys
+                )
+            preparation = [dynamic_keys, static_candidates, None]
+            preparations[id(instance)] = preparation
+        dynamic_keys, static_candidates, base_alternatives = preparation
+        narrowed = static_candidates
+        if narrowed is None and dynamic_keys:
+            narrowed = self._probe_dynamic(instance.spec.path, dynamic_keys, partial)
+        if narrowed is None:
+            if base_alternatives is None:
+                base_alternatives = self._alternatives(
+                    instance.spec.element, instance.witnesses
+                )
+                preparation[2] = base_alternatives
+            return base_alternatives
+        return self._alternatives(instance.spec.element, narrowed)
+
     # -- runtime flattening -------------------------------------------------------------
     def _flatten(
         self,
@@ -285,38 +401,27 @@ class _Executor:
                 out.append(_Instance(rank=rank, order=len(out), alternatives=[_EMPTY]))
                 return True
             return False
+        if isinstance(node, Parameter):
+            raise ParameterError(
+                f"cannot execute a plan with unbound parameter ${node.name};"
+                " bind it first (repro.plan.parameters.bind_body_plan)"
+            )
         raise TypeError(f"not a formula: {node!r}")
 
     # -- scan leaves --------------------------------------------------------------------
     def _scan_step(
         self, instance: _Instance, partials: List[Substitution]
     ) -> List[Substitution]:
-        """One meet-product step over a scan leaf, with index narrowing."""
-        element = instance.spec.element
-        static_keys, dynamic_keys = (), ()
-        if self.indexes is not None and not instance.restricted:
-            static_keys = instance.spec.static_keys
-            dynamic_keys = instance.spec.dynamic_keys
-        # A static probe answers identically for every partial, so it is
-        # attempted once; dynamic keys depend on the accumulated bindings.
-        static_candidates: Optional[Tuple[ComplexObject, ...]] = None
-        if static_keys:
-            static_candidates = self._probe(
-                instance.spec.path, static_keys, count_miss=not dynamic_keys
-            )
-        base_alternatives: Optional[List[Substitution]] = None
+        """One meet-product step over a scan leaf, with index narrowing.
+
+        The static probe answers identically for every partial, so the shared
+        preparation in :meth:`_scan_alternatives` attempts it once; dynamic
+        keys depend on the accumulated bindings and are probed per partial.
+        """
+        preparations: Dict[int, list] = {}
         fresh: List[Substitution] = []
         for partial in partials:
-            narrowed = static_candidates
-            if narrowed is None and dynamic_keys:
-                narrowed = self._probe_dynamic(instance.spec.path, dynamic_keys, partial)
-            if narrowed is None:
-                if base_alternatives is None:
-                    base_alternatives = self._alternatives(element, instance.witnesses)
-                alternatives = base_alternatives
-            else:
-                alternatives = self._alternatives(element, narrowed)
-            for alternative in alternatives:
+            for alternative in self._scan_alternatives(instance, partial, preparations):
                 fresh.append(partial.meet(alternative))
         return fresh
 
@@ -405,4 +510,9 @@ class _Executor:
                     for candidate in alternatives
                 ]
             return partials
+        if isinstance(formula, Parameter):
+            raise ParameterError(
+                f"cannot execute a plan with unbound parameter ${formula.name};"
+                " bind it first (repro.plan.parameters.bind_body_plan)"
+            )
         raise TypeError(f"not a formula: {formula!r}")

@@ -43,6 +43,7 @@ __all__ = [
     "BindLeaf",
     "ConstLeaf",
     "CheckLeaf",
+    "ParamLeaf",
     "LeafEstimate",
     "BodyPlan",
     "RuleNode",
@@ -79,6 +80,11 @@ class ScanLeaf(Leaf):
     static_keys: Tuple[Tuple[Path, Atom], ...] = ()
     dynamic_keys: Tuple[Tuple[Path, str], ...] = ()
     variables: FrozenSet[str] = frozenset()
+    #: (key path, parameter name) pairs: slots that become *static* keys once
+    #: the parameter is bound — the optimizer costs them like an equality
+    #: probe, and :func:`repro.plan.parameters.bind_body_plan` turns them into
+    #: real ``static_keys`` without re-planning.
+    param_keys: Tuple[Tuple[Path, str], ...] = ()
 
     def describe(self) -> str:
         where = str(self.path) or "<root>"
@@ -105,6 +111,24 @@ class ConstLeaf(Leaf):
     def describe(self) -> str:
         where = str(self.path) or "<root>"
         return f"select {where} >= {self.value.to_text()}"
+
+
+@dataclass(frozen=True)
+class ParamLeaf(Leaf):
+    """A spine ``$parameter`` slot: a :class:`ConstLeaf` whose value arrives later.
+
+    Compiled from a :class:`repro.calculus.terms.Parameter` on the body's
+    spine; :func:`repro.plan.parameters.bind_body_plan` replaces it with a
+    :class:`ConstLeaf` carrying the bound value at execute time.  Executing a
+    plan that still contains one is an error (the executor raises
+    :class:`~repro.core.errors.ParameterError`).
+    """
+
+    name: str = ""
+
+    def describe(self) -> str:
+        where = str(self.path) or "<root>"
+        return f"select {where} >= ${self.name}"
 
 
 @dataclass(frozen=True)
@@ -143,6 +167,11 @@ class BodyPlan:
     @property
     def variables(self) -> FrozenSet[str]:
         return self.body.variables()
+
+    @property
+    def parameters(self) -> FrozenSet[str]:
+        """The ``$parameter`` names the plan needs bound before execution."""
+        return self.body.parameters()
 
     def describe(self) -> str:
         inner = ", ".join(leaf.describe() for leaf in self.leaves)

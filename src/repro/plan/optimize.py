@@ -34,6 +34,7 @@ from repro.plan.ir import (
     CheckLeaf,
     Leaf,
     LeafEstimate,
+    ParamLeaf,
     ProgramPlan,
     RuleNode,
     ScanLeaf,
@@ -65,6 +66,8 @@ def estimate_leaf(
             access = "bind"
         elif isinstance(leaf, CheckLeaf):
             access = "check"
+        elif isinstance(leaf, ParamLeaf):
+            access = f"param ${leaf.name}"
         else:
             access = "select"
         return LeafEstimate(rows=1.0, access=access)
@@ -75,6 +78,15 @@ def estimate_leaf(
         return LeafEstimate(
             rows=stats.equality_estimate(leaf.path, key_path),
             access=f"index {key_path}={atom.to_text()}",
+        )
+    if leaf.param_keys:
+        # A bound parameter is a ground atom by execute time, so the probe
+        # costs like a static equality key even though the value is unknown
+        # at planning time.
+        key_path, name = leaf.param_keys[0]
+        return LeafEstimate(
+            rows=stats.equality_estimate(leaf.path, key_path),
+            access=f"index {key_path}=${name} (param)",
         )
     for key_path, name in leaf.dynamic_keys:
         if name in bound:

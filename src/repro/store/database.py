@@ -3,14 +3,16 @@
 An object database is a named collection of complex objects on top of a
 storage engine, with:
 
-* calculus queries: :meth:`ObjectDatabase.query` interprets a formula against
-  one stored object (or against the whole database seen as a single tuple
-  object, exactly the paper's "the entire database can be modeled by a single
-  object") through the plan pipeline of :mod:`repro.plan`, pushing
-  root-attribute and indexed-path selections into the store instead of
-  materialising the snapshot (``--explain`` on the CLI shows the plan), and
-  :meth:`ObjectDatabase.apply_rules` / :meth:`close_under` evaluate rules and
-  closures in place (the latter through the plan-compiled engines);
+* calculus queries: formulae evaluate against one stored object (or against
+  the whole database seen as a single tuple object, exactly the paper's "the
+  entire database can be modeled by a single object") through the session
+  facade of :mod:`repro.api` — :meth:`ObjectDatabase.query` is its
+  deprecation shim — with the store contributing the access-path decisions:
+  root-attribute and indexed-path selections are pushed into the store
+  instead of materialising the snapshot (``--explain`` on the CLI shows the
+  plan), and :meth:`ObjectDatabase.apply_rules` / :meth:`close_under`
+  evaluate rules and closures in place (the latter through the plan-compiled
+  engines);
 * pattern search across objects: :meth:`find` returns the names of the stored
   objects of which a pattern is a sub-object, prefiltering through every
   path index the pattern pins (``access_stats`` counts prefilters vs scans);
@@ -39,7 +41,6 @@ from repro.core.errors import SchemaError, StoreError, TransactionError
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
 from repro.core.order import is_subobject
 from repro.calculus.fixpoint import ClosureResult, close
-from repro.calculus.interpretation import interpret
 from repro.calculus.rules import Rule, RuleSet
 from repro.calculus.terms import Formula, TupleFormula
 from repro.schema.check import check_object
@@ -83,6 +84,11 @@ class ObjectDatabase:
         self._top_names = {
             name for name, value in self._storage.items() if value.is_top
         }
+        # Lazily-created repro.api.Session the deprecated query() shim routes
+        # through (so every evaluation shares one pipeline and plan cache).
+        # Sessions are single-threaded while the database must stay safe for
+        # concurrent use, so the facade is per thread.
+        self._facade_sessions = threading.local()
 
     # -- basic CRUD -----------------------------------------------------------------
     def put(self, name: str, value) -> ComplexObject:
@@ -265,6 +271,16 @@ class ObjectDatabase:
         with self._stats_lock:
             self._access_stats[counter] += 1
 
+    def _facade(self):
+        """This thread's lazily-created :class:`repro.api.Session` over the database."""
+        session = getattr(self._facade_sessions, "session", None)
+        if session is None:
+            from repro.api import Session
+
+            session = Session(database=self)
+            self._facade_sessions.session = session
+        return session
+
     def query(
         self,
         formula,
@@ -272,54 +288,46 @@ class ObjectDatabase:
         against: Optional[str] = None,
         allow_bottom: bool = False,
     ) -> ComplexObject:
-        """Interpret a formula (Definition 4.2) against one object or the whole database.
+        """Deprecated shim: interpret a formula against one object or the database.
 
-        ``formula`` may be a :class:`~repro.calculus.terms.Formula` or source
-        text in the paper's notation.  With ``against=None`` the formula is
-        interpreted against :meth:`as_object` — but instead of materialising
-        the whole snapshot the planner pushes selections down:
-
-        * **root-attribute pushdown** — a tuple-shaped formula only reads the
-          root attributes it mentions, so only those stored objects are
-          fetched and joined into the target;
-        * **index short-circuit** — a formula pinning a ground atom at a path
-          covered by a :class:`PathIndex` answers ⊥ straight from the index
-          when no stored object carries that atom (sound because the index
-          wildcard-tracks ⊤, see :mod:`repro.store.index`).
-
-        Both are pure access-path decisions: the answer is identical to
-        interpreting against the full :meth:`as_object`, which the property
-        suite pins.  In particular, while any stored value is ⊤ — which
-        collapses :meth:`as_object` to ⊤ regardless of which names a formula
-        mentions — the pushdown is disabled and the snapshot path answers.
+        Delegates to the session facade (:mod:`repro.api`), which makes the
+        same access-path decisions this method always made — root-attribute
+        pushdown, :class:`PathIndex` ⊥-short-circuit, full-snapshot fallback
+        (see :meth:`_choose_access_path`) — and additionally caches the
+        optimized plan keyed on :attr:`version`, so repeated queries skip
+        re-planning.  New code should hold a session
+        (``repro.api.Session(database=db)`` or :func:`repro.connect`) and
+        use :meth:`~repro.api.Session.query` /
+        :meth:`~repro.api.Session.execute` directly — the latter also
+        streams.  The answer is identical to interpreting against the full
+        :meth:`as_object`, which the property suite pins.
         """
-        parsed = self._as_formula(formula)
-        if against is not None:
-            return interpret(parsed, self._require(against), allow_bottom=allow_bottom)
-        kind, reason, restricted, _ = self._choose_access_path(parsed, allow_bottom)
-        if kind == "refuted":
-            self._bump("query_index_shortcircuits")
-            return BOTTOM
-        if kind == "pushdown":
-            self._bump("query_root_pushdowns")
-            from repro.plan import interpret_plan
+        import warnings
 
-            target = TupleObject(restricted)
-            plan = self._pushdown_plan(parsed, target)
-            return interpret_plan(plan, target, allow_bottom=allow_bottom)
-        self._bump("query_scans")
-        return interpret(parsed, self.as_object(), allow_bottom=allow_bottom)
+        warnings.warn(
+            "ObjectDatabase.query() is deprecated; use repro.api.Session.query()"
+            " (repro.connect(path) or Session(database=db))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._facade().query(
+            formula, against=against, allow_bottom=allow_bottom
+        )
 
-    def _choose_access_path(self, parsed: Formula, allow_bottom: bool):
-        """One locked decision pass shared by :meth:`query` and :meth:`explain_query`.
+    def _choose_access_path(self, parsed: Formula, allow_bottom: bool, plan=None):
+        """One locked decision pass shared by the session facade and EXPLAIN.
 
         Returns ``(kind, reason, restricted, total)``: ``kind`` is
         ``"refuted"`` (an index proves ⊥), ``"pushdown"`` (read only the
         mentioned root attributes — ``restricted`` holds them) or
         ``"snapshot"`` (interpret against the full :meth:`as_object`, with
         ``reason`` saying why); ``total`` is the stored-object count at
-        decision time.  Keeping the decision in one place guarantees EXPLAIN
-        describes exactly the access path :meth:`query` takes.
+        decision time.  ``plan``, when given, is a compiled (bound)
+        :class:`~repro.plan.ir.BodyPlan` for ``parsed`` whose leaves the
+        refutation check reads instead of re-compiling the formula — how a
+        prepared query's cached plan avoids per-binding compilation.
+        Keeping the decision in one place guarantees EXPLAIN describes
+        exactly the access path a query takes.
         """
         with self._lock.read_locked():
             total = len(self._storage.names())
@@ -337,7 +345,7 @@ class ObjectDatabase:
                 value = self._storage.read(name)
                 if value is not None:
                     restricted[name] = value
-            if not allow_bottom and self._index_refutes(parsed):
+            if not allow_bottom and self._index_refutes(parsed, plan=plan):
                 return "refuted", "a path index refutes the query", restricted, total
             return "pushdown", "", restricted, total
 
@@ -355,13 +363,14 @@ class ObjectDatabase:
             plan = optimize_body(plan, DatabaseStatistics.collect(target))
         return plan
 
-    def _index_refutes(self, parsed: "TupleFormula") -> bool:
+    def _index_refutes(self, parsed: "TupleFormula", plan=None) -> bool:
         """``True`` when a path index proves the whole-database query answers ⊥.
 
-        Looks for a scan leaf of the compiled plan that pins a ground atom at
-        an indexed path under one root attribute; if the index (wildcards
-        included) maps that atom to no stored name — or not to the leaf's
-        root attribute — the leaf has no witness, its element formula cannot
+        Looks for a scan leaf of the compiled plan (or of the supplied
+        ``plan``, sparing a compile) that pins a ground atom at an indexed
+        path under one root attribute; if the index (wildcards included)
+        maps that atom to no stored name — or not to the leaf's root
+        attribute — the leaf has no witness, its element formula cannot
         vanish (vanishing needs a bare variable or a ⊥ constant, which carry
         no static key), and the conjunction is empty.  Callers hold the read
         lock.
@@ -370,7 +379,8 @@ class ObjectDatabase:
             return False
         from repro.plan import ScanLeaf, compile_body
 
-        for leaf in compile_body(parsed).leaves:
+        leaves = plan.leaves if plan is not None else compile_body(parsed).leaves
+        for leaf in leaves:
             if not isinstance(leaf, ScanLeaf) or not leaf.static_keys:
                 continue
             if not leaf.path.steps:
@@ -661,6 +671,7 @@ class ObjectDatabase:
         their *values* (lattice results) and entries accumulate across a
         store's lifetime; teardown is the natural point to release them.
         """
+        self._facade_sessions = threading.local()
         self._storage.close()
         from repro.core.intern import clear_object_caches
 

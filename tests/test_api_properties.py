@@ -1,0 +1,154 @@
+"""Property-based equivalences for the session facade.
+
+Two contracts from the API redesign, pinned over generated inputs:
+
+* **streaming ≡ materialization** — folding a :class:`repro.api.Cursor`'s
+  lazy stream equals the materialized ``E(O)`` of the calculus baseline
+  (:func:`repro.calculus.interpretation.interpret`) and of ``Program.query``
+  on closure-backed targets, for random objects and body shapes;
+* **parameters ≡ substituted constants** — executing a prepared query with
+  ``$name`` bindings equals re-parsing the source with the values spliced in
+  as constants, i.e. late binding changes when planning happens, never what
+  is computed.
+"""
+
+import warnings
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro import Program, Session, parse_formula, parse_object  # noqa: E402
+from repro.calculus.interpretation import interpret as baseline_interpret  # noqa: E402
+from repro.core.lattice import union_all  # noqa: E402
+from repro.core.objects import Atom, SetObject, TupleObject  # noqa: E402
+
+_ATTRIBUTE_NAMES = ("a", "b", "c", "r1", "r2", "name")
+
+# Body shapes mirroring tests/test_plan_properties.py: joins, projections,
+# bare variables, multi-element scans, spine constants.
+BODY_SHAPES = [
+    "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+    "[r1: {[name: X]}]",
+    "[r1: {X}, r2: {X}]",
+    "[r1: {[a: X], [b: Y]}]",
+    "[r1: {[a: X, b: X]}]",
+    "X",
+    "[r1: X, r2: {[c: Y]}]",
+]
+
+# Parameterized templates paired with the names they declare.  Values are
+# spliced back in textually for the re-parse oracle, so they are drawn from
+# atoms whose ``to_text`` round-trips through the parser.
+PARAM_TEMPLATES = [
+    ("[r1: {[a: $p, b: X]}]", ("p",)),
+    ("[r1: {[a: $p, b: X]}, r2: {[c: X, d: $q]}]", ("p", "q")),
+    ("[r1: {[name: $p], [name: X]}]", ("p",)),
+    ("[r1: $p]", ("p",)),
+    ("[r1: {[a: $p, b: $q]}]", ("p", "q")),
+]
+
+
+def _atoms():
+    return st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Atom),
+        st.sampled_from(["john", "mary", "x", "y"]).map(Atom),
+    )
+
+
+def complex_objects(max_depth: int = 3):
+    if max_depth <= 1:
+        return _atoms()
+    children = complex_objects(max_depth - 1)
+    tuples = st.dictionaries(
+        st.sampled_from(_ATTRIBUTE_NAMES), children, max_size=3
+    ).map(TupleObject)
+    sets = st.lists(children, max_size=3).map(SetObject)
+    return st.one_of(_atoms(), tuples, sets)
+
+
+@given(database=complex_objects(), shape=st.sampled_from(BODY_SHAPES))
+def test_streamed_cursor_equals_materialized_interpret(database, shape):
+    body = parse_formula(shape)
+    session = Session.over_object(database)
+    streamed = list(session.execute(body))
+    expected = baseline_interpret(body, database)
+    assert union_all(streamed) == expected
+    assert session.query(body) == expected
+
+
+@given(
+    database=complex_objects(),
+    shape=st.sampled_from(BODY_SHAPES),
+    allow_bottom=st.booleans(),
+)
+def test_cursor_all_respects_both_semantics(database, shape, allow_bottom):
+    body = parse_formula(shape)
+    cursor = Session.over_object(database).execute(body, allow_bottom=allow_bottom)
+    assert cursor.all() == baseline_interpret(
+        body, database, allow_bottom=allow_bottom
+    )
+
+
+@given(
+    database=complex_objects(),
+    template=st.sampled_from(PARAM_TEMPLATES),
+    values=st.lists(_atoms(), min_size=2, max_size=2),
+)
+def test_prepared_parameters_equal_substituted_constants(database, template, values):
+    source, names = template
+    bindings = dict(zip(names, values))
+    substituted = source
+    for name, value in bindings.items():
+        substituted = substituted.replace(f"${name}", value.to_text())
+    session = Session.over_object(database)
+    prepared = session.prepare(source)
+    assert prepared.execute(bindings).all() == session.query(
+        parse_formula(substituted)
+    )
+
+
+@given(
+    database=complex_objects(),
+    template=st.sampled_from(PARAM_TEMPLATES),
+    rounds=st.lists(st.lists(_atoms(), min_size=2, max_size=2), min_size=1, max_size=3),
+)
+def test_prepared_reuse_never_drifts_across_bindings(database, template, rounds):
+    """Executing one prepared plan with many bindings ≡ one fresh parse each."""
+    source, names = template
+    session = Session.over_object(database)
+    prepared = session.prepare(source)
+    for values in rounds:
+        bindings = dict(zip(names, values))
+        substituted = source
+        for name, value in bindings.items():
+            substituted = substituted.replace(f"${name}", value.to_text())
+        assert prepared.execute(bindings).all() == baseline_interpret(
+            parse_formula(substituted), database
+        )
+
+
+@given(
+    generations=st.integers(min_value=0, max_value=2),
+    fanout=st.integers(min_value=1, max_value=2),
+)
+def test_closure_query_equals_program_query(generations, fanout):
+    from repro.workloads import make_genealogy
+
+    rules = (
+        "[doa: {abraham}].\n"
+        "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].\n"
+    )
+    tree = make_genealogy(generations, fanout)
+    query = parse_formula("[doa: X]")
+    session = Session.over_object(tree.family_object, rules=rules)
+    via_session = session.query(query, on_closure=True, engine="naive")
+    program = Program.from_source(rules, database=tree.family_object)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_program = program.query(query)
+    assert via_session == via_program
+    assert via_session == baseline_interpret(
+        query, program.evaluate(engine="naive").value
+    )

@@ -175,6 +175,106 @@ class TestEngineSelection:
             run_cli("run", self.PROGRAM, "--engine", "quantum")
 
 
+class TestParameters:
+    DATABASE = "[r1: {[name: peter, age: 25], [name: john, age: 7]}]"
+
+    def test_query_with_param(self):
+        code, output = run_cli(
+            "query", "[r1: {[name: $who, age: A]}]", "--database", self.DATABASE,
+            "--param", "who=peter",
+        )
+        assert code == 0
+        assert "peter" in output and "john" not in output
+
+    def test_query_with_repeated_params(self):
+        code, output = run_cli(
+            "query", "[r1: {[name: $who, age: $age]}]", "--database", self.DATABASE,
+            "--param", "who=john", "--param", "age=7",
+        )
+        assert code == 0
+        assert "john" in output
+
+    def test_missing_param_is_a_one_line_error(self):
+        code, output = run_cli(
+            "query", "[r1: {[name: $who]}]", "--database", self.DATABASE
+        )
+        assert code == 1
+        assert output.startswith("error:")
+        assert "who" in output
+
+    def test_malformed_param_option(self):
+        code, output = run_cli(
+            "query", "[r1: {[name: $who]}]", "--database", self.DATABASE,
+            "--param", "who",
+        )
+        assert code == 1
+        assert "name=value" in output
+
+    def test_store_query_with_param(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        run_cli(
+            "store", "--db-path", db_path, "put", "people",
+            "{[name: peter, age: 25], [name: john, age: 7]}",
+        )
+        code, output = run_cli(
+            "store", "--db-path", db_path, "query", "{[name: $who, age: A]}",
+            "--against", "people", "--param", "who=peter",
+        )
+        assert code == 0
+        assert "peter" in output and "john" not in output
+
+
+class TestErrorSurface:
+    """Every library failure: exit 1, one ``error:`` line, no traceback."""
+
+    def assert_one_line_error(self, code, output):
+        assert code == 1
+        lines = [line for line in output.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in output
+
+    def test_parse_malformed_object(self):
+        self.assert_one_line_error(*run_cli("parse", "[a: {1, ]"))
+
+    def test_parse_variable_in_ground_object(self):
+        self.assert_one_line_error(*run_cli("parse", "[a: X]"))
+
+    def test_query_malformed_formula(self):
+        self.assert_one_line_error(
+            *run_cli("query", "[a: ", "--database", "[a: 1]")
+        )
+
+    def test_run_malformed_program(self):
+        self.assert_one_line_error(*run_cli("run", "[doa: {abraham}] :-"))
+
+    def test_run_divergent_program(self):
+        code, output = run_cli(
+            "run",
+            "[list: {1}]. [list: {[head: 1, tail: X]}] :- [list: {X}].",
+            "--max-iterations", "10",
+        )
+        self.assert_one_line_error(code, output)
+
+    def test_store_malformed_object(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        self.assert_one_line_error(
+            *run_cli("store", "--db-path", db_path, "put", "x", "[a: }")
+        )
+
+    def test_store_query_malformed_formula(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        self.assert_one_line_error(
+            *run_cli("store", "--db-path", db_path, "query", "{[name: ]}")
+        )
+
+    def test_store_missing_name_error(self, tmp_path):
+        db_path = str(tmp_path / "db.wal")
+        self.assert_one_line_error(
+            *run_cli("store", "--db-path", db_path, "get", "ghost")
+        )
+
+
 class TestStoreCommand:
     def test_put_get_round_trip(self, tmp_path):
         db_path = str(tmp_path / "db.wal")

@@ -91,3 +91,30 @@ class TestWhitespaceAndComments:
     def test_eof_always_present(self):
         assert tokenize("")[-1].type is TokenType.EOF
         assert tokenize("1")[-1].type is TokenType.EOF
+
+
+class TestParameters:
+    def test_param_token(self):
+        tokens = tokenize("$who")
+        assert tokens[0].type is TokenType.PARAM
+        assert tokens[0].value == "who"
+        assert tokens[0].text == "$who"
+
+    def test_param_inside_structure(self):
+        assert kinds("[a: $p1]") == [
+            TokenType.LBRACKET,
+            TokenType.IDENT,
+            TokenType.COLON,
+            TokenType.PARAM,
+            TokenType.RBRACKET,
+            TokenType.EOF,
+        ]
+
+    def test_param_with_underscore_and_digits(self):
+        assert values("$a_1 $_x") == ["a_1", "_x"]
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("$")
+        with pytest.raises(ParseError):
+            tokenize("$1")

@@ -131,3 +131,26 @@ class TestParseProgram:
     def test_missing_period_rejected(self):
         with pytest.raises(ParseError):
             parse_program("[a: {1}]")
+
+
+class TestParseParameters:
+    def test_formula_accepts_parameters(self):
+        parsed = parse_formula("[r1: {[name: $who, age: X]}]")
+        assert parsed.parameters() == frozenset({"who"})
+        assert parsed.variables() == frozenset({"X"})
+
+    def test_parameter_round_trips_through_to_text(self):
+        source = "[r1: {[name: $who]}]"
+        assert parse_formula(source).to_text() == source
+
+    def test_object_rejects_parameters(self):
+        with pytest.raises(ParseError):
+            parse_object("[name: $who]")
+
+    def test_rule_rejects_parameters(self):
+        with pytest.raises(ParseError):
+            parse_rule("[doa: {$x}] :- [family: {$x}]")
+
+    def test_program_rejects_parameters(self):
+        with pytest.raises(ParseError):
+            parse_program("[doa: {$seed}].")

@@ -16,7 +16,10 @@ import pytest
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
-from repro import Program, interpret, is_subobject, parse_formula, parse_object  # noqa: E402
+from repro import Program, is_subobject, parse_formula, parse_object  # noqa: E402
+# The oracle must stay independent of the plan pipeline under test, so it
+# is the calculus baseline, not the session-routed repro.interpret shim.
+from repro.calculus.interpretation import interpret  # noqa: E402
 from repro.calculus.matching import match_all  # noqa: E402
 from repro.calculus.fixpoint import close  # noqa: E402
 from repro.calculus.rules import Rule, RuleSet  # noqa: E402

@@ -1,0 +1,121 @@
+"""Public-API snapshot: pin ``repro.__all__`` and ``repro.api.__all__``.
+
+The exported surface is a compatibility contract: adding a name is a
+deliberate act (update the snapshot here), and removing or renaming one is a
+breaking change this test turns into a tier-1 failure instead of a silent
+downstream surprise.
+"""
+
+import repro
+import repro.api
+
+
+REPRO_ALL = [
+    "Atom",
+    "BOTTOM",
+    "Bottom",
+    "ClosureResult",
+    "ComplexObject",
+    "ComplexObjectError",
+    "Constant",
+    "Cursor",
+    "DivergenceError",
+    "ENGINES",
+    "EngineResult",
+    "EngineStats",
+    "Formula",
+    "NaiveEngine",
+    "Parameter",
+    "ParameterError",
+    "ParseError",
+    "PreparedQuery",
+    "Program",
+    "ReproError",
+    "Rule",
+    "RuleSet",
+    "SchemaError",
+    "SemiNaiveEngine",
+    "Session",
+    "SetFormula",
+    "SetObject",
+    "StoreError",
+    "Substitution",
+    "TOP",
+    "Top",
+    "TupleFormula",
+    "TupleObject",
+    "Variable",
+    "apply_rule",
+    "apply_rules",
+    "atom",
+    "bind_parameters",
+    "clear_object_caches",
+    "close",
+    "closure_series",
+    "connect",
+    "create_engine",
+    "depth",
+    "formula",
+    "intern_stats",
+    "interpret",
+    "intersection",
+    "intersection_all",
+    "is_interned",
+    "is_reduced",
+    "is_subobject",
+    "match",
+    "obj",
+    "objects_equal",
+    "param",
+    "parse_formula",
+    "parse_object",
+    "parse_program",
+    "parse_rule",
+    "pretty",
+    "reduce_object",
+    "set_of",
+    "subobject",
+    "tup",
+    "union",
+    "union_all",
+    "var",
+    "__version__",
+]
+
+API_ALL = [
+    "Cursor",
+    "ParameterError",
+    "PreparedQuery",
+    "ReproError",
+    "Session",
+    "connect",
+    "interpret",
+]
+
+
+def test_repro_all_is_pinned():
+    assert sorted(repro.__all__) == sorted(REPRO_ALL)
+
+
+def test_api_all_is_pinned():
+    assert sorted(repro.api.__all__) == sorted(API_ALL)
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None, name
+
+
+def test_no_all_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))
+    assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+
+def test_session_facade_identities():
+    # The facade names exported at the top level are the api module's own.
+    assert repro.Session is repro.api.Session
+    assert repro.connect is repro.api.connect
+    assert repro.ReproError is repro.api.ReproError
+    assert repro.ReproError is repro.ComplexObjectError

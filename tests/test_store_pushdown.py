@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro import interpret, is_subobject, parse_formula, parse_object
+from repro import is_subobject, parse_formula, parse_object
+# The oracle must stay independent of the session pipeline the store's
+# query shim routes through, so it is the calculus baseline interpret.
+from repro.calculus.interpretation import interpret
 from repro.core.objects import BOTTOM
 from repro.store.database import ObjectDatabase
 from repro.store.index import PathIndex
