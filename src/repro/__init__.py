@@ -112,6 +112,11 @@ from repro.engine import (
 )
 from repro.parser import parse_formula, parse_object, parse_program, parse_rule, pretty
 
+# The observability subsystem: tracing, metrics, EXPLAIN ANALYZE support.
+# Exposed as a namespace (``repro.obs.enable_tracing()``,
+# ``repro.obs.snapshot()``) rather than flattened into the top level.
+from repro import obs
+
 # The session facade is the public query surface; ``interpret`` is its
 # deprecation shim for the pre-session free function (same semantics, one
 # execution path).
@@ -182,6 +187,7 @@ __all__ = [
     "match",
     "obj",
     "objects_equal",
+    "obs",
     "param",
     "parse_formula",
     "parse_object",

@@ -44,8 +44,9 @@ Quick use::
 
 from __future__ import annotations
 
+import time
 import warnings
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.builder import obj
@@ -56,6 +57,9 @@ from repro.calculus.fixpoint import ClosureResult
 from repro.calculus.rules import Rule
 from repro.calculus.substitution import Substitution
 from repro.calculus.terms import Formula, bind_parameters, formula as to_formula
+from repro.engine.stats import EngineStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.store.database import ObjectDatabase
 from repro.store.storage import FileStorage, MemoryStorage
 
@@ -104,16 +108,28 @@ def _check_options(options: Mapping) -> None:
         )
 
 
-def connect(path: Optional[str] = None, *, rules=(), default_engine: str = "seminaive") -> "Session":
+def connect(
+    path: Optional[str] = None,
+    *,
+    rules=(),
+    default_engine: str = "seminaive",
+    slow_query_ms: Optional[float] = None,
+) -> "Session":
     """Open a :class:`Session` — the library's front door.
 
     ``connect()`` gives a private in-memory store; ``connect(path)`` opens
     (or creates) the durable, WAL-backed store at ``path`` — the same log
     format as ``python -m repro store --db-path``.  ``rules`` pre-registers
     a rule program (source text or :class:`~repro.calculus.rules.Rule`
-    objects) for :meth:`Session.close`.
+    objects) for :meth:`Session.close`.  ``slow_query_ms`` arms the
+    session's slow-query log (see :meth:`Session.slow_queries`).
     """
-    return Session(path, rules=rules, default_engine=default_engine)
+    return Session(
+        path,
+        rules=rules,
+        default_engine=default_engine,
+        slow_query_ms=slow_query_ms,
+    )
 
 
 class Session:
@@ -145,6 +161,7 @@ class Session:
         rules=(),
         seed=None,
         default_engine: str = "seminaive",
+        slow_query_ms: Optional[float] = None,
     ):
         if database is not None:
             self._db = database
@@ -167,10 +184,18 @@ class Session:
         self._counters = {
             "plan_hits": 0,
             "plan_misses": 0,
+            "plan_evictions": 0,
+            "plan_invalidations": 0,
             "closure_hits": 0,
             "closure_misses": 0,
+            "closure_evictions": 0,
+            "closure_invalidations": 0,
             "prepared_queries": 0,
         }
+        self._slow_query_ms = slow_query_ms
+        self._slow_log: "deque" = deque(maxlen=32)
+        self._last_query_stats: Optional[EngineStats] = None
+        self._last_closure_stats: Optional[EngineStats] = None
         if seed is not None:
             self.seed_object(seed)
         if rules:
@@ -279,11 +304,17 @@ class Session:
         keywords :meth:`execute` takes (``against=``, ``on_closure=``,
         ``allow_bottom=``, ``engine=`` and closure guards).
         """
-        _check_options(options)
-        parsed = self._as_formula(query)
-        source = query if isinstance(query, str) else parsed.to_text()
-        self._counters["prepared_queries"] += 1
-        return PreparedQuery(self, source, parsed, options)
+        with _trace.span("session.prepare") as span:
+            _check_options(options)
+            parsed = self._as_formula(query)
+            source = query if isinstance(query, str) else parsed.to_text()
+            self._counters["prepared_queries"] += 1
+            _METRICS.counter("session.prepared_queries").inc()
+            trace_id = None
+            if span.enabled:
+                span.set(query=source, parameters=len(parsed.parameters()))
+                trace_id = span.trace_id
+            return PreparedQuery(self, source, parsed, options, trace_id=trace_id)
 
     def execute(self, query, params: Optional[Mapping] = None, **options) -> "Cursor":
         """Run a query and return a streaming :class:`Cursor` over its matches.
@@ -312,13 +343,29 @@ class Session:
         """Run a query and materialize the full answer — ``E(O)`` of Definition 4.2."""
         return self.execute(query, params, **options).all()
 
-    def explain(self, query, params: Optional[Mapping] = None, **options) -> str:
-        """EXPLAIN for :meth:`execute`: the chosen access path and plan."""
+    def explain(
+        self,
+        query,
+        params: Optional[Mapping] = None,
+        *,
+        analyze: bool = False,
+        **options,
+    ) -> str:
+        """EXPLAIN for :meth:`execute`: the chosen access path and plan.
+
+        ``analyze=True`` is EXPLAIN ANALYZE: the plan is also executed and
+        the rendering shows the **actual** rows and wall time per plan node
+        next to the optimizer's estimates.
+        """
         if isinstance(query, PreparedQuery):
             merged = dict(query.options)
             merged.update(options)
-            return self._explain(query.formula, dict(params or {}), **merged)
-        return self._explain(self._as_formula(query), dict(params or {}), **options)
+            return self._explain(
+                query.formula, dict(params or {}), analyze=analyze, **merged
+            )
+        return self._explain(
+            self._as_formula(query), dict(params or {}), analyze=analyze, **options
+        )
 
     # -- closures -----------------------------------------------------------------------
     def close(self, *, engine: Optional[str] = None, **guards) -> ClosureResult:
@@ -336,14 +383,29 @@ class Session:
         version = self.version
         if entry is not None and entry[0] == version:
             self._counters["closure_hits"] += 1
+            _METRICS.counter("session.closure_cache.hits").inc()
             self._closure_cache.move_to_end(key)
             return entry[1]
+        if entry is not None:
+            self._counters["closure_invalidations"] += 1
+            _METRICS.counter("session.closure_cache.invalidations").inc()
         self._counters["closure_misses"] += 1
-        result = self.program().evaluate(engine=chosen, **guards)
+        _METRICS.counter("session.closure_cache.misses").inc()
+        start_ns = time.perf_counter_ns()
+        with _trace.span("session.close") as span:
+            if span.enabled:
+                span.set(engine=chosen, rules=len(self._rules))
+            result = self.program().evaluate(engine=chosen, **guards)
+        _METRICS.histogram("session.closure_ns").observe(
+            time.perf_counter_ns() - start_ns
+        )
+        self._last_closure_stats = getattr(result, "stats", None)
         self._closure_cache[key] = (version, result)
         self._closure_cache.move_to_end(key)
         while len(self._closure_cache) > _CACHE_LIMIT:
             self._closure_cache.popitem(last=False)
+            self._counters["closure_evictions"] += 1
+            _METRICS.counter("session.closure_cache.evictions").inc()
         return result
 
     def close_under(self, rules, **options) -> ClosureResult:
@@ -352,11 +414,44 @@ class Session:
 
     # -- cache bookkeeping ----------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
-        """Counters: plan/closure cache hits and misses, prepared queries, sizes."""
+        """Counters: plan/closure cache hits, misses, evictions, invalidations.
+
+        Every counter is **cumulative over the session's lifetime** — hits
+        and misses are never reset when entries are evicted or invalidated;
+        those events have their own monotonic counters (``plan_evictions``,
+        ``plan_invalidations`` and the closure equivalents) so deltas between
+        two reads are always meaningful.  ``plans_cached`` /
+        ``closures_cached`` are the current cache sizes (gauges, not
+        counters).
+        """
         info = dict(self._counters)
         info["plans_cached"] = len(self._plan_cache)
         info["closures_cached"] = len(self._closure_cache)
         return info
+
+    def stats(self) -> Dict[str, Optional[EngineStats]]:
+        """The engine stats of the session's most recent executions.
+
+        ``"query"`` is the :class:`~repro.engine.stats.EngineStats` record of
+        the last fully-consumed query cursor (match attempts, index hits,
+        substitutions...); ``"closure"`` is the record of the last closure
+        evaluation (``result.stats`` of the engine run).  Either is ``None``
+        until the corresponding path has run.  Use ``.summary()`` on a record
+        for the human-readable one-liner.
+        """
+        return {"query": self._last_query_stats, "closure": self._last_closure_stats}
+
+    def slow_queries(self) -> List[dict]:
+        """The slow-query log (most recent last; empty unless armed).
+
+        Armed with ``Session(slow_query_ms=...)`` / ``connect(...,
+        slow_query_ms=...)``: every query whose total wall time — planning
+        through cursor exhaustion — reaches the threshold is recorded with
+        its query text, bound parameter values, elapsed milliseconds, row
+        count, and (when tracing is enabled) its trace id and rendered trace.
+        The log keeps the 32 most recent entries.
+        """
+        return list(self._slow_log)
 
     # -- lifecycle ------------------------------------------------------------------------
     def shutdown(self) -> None:
@@ -424,11 +519,14 @@ class Session:
         if cached is not None:
             return cached
         self._counters["plan_misses"] += 1
+        _METRICS.counter("session.plan_cache.misses").inc()
         plan = optimize_body(compile_body(formula), DatabaseStatistics.collect(target))
         self._plan_cache[(formula, mode)] = (self.version, plan)
         self._plan_cache.move_to_end((formula, mode))
         while len(self._plan_cache) > _CACHE_LIMIT:
             self._plan_cache.popitem(last=False)
+            self._counters["plan_evictions"] += 1
+            _METRICS.counter("session.plan_cache.evictions").inc()
         return plan
 
     def _resolve_target(self, bound: Formula, options: dict):
@@ -461,18 +559,87 @@ class Session:
         entry = self._plan_cache.get((formula, mode))
         if entry is not None and entry[0] == self.version:
             self._counters["plan_hits"] += 1
+            _METRICS.counter("session.plan_cache.hits").inc()
             self._plan_cache.move_to_end((formula, mode))
             return entry[1]
+        if entry is not None:
+            # A commit (or seed/rule edit) outdated this entry; drop it now
+            # so one stale plan counts exactly one invalidation.
+            del self._plan_cache[(formula, mode)]
+            self._counters["plan_invalidations"] += 1
+            _METRICS.counter("session.plan_cache.invalidations").inc()
         return None
 
-    def _execute(self, formula: Formula, params: Mapping, **options) -> "Cursor":
-        from repro.plan import bind_body_plan
+    def _query_finisher(self, formula, values, run_stats, start_ns, trace_id):
+        """The callback a :class:`Cursor` fires once, when fully consumed.
 
+        Observes the query's total wall time (planning through exhaustion),
+        publishes the run's :class:`EngineStats` as :meth:`stats`, and
+        appends to the slow-query log when the session is armed.
+        """
+
+        def finish(rows: int) -> None:
+            elapsed_ns = time.perf_counter_ns() - start_ns
+            self._last_query_stats = run_stats
+            _METRICS.histogram("session.query_ns").observe(elapsed_ns)
+            threshold = self._slow_query_ms
+            if threshold is None or elapsed_ns < threshold * 1e6:
+                return
+            _METRICS.counter("session.slow_queries").inc()
+            entry = {
+                "query": formula.to_text(),
+                "params": {
+                    name: value.to_text() for name, value in values.items()
+                },
+                "elapsed_ms": elapsed_ns / 1e6,
+                "rows": rows,
+                "trace_id": trace_id,
+            }
+            tracer = _trace.current_tracer()
+            if tracer is not None and trace_id is not None:
+                root = tracer.find(trace_id)
+                if root is not None:
+                    entry["trace"] = _trace.render_span(root)
+            self._slow_log.append(entry)
+
+        return finish
+
+    def _execute(
+        self,
+        formula: Formula,
+        params: Mapping,
+        _link: Optional[str] = None,
+        **options,
+    ) -> "Cursor":
         _check_options(options)
-        values = self._convert_params(formula, params)
-        bound = bind_parameters(formula, values) if values else formula
-        allow_bottom = options.get("allow_bottom", False)
-        explain = lambda: self._explain(formula, params, **options)
+        start_ns = time.perf_counter_ns()
+        _METRICS.counter("session.queries").inc()
+        run_stats = EngineStats()
+        span = _trace.span("session.execute")
+        with span:
+            trace_id = None
+            if span.enabled:
+                span.set(query=formula.to_text())
+                if _link is not None:
+                    span.set(prepared_from=_link)
+                trace_id = span.trace_id
+            values = self._convert_params(formula, params)
+            bound = bind_parameters(formula, values) if values else formula
+            allow_bottom = options.get("allow_bottom", False)
+            explain = lambda: self._explain(formula, params, **options)
+            on_finish = self._query_finisher(
+                formula, values, run_stats, start_ns, trace_id
+            )
+            return self._build_cursor(
+                formula, values, bound, allow_bottom, explain, run_stats,
+                on_finish, span, options,
+            )
+
+    def _build_cursor(
+        self, formula, values, bound, allow_bottom, explain, run_stats,
+        on_finish, span, options,
+    ) -> "Cursor":
+        from repro.plan import bind_body_plan
 
         store_mode = (
             not self._seeded
@@ -500,13 +667,20 @@ class Session:
             )
             if kind == "refuted":
                 self._db._bump("query_index_shortcircuits")
-                return Cursor(None, None, allow_bottom=allow_bottom, explain=explain)
+                if span.enabled:
+                    span.set(access="index-short-circuit")
+                return Cursor(
+                    None, None, allow_bottom=allow_bottom, explain=explain,
+                    stats=run_stats, on_finish=on_finish,
+                )
             if kind == "pushdown":
                 self._db._bump("query_root_pushdowns")
                 target: ComplexObject = TupleObject(restricted)
             else:
                 self._db._bump("query_scans")
                 target = self._db.as_object()
+            if span.enabled:
+                span.set(access=kind)
             if cached is not None:
                 bound_plan = probe_plan
             else:
@@ -514,19 +688,26 @@ class Session:
                     self._plan_for(formula, ("db",), target), values
                 )
             return Cursor(
-                bound_plan, target, allow_bottom=allow_bottom, explain=explain
+                bound_plan, target, allow_bottom=allow_bottom, explain=explain,
+                stats=run_stats, on_finish=on_finish,
             )
 
         mode, target = self._resolve_target(bound, options)
+        if span.enabled:
+            span.set(access=mode[0])
         plan = self._plan_for(formula, mode, target)
         return Cursor(
             bind_body_plan(plan, values),
             target,
             allow_bottom=allow_bottom,
             explain=explain,
+            stats=run_stats,
+            on_finish=on_finish,
         )
 
-    def _explain(self, formula: Formula, params: Mapping, **options) -> str:
+    def _explain(
+        self, formula: Formula, params: Mapping, analyze: bool = False, **options
+    ) -> str:
         from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
         from repro.plan.explain import render_body_plan
 
@@ -540,13 +721,13 @@ class Session:
             # access-path decision (pushdown / short-circuit / snapshot) this
             # session's execution takes, through the same decision code.
             return self._db.explain_query(
-                bound, against=against, allow_bottom=allow_bottom
+                bound, against=against, allow_bottom=allow_bottom, analyze=analyze
             )
         mode, target = self._resolve_target(bound, options)
         if target is None:  # pragma: no cover - seeded sessions never refute
             target = BOTTOM
         plan = optimize_body(compile_body(bound), DatabaseStatistics.collect(target))
-        record: dict = {}
+        record: dict = {"timed": True} if analyze else {}
         match_plan(plan, target, allow_bottom=allow_bottom, record=record)
         return render_body_plan(
             plan, record=record, header=f"query plan: {bound.to_text()}"
@@ -563,13 +744,24 @@ class PreparedQuery:
     substitution, no parsing and no optimization.
     """
 
-    __slots__ = ("_session", "source", "formula", "options")
+    __slots__ = ("_session", "source", "formula", "options", "trace_id")
 
-    def __init__(self, session: Session, source: str, formula: Formula, options: dict):
+    def __init__(
+        self,
+        session: Session,
+        source: str,
+        formula: Formula,
+        options: dict,
+        trace_id: Optional[str] = None,
+    ):
         self._session = session
         self.source = source
         self.formula = formula
         self.options = options
+        #: The trace id of the ``session.prepare`` span that built this
+        #: query (``None`` when tracing was off); every execution span links
+        #: back to it as ``prepared_from``.
+        self.trace_id = trace_id
 
     @property
     def parameters(self):
@@ -580,7 +772,9 @@ class PreparedQuery:
         """Execute with ``params`` (a mapping, and/or keyword arguments)."""
         merged = dict(params or {})
         merged.update(kwparams)
-        return self._session._execute(self.formula, merged, **self.options)
+        return self._session._execute(
+            self.formula, merged, _link=self.trace_id, **self.options
+        )
 
     def one(self, params: Optional[Mapping] = None, **kwparams) -> ComplexObject:
         """First matching instantiation (⊥ when nothing matches)."""
@@ -590,11 +784,15 @@ class PreparedQuery:
         """The materialized answer — ``E(O)`` of Definition 4.2."""
         return self.execute(params, **kwparams).all()
 
-    def explain(self, params: Optional[Mapping] = None, **kwparams) -> str:
-        """EXPLAIN of one execution with the given parameter values."""
+    def explain(
+        self, params: Optional[Mapping] = None, *, analyze: bool = False, **kwparams
+    ) -> str:
+        """EXPLAIN of one execution (``analyze=True`` for EXPLAIN ANALYZE)."""
         merged = dict(params or {})
         merged.update(kwparams)
-        return self._session._explain(self.formula, merged, **self.options)
+        return self._session._explain(
+            self.formula, merged, analyze=analyze, **self.options
+        )
 
     def __repr__(self) -> str:
         names = ", ".join(sorted(self.parameters)) or "none"
@@ -628,11 +826,16 @@ class Cursor:
         *,
         allow_bottom: bool = False,
         explain=None,
+        stats=None,
+        on_finish=None,
     ):
         self._plan = plan
         self._target = target
         self._allow_bottom = allow_bottom
         self._explain_thunk = explain
+        self._stats = stats
+        self._on_finish = on_finish
+        self._finished = False
         self._started = False
         if plan is None:
             self._substitutions: Iterator[Substitution] = iter(())
@@ -640,11 +843,19 @@ class Cursor:
             from repro.plan import iter_match_plan
 
             self._substitutions = iter_match_plan(
-                plan, target, allow_bottom=allow_bottom
+                plan, target, allow_bottom=allow_bottom, stats=stats
             )
         self._seen = set()
         self._matches: List[ComplexObject] = []
         self._result: Optional[ComplexObject] = None
+
+    def _finish(self, rows: Optional[int] = None) -> None:
+        """Fire the completion callback exactly once, at stream exhaustion."""
+        if self._finished:
+            return
+        self._finished = True
+        if self._on_finish is not None:
+            self._on_finish(len(self._matches) if rows is None else rows)
 
     # -- streaming --------------------------------------------------------------------
     def __iter__(self) -> "Cursor":
@@ -659,6 +870,7 @@ class Cursor:
             self._seen.add(instantiation)
             self._matches.append(instantiation)
             return instantiation
+        self._finish()
         raise StopIteration
 
     def bindings(self) -> Iterator[Substitution]:
@@ -670,6 +882,7 @@ class Cursor:
                 self._seen.add(instantiation)
                 self._matches.append(instantiation)
             yield substitution
+        self._finish()
 
     # -- terminals --------------------------------------------------------------------
     def one(self) -> ComplexObject:
@@ -690,10 +903,18 @@ class Cursor:
                 from repro.plan import interpret_plan
 
                 self._result = interpret_plan(
-                    self._plan, self._target, allow_bottom=self._allow_bottom
+                    self._plan,
+                    self._target,
+                    allow_bottom=self._allow_bottom,
+                    stats=self._stats,
                 )
                 self._substitutions = iter(())
                 self._started = True
+                # The batch executor skips the per-match list; the stats
+                # record still carries the substitution count.
+                self._finish(
+                    rows=self._stats.substitutions if self._stats else None
+                )
             else:
                 for _ in self:
                     pass

@@ -184,8 +184,9 @@ class Program:
         ``analyze=True`` (the default) the program is also evaluated
         (``guards`` are forwarded to :meth:`evaluate`, including ``engine=``)
         and each rule's plan is re-executed once against the closure so the
-        rendering shows **actual** cardinalities next to the estimates; the
-        optional ``query_formula`` is planned and analyzed the same way.
+        rendering shows **actual** cardinalities and per-leaf wall time next
+        to the estimates (EXPLAIN ANALYZE); the optional ``query_formula`` is
+        planned and analyzed the same way.
         """
         from repro.plan import (
             DatabaseStatistics,
@@ -212,7 +213,7 @@ class Program:
             for node in plan.rule_nodes():
                 if node.body_plan is None:
                     continue
-                record: dict = {}
+                record: dict = {"timed": True}
                 match_plan(node.body_plan, closure_value, record=record)
                 rule_records[node.rule] = record
 
@@ -229,7 +230,7 @@ class Program:
             )
             record = None
             if analyze:
-                record = {}
+                record = {"timed": True}
                 match_plan(query_plan, target, record=record)
             sections.append(
                 render_body_plan(

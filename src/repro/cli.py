@@ -29,6 +29,16 @@ Subcommands
               ``query`` accepts ``--param`` bindings, and ``--explain`` shows
               the plan and the store access path (root-attribute pushdown /
               index short-circuit).
+``stats``     print the process-wide observability snapshot
+              (:func:`repro.obs.snapshot`) as one JSON document — engine
+              counters, plan-cache traffic, store commits/conflicts, index
+              access paths, WAL appends/bytes/fsyncs, latency histograms;
+              ``--db-path`` opens a store first so its recovery shows up.
+
+``query`` and ``store query`` also take ``--explain-analyze`` (EXPLAIN
+ANALYZE): the plan is executed and rendered with the **actual** rows and
+wall time per plan node next to the optimizer's estimates.  ``run
+--explain`` analyzes by default — its plan shows per-leaf times too.
 
 Examples
 --------
@@ -114,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
         " of the answer",
     )
     query_command.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the plan and print actual rows and"
+        " wall time per plan node next to the estimates",
+    )
+    query_command.add_argument(
         "--param",
         action="append",
         metavar="NAME=VALUE",
@@ -181,10 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of the answer (query)",
     )
     store_command.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the plan and print actual rows and"
+        " wall time per plan node next to the estimates (query)",
+    )
+    store_command.add_argument(
         "--param",
         action="append",
         metavar="NAME=VALUE",
         help="bind a $NAME parameter slot to an object (query, repeatable)",
+    )
+
+    stats_command = subcommands.add_parser(
+        "stats", help="print the observability snapshot as one JSON document"
+    )
+    stats_command.add_argument(
+        "--db-path",
+        help="open this WAL-backed store first, so its recovery (records"
+        " replayed, torn bytes dropped) is reflected in the snapshot",
     )
 
     return parser
@@ -220,9 +251,14 @@ def _run_store(arguments, stream) -> int:
                 raise StoreError("store query needs a formula")
             formula = parse_formula(_read_source(arguments.name))
             params = _parse_params(arguments.param)
-            if arguments.explain:
+            if arguments.explain or arguments.explain_analyze:
                 print(
-                    session.explain(formula, params, against=arguments.against),
+                    session.explain(
+                        formula,
+                        params,
+                        against=arguments.against,
+                        analyze=arguments.explain_analyze,
+                    ),
                     file=stream,
                 )
             else:
@@ -249,10 +285,13 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
             session = Session.over_object(_load_database(arguments.database))
             formula = parse_formula(_read_source(arguments.formula))
             params = _parse_params(arguments.param)
-            if arguments.explain:
+            if arguments.explain or arguments.explain_analyze:
                 print(
                     session.explain(
-                        formula, params, allow_bottom=arguments.allow_bottom
+                        formula,
+                        params,
+                        allow_bottom=arguments.allow_bottom,
+                        analyze=arguments.explain_analyze,
                     ),
                     file=stream,
                 )
@@ -314,6 +353,18 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 print(pretty(result.value), file=stream)
         elif arguments.command == "store":
             return _run_store(arguments, stream)
+        elif arguments.command == "stats":
+            import json
+
+            from repro import obs
+
+            if arguments.db_path:
+                # Opening the store replays its WAL, so the snapshot below
+                # reflects the recovery (records replayed, torn tail bytes).
+                connect(arguments.db_path).shutdown()
+            print(
+                json.dumps(obs.snapshot(), indent=2, sort_keys=True), file=stream
+            )
         elif arguments.command == "check":
             rules = parse_program(_read_source(arguments.program))
             reports = analyze_rules(rules)

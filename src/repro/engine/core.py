@@ -34,6 +34,7 @@ round so that stratification alone can never trip it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -53,6 +54,8 @@ from repro.engine.delta import BodyDecomposition, decompose, new_set_elements
 from repro.engine.dependency import DependencyGraph, Stratum
 from repro.engine.indexes import IndexStore
 from repro.engine.stats import EngineStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.plan.compile import compile_body, compile_rule
 from repro.plan.execute import apply_rule_plan, match_plan
 from repro.plan.ir import BodyPlan
@@ -115,15 +118,18 @@ class NaiveEngine:
                 for node in nodes
             )
 
-        result = close(
-            database,
-            self.rules,
-            max_iterations=self.max_iterations,
-            max_nodes=self.max_nodes,
-            max_depth=self.max_depth,
-            allow_bottom=self.allow_bottom,
-            apply=apply_plans,
-        )
+        with _trace.span("engine.run") as span:
+            result = close(
+                database,
+                self.rules,
+                max_iterations=self.max_iterations,
+                max_nodes=self.max_nodes,
+                max_depth=self.max_depth,
+                allow_bottom=self.allow_bottom,
+                apply=apply_plans,
+            )
+            if span.enabled:
+                span.set(engine=self.name, iterations=result.iterations)
         # close() applies the full rule set once per growing round plus one
         # confirming round, every application a full match of every rule.
         applications = result.iterations + 1 if len(self.rules) else 0
@@ -133,6 +139,7 @@ class NaiveEngine:
             recursive_strata=1 if len(self.rules) else 0,
             full_matches=applications * len(self.rules),
         )
+        _METRICS.record_engine_run(stats)
         return EngineResult(
             value=result.value,
             iterations=result.iterations,
@@ -199,13 +206,26 @@ class SemiNaiveEngine:
 
         current = database
         budget = [0]  # recursive rounds charged against max_iterations
-        for stratum in self._strata:
-            if stratum.recursive:
-                current = self._close_stratum(
-                    stratum, current, plans, indexes, stats, budget
-                )
-            else:
-                current = self._apply_once(stratum, current, plans, indexes, stats)
+        with _trace.span("engine.run") as run_span:
+            for number, stratum in enumerate(self._strata, start=1):
+                with _trace.span("engine.stratum") as stratum_span:
+                    if stratum_span.enabled:
+                        stratum_span.set(
+                            stratum=number,
+                            recursive=stratum.recursive,
+                            rules=len(stratum.rules),
+                        )
+                    if stratum.recursive:
+                        current = self._close_stratum(
+                            stratum, current, plans, indexes, stats, budget
+                        )
+                    else:
+                        current = self._apply_once(
+                            stratum, current, plans, indexes, stats
+                        )
+            if run_span.enabled:
+                run_span.set(engine=self.name, iterations=stats.iterations)
+        _METRICS.record_engine_run(stats)
         return EngineResult(
             value=current, iterations=stats.iterations, converged=True, stats=stats
         )
@@ -220,10 +240,13 @@ class SemiNaiveEngine:
         stats: EngineStats,
     ) -> ComplexObject:
         """Evaluate a non-recursive stratum: one full application suffices."""
-        produced = union_all(
-            self._apply_full(rule, current, plans, indexes, stats)
-            for rule in stratum.rules
-        )
+        with _trace.span("engine.round") as span:
+            if span.enabled:
+                span.set(round=1, mode="full")
+            produced = union_all(
+                self._apply_full(rule, current, plans, indexes, stats)
+                for rule in stratum.rules
+            )
         next_value = union(current, produced)
         if next_value == current:
             return current
@@ -248,12 +271,18 @@ class SemiNaiveEngine:
         # Round one must see the whole database: the delta discipline only
         # covers growth contributed by *previous* rounds of this stratum.
         previous = current
+        round_ns = _METRICS.histogram("engine.round_ns")
         self._charge(budget, current)
-        produced = union_all(
-            self._apply_full(rule, current, plans, indexes, stats)
-            for rule in stratum.rules
-        )
-        next_value = union(current, produced)
+        round_start = time.perf_counter_ns()
+        with _trace.span("engine.round") as span:
+            if span.enabled:
+                span.set(round=1, mode="full")
+            produced = union_all(
+                self._apply_full(rule, current, plans, indexes, stats)
+                for rule in stratum.rules
+            )
+            next_value = union(current, produced)
+        round_ns.observe(time.perf_counter_ns() - round_start)
         if next_value == current:
             return current
         stats.iterations += 1
@@ -262,13 +291,20 @@ class SemiNaiveEngine:
             indexes.refresh(current, next_value)
         previous, current = current, next_value
 
+        round_number = 1
         while True:
+            round_number += 1
             self._charge(budget, current)
-            produced = union_all(
-                self._apply_delta(rule, previous, current, plans, indexes, stats)
-                for rule in stratum.rules
-            )
-            next_value = union(current, produced)
+            round_start = time.perf_counter_ns()
+            with _trace.span("engine.round") as span:
+                if span.enabled:
+                    span.set(round=round_number, mode="delta")
+                produced = union_all(
+                    self._apply_delta(rule, previous, current, plans, indexes, stats)
+                    for rule in stratum.rules
+                )
+                next_value = union(current, produced)
+            round_ns.observe(time.perf_counter_ns() - round_start)
             if next_value == current:
                 return current
             stats.iterations += 1
@@ -344,26 +380,32 @@ class SemiNaiveEngine:
                 return self._apply_full(rule, current, plans, indexes, stats)
             deltas[path] = fresh
         stats.delta_matches += 1
-        seen = set()
-        heads: List[ComplexObject] = []
-        for position in decomposition.positions:
-            fresh = deltas[position.path]
-            if not fresh:
-                continue
-            substitutions = match_plan(
-                plans[rule],
-                current,
-                position=position,
-                delta_elements=fresh,
-                indexes=indexes,
-                stats=stats,
-            )
-            for substitution in substitutions:
-                if substitution in seen:
+        with _trace.span("engine.delta_apply") as span:
+            if span.enabled:
+                span.set(
+                    rule=rule.to_text(),
+                    delta=sum(len(fresh) for fresh in deltas.values()),
+                )
+            seen = set()
+            heads: List[ComplexObject] = []
+            for position in decomposition.positions:
+                fresh = deltas[position.path]
+                if not fresh:
                     continue
-                seen.add(substitution)
-                heads.append(substitution.apply(rule.head))
-        stats.subobjects_derived += len(heads)
+                substitutions = match_plan(
+                    plans[rule],
+                    current,
+                    position=position,
+                    delta_elements=fresh,
+                    indexes=indexes,
+                    stats=stats,
+                )
+                for substitution in substitutions:
+                    if substitution in seen:
+                        continue
+                    seen.add(substitution)
+                    heads.append(substitution.apply(rule.head))
+            stats.subobjects_derived += len(heads)
         return union_all(dict.fromkeys(heads))
 
 

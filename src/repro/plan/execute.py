@@ -31,6 +31,7 @@ leaf, reproducing the recursive matcher's behaviour for those cases.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.calculus.substitution import Substitution
@@ -86,6 +87,14 @@ def match_plan(
         stats=stats,
         record=record,
     )
+    # EXPLAIN ANALYZE: a record created with {"timed": True} additionally
+    # collects wall time — per scan leaf (``by_leaf_ns``, filled by the
+    # executor) and for the whole match (``wall_ns``).  Plain records keep
+    # their historical rows-only shape, so ordinary EXPLAIN output is
+    # unchanged.
+    timed = record is not None and record.get("timed", False)
+    if timed:
+        start_ns = time.perf_counter_ns()
     candidates = executor.run(plan, target)
     seen = set()
     results: List[Substitution] = []
@@ -99,6 +108,8 @@ def match_plan(
     stats.substitutions += len(results)
     if record is not None:
         record["rows"] = len(results)
+        if timed:
+            record["wall_ns"] = time.perf_counter_ns() - start_ns
     return results
 
 
@@ -239,12 +250,18 @@ class _Executor:
         instances.sort(key=lambda instance: (instance.rank, instance.order))
 
         actuals: Optional[Dict[Tuple, int]] = None
+        leaf_ns: Optional[Dict[Tuple, int]] = None
         if self.record is not None:
             actuals = {}
             self.record["by_leaf"] = actuals
+            if self.record.get("timed", False):
+                leaf_ns = {}
+                self.record["by_leaf_ns"] = leaf_ns
 
         partials: List[Substitution] = [_EMPTY]
         for instance in instances:
+            if leaf_ns is not None:
+                step_start = time.perf_counter_ns()
             if instance.spec is None:
                 alternatives = instance.alternatives
                 partials = [
@@ -256,6 +273,11 @@ class _Executor:
                 partials = self._scan_step(instance, partials)
             if actuals is not None and instance.spec is not None:
                 actuals[leaf_key(instance.spec)] = len(partials)
+                if leaf_ns is not None:
+                    key = leaf_key(instance.spec)
+                    leaf_ns[key] = leaf_ns.get(key, 0) + (
+                        time.perf_counter_ns() - step_start
+                    )
             if not partials:
                 return []
         return partials

@@ -7,6 +7,13 @@ access path, and — when an execution record from
 :func:`repro.plan.execute.match_plan` is supplied — the **actual** rows that
 survived each leaf, so a bad estimate is visible at a glance.
 
+EXPLAIN ANALYZE: a record created with ``{"timed": True}`` (see
+``Session.explain(analyze=True)`` and the CLI ``--explain-analyze`` flags)
+additionally carries per-leaf and whole-match wall time
+(``by_leaf_ns``/``wall_ns``), and the renderer prints them next to the
+actual rows — so a leaf that survives few rows but burns the time budget is
+just as visible as a bad cardinality estimate.
+
 ``Program.explain()``, the CLI's ``run/query --explain`` and the store's
 ``store query --explain`` all render through this module.
 """
@@ -15,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs.trace import format_ns
 from repro.plan.ir import BodyPlan, ProgramPlan, RuleNode, leaf_key
 
 __all__ = ["render_body_plan", "render_rule_node", "render_program_plan"]
@@ -23,8 +31,10 @@ __all__ = ["render_body_plan", "render_rule_node", "render_program_plan"]
 def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
     lines = []
     actuals: Dict = (record or {}).get("by_leaf", {})
-    estimates = plan.estimates or (None,) * len(plan.leaves)
-    for position, (leaf, estimate) in enumerate(zip(plan.leaves, estimates), start=1):
+    timings: Dict = (record or {}).get("by_leaf_ns", {})
+    for position, (leaf, estimate) in enumerate(
+        zip(plan.leaves, plan.estimates or (None,) * len(plan.leaves)), start=1
+    ):
         line = f"{indent}{position}. {leaf.describe()}"
         notes = []
         if estimate is not None:
@@ -32,11 +42,17 @@ def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
         actual = actuals.get(leaf_key(leaf))
         if actual is not None:
             notes.append(f"actual {actual}")
+        elapsed = timings.get(leaf_key(leaf))
+        if elapsed is not None:
+            notes.append(f"time {format_ns(elapsed)}")
         if notes:
             line += "  [" + ", ".join(notes) + "]"
         lines.append(line)
     if record is not None and "rows" in record:
-        lines.append(f"{indent}=> {record['rows']} substitutions (actual)")
+        summary = f"{indent}=> {record['rows']} substitutions (actual)"
+        if "wall_ns" in record:
+            summary += f" in {format_ns(record['wall_ns'])}"
+        lines.append(summary)
     return lines
 
 

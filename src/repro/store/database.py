@@ -35,9 +35,12 @@ commit leaves the database untouched by construction.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import SchemaError, StoreError, TransactionError
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
 from repro.core.order import is_subobject
 from repro.calculus.fixpoint import ClosureResult, close
@@ -168,44 +171,56 @@ class ObjectDatabase:
         Deletes of names that are already absent are dropped from the batch;
         a batch that ends up empty applies nothing and bumps no version.
         """
-        with self._lock.write_locked():
-            for name, value in changes.items():
-                if value is None:
-                    continue
-                schema = self._schemas.get(name)
-                if schema is not None:
-                    issues = check_object(value, schema)
-                    if issues:
-                        raise SchemaError(
-                            f"object for {name!r} violates its schema: {issues[0]}"
-                        )
-            if expected is not None:
-                for name, before in expected.items():
-                    current = self._storage.read(name)
-                    if current is not before and current != before:
-                        raise TransactionError(
-                            f"write-write conflict on {name!r}: the object changed"
-                            " since the transaction first read it"
-                        )
-            effective = {
-                name: value
-                for name, value in changes.items()
-                if value is not None or self._storage.read(name) is not None
-            }
-            if not effective:
-                return
-            self._storage.apply_batch(effective)
-            for name, value in effective.items():
-                if value is not None and value.is_top:
-                    self._top_names.add(name)
-                else:
-                    self._top_names.discard(name)
-                for index in self._indexes.values():
-                    if value is None:
-                        index.remove(name)
-                    else:
-                        index.add(name, value)
-            self._version += 1
+        start_ns = time.perf_counter_ns()
+        with _trace.span("store.commit") as span:
+            if span.enabled:
+                span.set(names=len(changes), guarded=expected is not None)
+            try:
+                with self._lock.write_locked():
+                    for name, value in changes.items():
+                        if value is None:
+                            continue
+                        schema = self._schemas.get(name)
+                        if schema is not None:
+                            issues = check_object(value, schema)
+                            if issues:
+                                raise SchemaError(
+                                    f"object for {name!r} violates its schema:"
+                                    f" {issues[0]}"
+                                )
+                    if expected is not None:
+                        for name, before in expected.items():
+                            current = self._storage.read(name)
+                            if current is not before and current != before:
+                                raise TransactionError(
+                                    f"write-write conflict on {name!r}: the object"
+                                    " changed since the transaction first read it"
+                                )
+                    effective = {
+                        name: value
+                        for name, value in changes.items()
+                        if value is not None or self._storage.read(name) is not None
+                    }
+                    if effective:
+                        self._storage.apply_batch(effective)
+                        for name, value in effective.items():
+                            if value is not None and value.is_top:
+                                self._top_names.add(name)
+                            else:
+                                self._top_names.discard(name)
+                            for index in self._indexes.values():
+                                if value is None:
+                                    index.remove(name)
+                                else:
+                                    index.add(name, value)
+                        self._version += 1
+            except TransactionError:
+                _METRICS.counter("store.conflicts").inc()
+                raise
+        _METRICS.counter("store.commits").inc()
+        _METRICS.histogram("store.commit_ns").observe(
+            time.perf_counter_ns() - start_ns
+        )
 
     # -- the whole database as one object ----------------------------------------------
     def as_object(self) -> ComplexObject:
@@ -270,6 +285,7 @@ class ObjectDatabase:
     def _bump(self, counter: str) -> None:
         with self._stats_lock:
             self._access_stats[counter] += 1
+        _METRICS.counter(f"store.index.{counter}").inc()
 
     def _facade(self):
         """This thread's lazily-created :class:`repro.api.Session` over the database."""
@@ -400,13 +416,15 @@ class ObjectDatabase:
         *,
         against: Optional[str] = None,
         allow_bottom: bool = False,
+        analyze: bool = False,
     ) -> str:
         """EXPLAIN for :meth:`query`: the chosen access path with est/actual rows.
 
         Renders exactly the plan a :meth:`query` call with the same arguments
         executes — both go through :meth:`_choose_access_path` and
         :meth:`_pushdown_plan`, so the notes and the leaf order cannot drift
-        from the real access path.
+        from the real access path.  ``analyze=True`` (EXPLAIN ANALYZE)
+        additionally times the execution and prints wall time per plan node.
         """
         from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
         from repro.plan.explain import render_body_plan
@@ -414,7 +432,7 @@ class ObjectDatabase:
         parsed = self._as_formula(formula)
         notes: List[str] = []
         plan = None
-        analyze = True
+        executable = True
         if against is not None:
             target = self._require(against)
             notes.append(f"target: stored object {against!r}")
@@ -431,7 +449,7 @@ class ObjectDatabase:
                 # analysis; the plan is shown with estimates only.
                 target = TupleObject(restricted)
                 plan = self._pushdown_plan(parsed, target)
-                analyze = False
+                executable = False
                 notes.append(
                     "index short-circuit: a path index refutes the query;"
                     " answers ⊥ without reading or interpreting"
@@ -447,8 +465,8 @@ class ObjectDatabase:
         if plan is None:
             plan = optimize_body(compile_body(parsed), DatabaseStatistics.collect(target))
         record: Optional[dict] = None
-        if analyze:
-            record = {}
+        if executable:
+            record = {"timed": True} if analyze else {}
             match_plan(plan, target, allow_bottom=allow_bottom, record=record)
         rendered = render_body_plan(
             plan, record=record, header=f"query plan: {parsed.to_text()}"

@@ -18,7 +18,10 @@ locked region only ever calls unlocked internals.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from repro.obs.metrics import REGISTRY as _METRICS
 
 __all__ = ["RWLock"]
 
@@ -35,9 +38,18 @@ class RWLock:
     # -- shared (read) side ------------------------------------------------------------
     def acquire_read(self) -> None:
         with self._condition:
+            if not (self._writer_active or self._writers_waiting):
+                # Fast path: uncontended — no clock reads, no metric work.
+                self._readers += 1
+                return
+            wait_start = time.perf_counter_ns()
             while self._writer_active or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
+        _METRICS.counter("store.lock.read_contended").inc()
+        _METRICS.histogram("store.lock.read_wait_ns").observe(
+            time.perf_counter_ns() - wait_start
+        )
 
     def release_read(self) -> None:
         with self._condition:
@@ -56,6 +68,11 @@ class RWLock:
     # -- exclusive (write) side --------------------------------------------------------
     def acquire_write(self) -> None:
         with self._condition:
+            if not (self._writer_active or self._readers):
+                # Fast path: uncontended — no clock reads, no metric work.
+                self._writer_active = True
+                return
+            wait_start = time.perf_counter_ns()
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
@@ -63,6 +80,10 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        _METRICS.counter("store.lock.write_contended").inc()
+        _METRICS.histogram("store.lock.write_wait_ns").observe(
+            time.perf_counter_ns() - wait_start
+        )
 
     def release_write(self) -> None:
         with self._condition:

@@ -23,10 +23,13 @@ the engines in :class:`repro.store.database.ObjectDatabase`.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.errors import StoreError
 from repro.core.objects import ComplexObject
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.store.codec import decode_json, encode_json, frame_record, parse_record
 
 __all__ = ["StorageEngine", "MemoryStorage", "FileStorage"]
@@ -153,33 +156,46 @@ class FileStorage(StorageEngine):
     def _replay(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "rb") as handle:
-            raw = handle.read()
-        if raw and not raw.endswith(b"\n"):
-            boundary = raw.rfind(b"\n") + 1
-            self.torn_bytes_dropped = len(raw) - boundary
-            raw = raw[:boundary]
-            with open(self.path, "r+b") as handle:
-                handle.truncate(boundary)
-                handle.flush()
-                os.fsync(handle.fileno())
-        try:
-            text = raw.decode("utf-8")
-        except UnicodeDecodeError as error:
-            raise StoreError(
-                f"corrupt storage log {self.path!r}: not valid UTF-8 ({error})"
-            ) from error
-        for line_number, line in enumerate(text.split("\n"), start=1):
-            line = line.strip()
-            if not line:
-                continue
+        replayed = 0
+        with _trace.span("store.wal.recovery") as span:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+            if raw and not raw.endswith(b"\n"):
+                boundary = raw.rfind(b"\n") + 1
+                self.torn_bytes_dropped = len(raw) - boundary
+                raw = raw[:boundary]
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(boundary)
+                    handle.flush()
+                    os.fsync(handle.fileno())
             try:
-                record = parse_record(line)
-            except StoreError as error:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
                 raise StoreError(
-                    f"corrupt storage log {self.path!r} at line {line_number}: {error}"
+                    f"corrupt storage log {self.path!r}: not valid UTF-8 ({error})"
                 ) from error
-            self._apply_record(record, line_number)
+            for line_number, line in enumerate(text.split("\n"), start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = parse_record(line)
+                except StoreError as error:
+                    raise StoreError(
+                        f"corrupt storage log {self.path!r} at line {line_number}:"
+                        f" {error}"
+                    ) from error
+                self._apply_record(record, line_number)
+                replayed += 1
+            if span.enabled:
+                span.set(
+                    path=self.path,
+                    records=replayed,
+                    torn_bytes=self.torn_bytes_dropped,
+                )
+        _METRICS.counter("store.wal.recoveries").inc()
+        _METRICS.counter("store.wal.records_replayed").inc(replayed)
+        _METRICS.counter("store.wal.torn_bytes_dropped").inc(self.torn_bytes_dropped)
 
     def _apply_record(self, record: dict, line_number: int) -> None:
         operation = record.get("op")
@@ -209,9 +225,20 @@ class FileStorage(StorageEngine):
             )
 
     def _append(self, line: str) -> None:
-        self._handle.write(line)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        start_ns = time.perf_counter_ns()
+        with _trace.span("store.wal.append") as span:
+            if span.enabled:
+                span.set(bytes=len(line))
+            self._handle.write(line)
+            self._handle.flush()
+            with _trace.span("store.wal.fsync"):
+                os.fsync(self._handle.fileno())
+        _METRICS.counter("store.wal.appends").inc()
+        _METRICS.counter("store.wal.bytes").inc(len(line))
+        _METRICS.counter("store.wal.fsyncs").inc()
+        _METRICS.histogram("store.wal.append_ns").observe(
+            time.perf_counter_ns() - start_ns
+        )
 
     # -- StorageEngine interface ----------------------------------------------------
     def read(self, name: str) -> Optional[ComplexObject]:

@@ -1,0 +1,70 @@
+"""Property: observability must never change what a query computes.
+
+Tracing is instrumentation, not semantics — the same query over the same
+database must return the same answer whether tracing is disabled (the no-op
+span path) or enabled (real spans, real metrics).  Pinned over generated
+objects and body shapes, for both the streaming and materializing terminals.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import Session, parse_formula  # noqa: E402
+from repro.core.lattice import union_all  # noqa: E402
+from repro.core.objects import Atom, SetObject, TupleObject  # noqa: E402
+from repro.obs import trace  # noqa: E402
+
+_ATTRIBUTE_NAMES = ("a", "b", "c", "r1", "r2", "name")
+
+BODY_SHAPES = [
+    "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+    "[r1: {[name: X]}]",
+    "[r1: {X}, r2: {X}]",
+    "[r1: {[a: X], [b: Y]}]",
+    "X",
+]
+
+
+def _atoms():
+    return st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Atom),
+        st.sampled_from(["john", "mary", "x", "y"]).map(Atom),
+    )
+
+
+def complex_objects(max_depth: int = 3):
+    if max_depth <= 1:
+        return _atoms()
+    children = complex_objects(max_depth - 1)
+    tuples = st.dictionaries(
+        st.sampled_from(_ATTRIBUTE_NAMES), children, max_size=3
+    ).map(TupleObject)
+    sets = st.lists(children, max_size=3).map(SetObject)
+    return st.one_of(_atoms(), tuples, sets)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    trace.disable()
+
+
+@settings(deadline=None)
+@given(database=complex_objects(), shape=st.sampled_from(BODY_SHAPES))
+def test_traced_query_equals_untraced_query(database, shape):
+    body = parse_formula(shape)
+
+    trace.disable()
+    untraced = Session.over_object(database).query(body)
+
+    trace.enable()
+    try:
+        traced = Session.over_object(database).query(body)
+        streamed = union_all(list(Session.over_object(database).execute(body)))
+    finally:
+        trace.disable()
+
+    assert traced == untraced
+    assert streamed == untraced

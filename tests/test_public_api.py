@@ -66,6 +66,7 @@ REPRO_ALL = [
     "match",
     "obj",
     "objects_equal",
+    "obs",
     "param",
     "parse_formula",
     "parse_object",
