@@ -74,9 +74,12 @@ from repro.core import (
 )
 from repro.core.errors import (
     ComplexObjectError,
+    ConflictError,
     DivergenceError,
+    LockTimeout,
     ParameterError,
     ParseError,
+    QueryTimeout,
     SchemaError,
     StoreError,
 )
@@ -138,6 +141,7 @@ __all__ = [
     "ClosureResult",
     "ComplexObject",
     "ComplexObjectError",
+    "ConflictError",
     "Constant",
     "Cursor",
     "DivergenceError",
@@ -145,12 +149,14 @@ __all__ = [
     "EngineResult",
     "EngineStats",
     "Formula",
+    "LockTimeout",
     "NaiveEngine",
     "Parameter",
     "ParameterError",
     "ParseError",
     "PreparedQuery",
     "Program",
+    "QueryTimeout",
     "ReproError",
     "Rule",
     "RuleSet",

@@ -50,7 +50,14 @@ from collections import OrderedDict, deque
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.builder import obj
-from repro.core.errors import ComplexObjectError, ParameterError, StoreError
+from repro.core.errors import (
+    ComplexObjectError,
+    ConflictError,
+    LockTimeout,
+    ParameterError,
+    QueryTimeout,
+    StoreError,
+)
 from repro.core.lattice import union, union_all
 from repro.core.objects import BOTTOM, ComplexObject, TupleObject
 from repro.calculus.fixpoint import ClosureResult
@@ -58,15 +65,20 @@ from repro.calculus.rules import Rule
 from repro.calculus.substitution import Substitution
 from repro.calculus.terms import Formula, bind_parameters, formula as to_formula
 from repro.engine.stats import EngineStats
+from repro.fault.deadline import Deadline
 from repro.obs import trace as _trace
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.store.database import ObjectDatabase
+from repro.store.retry import RetryPolicy
 from repro.store.storage import FileStorage, MemoryStorage
 
 __all__ = [
+    "ConflictError",
     "Cursor",
+    "LockTimeout",
     "ParameterError",
     "PreparedQuery",
+    "QueryTimeout",
     "ReproError",
     "Session",
     "connect",
@@ -95,8 +107,13 @@ _QUERY_OPTIONS = frozenset(
         "max_iterations",
         "max_nodes",
         "max_depth",
+        "timeout_ms",
     }
 )
+
+#: Options that configure the execution itself rather than closure guards;
+#: everything else in an options dict is forwarded to :meth:`Session.close`.
+_NON_GUARD_OPTIONS = ("against", "on_closure", "allow_bottom", "engine", "timeout_ms")
 
 
 def _check_options(options: Mapping) -> None:
@@ -114,6 +131,7 @@ def connect(
     rules=(),
     default_engine: str = "seminaive",
     slow_query_ms: Optional[float] = None,
+    lock_timeout: Optional[float] = None,
 ) -> "Session":
     """Open a :class:`Session` — the library's front door.
 
@@ -123,12 +141,15 @@ def connect(
     a rule program (source text or :class:`~repro.calculus.rules.Rule`
     objects) for :meth:`Session.close`.  ``slow_query_ms`` arms the
     session's slow-query log (see :meth:`Session.slow_queries`).
+    ``lock_timeout`` (seconds) bounds every store lock acquisition,
+    raising :class:`LockTimeout` instead of hanging past it.
     """
     return Session(
         path,
         rules=rules,
         default_engine=default_engine,
         slow_query_ms=slow_query_ms,
+        lock_timeout=lock_timeout,
     )
 
 
@@ -162,13 +183,14 @@ class Session:
         seed=None,
         default_engine: str = "seminaive",
         slow_query_ms: Optional[float] = None,
+        lock_timeout: Optional[float] = None,
     ):
         if database is not None:
             self._db = database
             self._owns_db = False
         else:
             storage = FileStorage(path) if path is not None else MemoryStorage()
-            self._db = ObjectDatabase(storage)
+            self._db = ObjectDatabase(storage, lock_timeout=lock_timeout)
             self._owns_db = True
         self._default_engine = default_engine
         self._rules: List[Rule] = []
@@ -331,7 +353,12 @@ class Session:
         ``allow_bottom=True``
             the literal Definition 4.2 semantics (keep ⊥ bindings);
         ``engine=`` and guards (``max_iterations=``...)
-            forwarded to :meth:`close` when ``on_closure`` is set.
+            forwarded to :meth:`close` when ``on_closure`` is set;
+        ``timeout_ms=``
+            a cooperative wall-clock deadline over the whole execution
+            (closure evaluation included): past it, the query raises
+            :class:`QueryTimeout` carrying the elapsed time and a partial
+            EXPLAIN of the work already done.
         """
         if isinstance(query, PreparedQuery):
             merged = dict(query.options)
@@ -368,7 +395,9 @@ class Session:
         )
 
     # -- closures -----------------------------------------------------------------------
-    def close(self, *, engine: Optional[str] = None, **guards) -> ClosureResult:
+    def close(
+        self, *, engine: Optional[str] = None, deadline=None, **guards
+    ) -> ClosureResult:
         """The closure of the database under the registered rules (cached).
 
         This is the paper's ``R*(O)`` (Definition 4.6) — *not* a resource
@@ -376,6 +405,13 @@ class Session:
         their ``with`` block).  The result is cached keyed on the session
         :attr:`version`, so repeated calls after unchanged commits are free
         and any store commit invalidates the closure automatically.
+
+        ``deadline`` — a :class:`repro.fault.Deadline` — bounds the
+        evaluation (checked at engine round boundaries; raises
+        :class:`QueryTimeout` with the partial closure attached).  It is
+        deliberately *not* part of the cache key: a closure that completed
+        within any deadline is the correct closure, a cached hit is returned
+        instantly, and a timed-out evaluation caches nothing.
         """
         chosen = engine if engine is not None else self._default_engine
         key = (chosen, tuple(sorted(guards.items())))
@@ -395,7 +431,9 @@ class Session:
         with _trace.span("session.close") as span:
             if span.enabled:
                 span.set(engine=chosen, rules=len(self._rules))
-            result = self.program().evaluate(engine=chosen, **guards)
+            result = self.program().evaluate(
+                engine=chosen, deadline=deadline, **guards
+            )
         _METRICS.histogram("session.closure_ns").observe(
             time.perf_counter_ns() - start_ns
         )
@@ -411,6 +449,33 @@ class Session:
     def close_under(self, rules, **options) -> ClosureResult:
         """One-shot closure under ad-hoc ``rules`` (delegates to the store)."""
         return self._db.close_under(rules, **options)
+
+    # -- transactions -------------------------------------------------------------------
+    def transact(self, work, *, retry: Optional[RetryPolicy] = None):
+        """Run ``work(txn)`` in a transaction, retrying write-write conflicts.
+
+        Opens a fresh :class:`~repro.store.transactions.Transaction`, calls
+        ``work`` with it, and commits on normal return.  A commit rejected
+        with :class:`ConflictError` (another writer won the race) re-runs
+        ``work`` against the new state under ``retry`` — a
+        :class:`~repro.store.retry.RetryPolicy` with jittered exponential
+        backoff, defaulting to the store's bounded default policy — so the
+        classic optimistic read-modify-write loop is one call::
+
+            session.transact(lambda txn: txn.put("n", compute(txn.get("n"))))
+
+        ``work`` must be safe to re-run (it may execute several times) and
+        its last return value is returned.  Exhausting the policy re-raises
+        the final :class:`ConflictError`; any other exception aborts the
+        transaction and propagates immediately.
+        """
+        from repro.store.retry import DEFAULT_POLICY
+
+        def attempt():
+            with self._db.transaction() as txn:
+                return work(txn)
+
+        return (retry or DEFAULT_POLICY).run(attempt)
 
     # -- cache bookkeeping ----------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
@@ -529,14 +594,16 @@ class Session:
             _METRICS.counter("session.plan_cache.evictions").inc()
         return plan
 
-    def _resolve_target(self, bound: Formula, options: dict):
+    def _resolve_target(self, bound: Formula, options: dict, deadline=None):
         """Pick the execution target for a non-store execution.
 
         Returns ``(mode, target)`` where ``mode`` keys the plan cache:
         ``against`` targets one stored object, ``closure`` the (cached)
         closure under the registered rules, and the fallback is the seeded
         whole-database object.  Store-backed whole-database executions take
-        the access-path machinery in :meth:`_execute` instead.
+        the access-path machinery in :meth:`_execute` instead.  ``deadline``
+        bounds an ``on_closure`` evaluation (the closure is usually the
+        expensive part of a closure-backed query).
         """
         against = options.get("against")
         if against is not None:
@@ -548,9 +615,11 @@ class Session:
             guards = {
                 name: value
                 for name, value in options.items()
-                if name not in ("against", "on_closure", "allow_bottom", "engine")
+                if name not in _NON_GUARD_OPTIONS
             }
-            result = self.close(engine=options.get("engine"), **guards)
+            result = self.close(
+                engine=options.get("engine"), deadline=deadline, **guards
+            )
             return ("closure",), result.value
         return ("seed",), self._base_object()
 
@@ -626,18 +695,26 @@ class Session:
             values = self._convert_params(formula, params)
             bound = bind_parameters(formula, values) if values else formula
             allow_bottom = options.get("allow_bottom", False)
+            timeout_ms = options.get("timeout_ms")
+            if timeout_ms is not None and not (
+                isinstance(timeout_ms, (int, float)) and timeout_ms > 0
+            ):
+                raise ReproError(
+                    f"timeout_ms must be a positive number, got {timeout_ms!r}"
+                )
+            deadline = Deadline.start(timeout_ms) if timeout_ms is not None else None
             explain = lambda: self._explain(formula, params, **options)
             on_finish = self._query_finisher(
                 formula, values, run_stats, start_ns, trace_id
             )
             return self._build_cursor(
                 formula, values, bound, allow_bottom, explain, run_stats,
-                on_finish, span, options,
+                on_finish, span, options, deadline,
             )
 
     def _build_cursor(
         self, formula, values, bound, allow_bottom, explain, run_stats,
-        on_finish, span, options,
+        on_finish, span, options, deadline=None,
     ) -> "Cursor":
         from repro.plan import bind_body_plan
 
@@ -671,7 +748,7 @@ class Session:
                     span.set(access="index-short-circuit")
                 return Cursor(
                     None, None, allow_bottom=allow_bottom, explain=explain,
-                    stats=run_stats, on_finish=on_finish,
+                    stats=run_stats, on_finish=on_finish, deadline=deadline,
                 )
             if kind == "pushdown":
                 self._db._bump("query_root_pushdowns")
@@ -689,10 +766,10 @@ class Session:
                 )
             return Cursor(
                 bound_plan, target, allow_bottom=allow_bottom, explain=explain,
-                stats=run_stats, on_finish=on_finish,
+                stats=run_stats, on_finish=on_finish, deadline=deadline,
             )
 
-        mode, target = self._resolve_target(bound, options)
+        mode, target = self._resolve_target(bound, options, deadline=deadline)
         if span.enabled:
             span.set(access=mode[0])
         plan = self._plan_for(formula, mode, target)
@@ -703,6 +780,7 @@ class Session:
             explain=explain,
             stats=run_stats,
             on_finish=on_finish,
+            deadline=deadline,
         )
 
     def _explain(
@@ -828,6 +906,7 @@ class Cursor:
         explain=None,
         stats=None,
         on_finish=None,
+        deadline=None,
     ):
         self._plan = plan
         self._target = target
@@ -835,6 +914,7 @@ class Cursor:
         self._explain_thunk = explain
         self._stats = stats
         self._on_finish = on_finish
+        self._deadline = deadline
         self._finished = False
         self._started = False
         if plan is None:
@@ -843,7 +923,8 @@ class Cursor:
             from repro.plan import iter_match_plan
 
             self._substitutions = iter_match_plan(
-                plan, target, allow_bottom=allow_bottom, stats=stats
+                plan, target, allow_bottom=allow_bottom, stats=stats,
+                deadline=deadline,
             )
         self._seen = set()
         self._matches: List[ComplexObject] = []
@@ -907,6 +988,7 @@ class Cursor:
                     self._target,
                     allow_bottom=self._allow_bottom,
                     stats=self._stats,
+                    deadline=self._deadline,
                 )
                 self._substitutions = iter(())
                 self._started = True

@@ -97,6 +97,7 @@ def close(
     inflationary: bool = True,
     allow_bottom: bool = False,
     apply=None,
+    deadline=None,
 ) -> ClosureResult:
     """Compute the closure of ``database`` under ``rules`` (Definition 4.6).
 
@@ -112,6 +113,11 @@ def close(
     applier (see :mod:`repro.plan`), which computes the same union, so the
     series — and therefore the result and the guard behaviour — is identical.
 
+    ``deadline`` — a :class:`repro.fault.Deadline` — is checked once per
+    iteration; on expiry the evaluation raises
+    :class:`~repro.core.errors.QueryTimeout` with the in-flight partial
+    closure attached.
+
     Raises :class:`~repro.core.errors.DivergenceError` when a guard trips —
     which is the expected outcome for programs with no finite closure, such as
     Example 4.6.
@@ -123,6 +129,11 @@ def close(
 
     current = database
     for iteration in range(1, max_iterations + 1):
+        if deadline is not None:
+            deadline.check(
+                f"fixpoint iteration {iteration} ({len(ruleset)} rules)",
+                partial=current,
+            )
         produced = apply(current)
         next_value = union(current, produced) if inflationary else produced
         if next_value == current:

@@ -118,6 +118,7 @@ class Program:
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         max_nodes: int = DEFAULT_MAX_NODES,
         max_depth=DEFAULT_MAX_DEPTH,
+        deadline=None,
     ) -> ClosureResult:
         """Compute the closure of the seeded database under the rules.
 
@@ -127,7 +128,11 @@ class Program:
         does; ``"seminaive"`` uses the stratified, delta-driven, indexed
         engine.  Both strategies compute the same closure and return an
         :class:`repro.engine.EngineResult` (a :class:`ClosureResult` whose
-        ``stats`` attribute records the work performed).
+        ``stats`` attribute records the work performed).  ``deadline`` — a
+        :class:`repro.fault.Deadline` — bounds the evaluation: the engines
+        check it at round boundaries and raise
+        :class:`~repro.core.errors.QueryTimeout` with the partial closure
+        attached.
         """
         # Deferred import: the calculus package must stay importable without
         # the engine subsystem (which itself builds on the calculus).
@@ -139,6 +144,7 @@ class Program:
             max_iterations=max_iterations,
             max_nodes=max_nodes,
             max_depth=max_depth,
+            deadline=deadline,
         )
         return evaluator.run(self.seed())
 

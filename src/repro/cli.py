@@ -28,7 +28,10 @@ Subcommands
               ``query``/``compact`` run against it, each commit fsynced;
               ``query`` accepts ``--param`` bindings, and ``--explain`` shows
               the plan and the store access path (root-attribute pushdown /
-              index short-circuit).
+              index short-circuit).  ``verify`` is different: it checks the
+              WAL **offline and read-only** (no session, no recovery
+              side-effects), prints an integrity report as JSON, and exits
+              1 when the log is damaged.
 ``stats``     print the process-wide observability snapshot
               (:func:`repro.obs.snapshot`) as one JSON document — engine
               counters, plan-cache traffic, store commits/conflicts, index
@@ -179,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_command.add_argument(
         "action",
-        choices=["put", "get", "delete", "names", "query", "compact"],
+        choices=["put", "get", "delete", "names", "query", "compact", "verify"],
         help="what to do against the store",
     )
     store_command.add_argument(
@@ -223,6 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_store(arguments, stream) -> int:
     from repro.core.errors import StoreError
+
+    if arguments.action == "verify":
+        # Offline, read-only: never opens a session (a mutating open would
+        # truncate torn tails and quarantine corruption — verify reports
+        # the damage instead of repairing it).  Exit 1 when not clean.
+        import json
+
+        from repro.store.verify import verify_wal
+
+        report = verify_wal(arguments.db_path)
+        print(json.dumps(report, indent=2, sort_keys=True), file=stream)
+        return 0 if report["clean"] else 1
 
     session = connect(arguments.db_path)
     try:

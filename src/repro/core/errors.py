@@ -86,3 +86,62 @@ class StoreError(ComplexObjectError, RuntimeError):
 
 class TransactionError(StoreError):
     """A transaction was used after commit/abort or violated isolation rules."""
+
+
+class ConflictError(TransactionError):
+    """A write-write conflict: the object changed since the caller read it.
+
+    Raised by :meth:`repro.store.ObjectDatabase.commit_batch` when the
+    ``expected`` snapshot no longer matches the committed state (first
+    committer wins).  Unlike its :class:`TransactionError` parent — which
+    also covers terminal misuse such as touching a finished transaction —
+    a conflict is *retryable*: re-reading and recomputing is expected to
+    succeed, which is exactly what the CAS helpers and
+    :meth:`repro.api.Session.transact` do (with bounded, jittered backoff).
+    """
+
+
+class LockTimeout(StoreError):
+    """A lock was not acquired within the caller's deadline.
+
+    Raised by :meth:`repro.store.locks.RWLock.acquire_read` /
+    :meth:`~repro.store.locks.RWLock.acquire_write` when called with
+    ``timeout=`` and the lock stayed contended past the deadline — the
+    graceful-degradation alternative to blocking forever.
+    """
+
+
+class QueryTimeout(ComplexObjectError, TimeoutError):
+    """A cooperative query deadline expired before evaluation finished.
+
+    Raised by :meth:`repro.api.Session.execute` (and everything downstream:
+    the plan executor between instance steps, the engines between fixpoint
+    rounds) when called with ``timeout_ms=``.  Carries how far evaluation
+    got: ``elapsed_ms``/``timeout_ms``, the ``partial_explain`` rendering of
+    the in-flight plan or engine state, and — for closure evaluations — the
+    ``partial`` object computed so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_ms=None,
+        elapsed_ms=None,
+        partial_explain=None,
+        partial=None,
+    ):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+        self.elapsed_ms = elapsed_ms
+        self.partial_explain = partial_explain
+        self.partial = partial
+
+
+class InjectedFault(StoreError):
+    """A deterministic fault fired by :mod:`repro.fault` (``mode="fail"``).
+
+    Deliberately a :class:`StoreError`: an injected I/O failure must surface
+    to callers exactly like the real failure it simulates, so tests exercise
+    the same handling paths production errors take.
+    """

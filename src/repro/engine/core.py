@@ -100,12 +100,14 @@ class NaiveEngine:
         max_nodes: int = DEFAULT_MAX_NODES,
         max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
         allow_bottom: bool = False,
+        deadline=None,
     ):
         self.rules = _as_ruleset(rules)
         self.max_iterations = max_iterations
         self.max_nodes = max_nodes
         self.max_depth = max_depth
         self.allow_bottom = allow_bottom
+        self.deadline = deadline
         self._nodes = [compile_rule(rule) for rule in self.rules]
 
     def run(self, database: ComplexObject) -> EngineResult:
@@ -127,6 +129,7 @@ class NaiveEngine:
                 max_depth=self.max_depth,
                 allow_bottom=self.allow_bottom,
                 apply=apply_plans,
+                deadline=self.deadline,
             )
             if span.enabled:
                 span.set(engine=self.name, iterations=result.iterations)
@@ -162,12 +165,14 @@ class SemiNaiveEngine:
         max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
         allow_bottom: bool = False,
         use_indexes: bool = True,
+        deadline=None,
     ):
         self.rules = _as_ruleset(rules)
         self.max_iterations = max_iterations
         self.max_nodes = max_nodes
         self.max_depth = max_depth
         self.allow_bottom = allow_bottom
+        self.deadline = deadline
         # Index narrowing is only sound under the strict semantics (see
         # repro.engine.matching); the literal semantics falls back to scans.
         self.use_indexes = use_indexes and not allow_bottom
@@ -240,6 +245,7 @@ class SemiNaiveEngine:
         stats: EngineStats,
     ) -> ComplexObject:
         """Evaluate a non-recursive stratum: one full application suffices."""
+        self._check_deadline(current)
         with _trace.span("engine.round") as span:
             if span.enabled:
                 span.set(round=1, mode="full")
@@ -314,12 +320,25 @@ class SemiNaiveEngine:
             previous, current = current, next_value
 
     def _charge(self, budget: List[int], partial: ComplexObject) -> None:
+        self._check_deadline(partial)
         budget[0] += 1
         if budget[0] > self.max_iterations:
             raise DivergenceError(
                 f"closure did not converge within {self.max_iterations} iterations",
                 partial=partial,
                 iterations=self.max_iterations,
+            )
+
+    def _check_deadline(self, partial: ComplexObject) -> None:
+        """Round-boundary deadline checkpoint (a no-op without a deadline).
+
+        On expiry the in-flight partial closure travels out on the
+        :class:`QueryTimeout`, so a timed-out ``close_under`` is diagnosable.
+        """
+        if self.deadline is not None:
+            self.deadline.check(
+                f"{self.name} engine round",
+                partial=partial,
             )
 
     # -- rule application ---------------------------------------------------------------

@@ -241,6 +241,18 @@ DECLARED_COUNTERS: Tuple[str, ...] = (
     # locks — contended acquisitions (wait time in the histograms below)
     "store.lock.read_contended",
     "store.lock.write_contended",
+    "store.lock.timeouts",
+    # graceful degradation — conflict retries, quarantined corruption,
+    # self-healed appends, query deadlines (see repro.fault)
+    "store.retries",
+    "store.retry_exhausted",
+    "store.wal.healed_appends",
+    "store.wal.quarantined_records",
+    "store.wal.quarantined_bytes",
+    "session.query_timeouts",
+    # fault injection — faults fired by repro.fault.injection
+    "fault.injected",
+    "fault.delays",
 )
 
 DECLARED_HISTOGRAMS: Tuple[str, ...] = (

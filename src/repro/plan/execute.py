@@ -66,6 +66,7 @@ def match_plan(
     stats=None,
     allow_bottom: bool = False,
     record: Optional[dict] = None,
+    deadline=None,
 ) -> List[Substitution]:
     """Deduplicated derivation-maximal substitutions of the plan's body.
 
@@ -74,7 +75,9 @@ def match_plan(
     :class:`repro.engine.delta.DeltaPosition` — is given).  ``indexes`` is an
     :class:`repro.engine.indexes.IndexStore` (or anything with its
     ``candidates`` method); ``record``, when given, is filled with actual
-    per-leaf cardinalities for EXPLAIN.
+    per-leaf cardinalities for EXPLAIN.  ``deadline`` — a
+    :class:`repro.fault.Deadline` — is checked between plan instance steps,
+    raising :class:`~repro.core.errors.QueryTimeout` when spent.
     """
     if stats is None:
         from repro.engine.stats import EngineStats
@@ -86,6 +89,7 @@ def match_plan(
         indexes=indexes if not allow_bottom else None,
         stats=stats,
         record=record,
+        deadline=deadline,
     )
     # EXPLAIN ANALYZE: a record created with {"timed": True} additionally
     # collects wall time — per scan leaf (``by_leaf_ns``, filled by the
@@ -122,6 +126,7 @@ def iter_match_plan(
     indexes=None,
     stats=None,
     allow_bottom: bool = False,
+    deadline=None,
 ) -> Iterator[Substitution]:
     """Stream the substitutions of :func:`match_plan` lazily, one at a time.
 
@@ -143,9 +148,15 @@ def iter_match_plan(
         indexes=indexes if not allow_bottom else None,
         stats=stats,
         record=None,
+        deadline=deadline,
     )
     seen = set()
     for candidate in executor.stream(plan, target):
+        if deadline is not None:
+            deadline.check(
+                "streaming plan execution",
+                partial_explain=lambda: _timeout_explain(plan, len(seen)),
+            )
         if not allow_bottom and _has_bottom_binding(candidate):
             continue
         if candidate in seen:
@@ -163,6 +174,7 @@ def interpret_plan(
     stats=None,
     indexes=None,
     record: Optional[dict] = None,
+    deadline=None,
 ) -> ComplexObject:
     """``E(O)`` through the plan pipeline: union of the matching instantiations.
 
@@ -175,6 +187,7 @@ def interpret_plan(
         stats=stats,
         allow_bottom=allow_bottom,
         record=record,
+        deadline=deadline,
     )
     instantiations = [substitution.apply(plan.body) for substitution in substitutions]
     return union_all(dict.fromkeys(instantiations))
@@ -213,6 +226,18 @@ def _has_bottom_binding(substitution: Substitution) -> bool:
     return any(value is BOTTOM for _, value in substitution.items())
 
 
+def _timeout_explain(plan: BodyPlan, progress) -> str:
+    """The partial EXPLAIN attached to a :class:`QueryTimeout`.
+
+    Renders the plan with **estimates only** plus a progress line — it must
+    never execute (or re-execute) anything, only describe work already done.
+    """
+    from repro.plan.explain import render_body_plan
+
+    rendered = render_body_plan(plan, header="query plan (timed out)")
+    return f"{rendered}\nprogress: {progress}"
+
+
 class _Instance:
     """One runtime leaf: either fixed alternatives or a scan with witnesses."""
 
@@ -230,14 +255,15 @@ class _Instance:
 class _Executor:
     """One match run; carries restriction, indexes, counters and the recorder."""
 
-    __slots__ = ("position", "delta_elements", "indexes", "stats", "record")
+    __slots__ = ("position", "delta_elements", "indexes", "stats", "record", "deadline")
 
-    def __init__(self, position, delta_elements, indexes, stats, record):
+    def __init__(self, position, delta_elements, indexes, stats, record, deadline=None):
         self.position = position
         self.delta_elements = delta_elements
         self.indexes = indexes
         self.stats = stats
         self.record = record
+        self.deadline = deadline
 
     # -- top level --------------------------------------------------------------------
     def run(self, plan: BodyPlan, target: ComplexObject) -> List[Substitution]:
@@ -259,7 +285,15 @@ class _Executor:
                 self.record["by_leaf_ns"] = leaf_ns
 
         partials: List[Substitution] = [_EMPTY]
-        for instance in instances:
+        for step, instance in enumerate(instances):
+            if self.deadline is not None:
+                self.deadline.check(
+                    "plan execution",
+                    partial_explain=lambda: _timeout_explain(
+                        plan, f"instance {step} of {len(instances)},"
+                        f" {len(partials)} partial substitutions"
+                    ),
+                )
             if leaf_ns is not None:
                 step_start = time.perf_counter_ns()
             if instance.spec is None:

@@ -157,12 +157,19 @@ def frame_record(record: dict) -> str:
     return _canonical(framed) + "\n"
 
 
-def parse_record(line: str) -> dict:
+def parse_record(line: str, *, require_commit_checksum: bool = False) -> dict:
     """Parse one log line back into a record, verifying its checksum.
 
     Records without a checksum field are accepted (the pre-WAL log format
     never carried one); records *with* one must match, else the bytes were
     damaged after the commit and the log is corrupt rather than torn.
+
+    ``require_commit_checksum=True`` tightens the legacy allowance to the
+    legacy record shapes only: a ``commit`` record (which
+    :func:`frame_record` has always checksummed) with no ``crc`` field is
+    rejected as corruption.  The WAL replayer and the offline verifier pass
+    this flag, closing the hole where in-place damage to the checksum
+    field's *name* would demote a commit to an unchecked legacy record.
     """
     try:
         record = json.loads(line)
@@ -177,6 +184,11 @@ def parse_record(line: str) -> dict:
             raise StoreError(
                 f"log record failed its checksum (stored {checksum}, computed {expected})"
             )
+    elif require_commit_checksum and record.get("op") == "commit":
+        raise StoreError(
+            "commit record carries no checksum (commit records are always"
+            " framed with one; the bytes were damaged in place)"
+        )
     return record
 
 

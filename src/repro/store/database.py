@@ -38,7 +38,7 @@ import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import SchemaError, StoreError, TransactionError
+from repro.core.errors import ConflictError, SchemaError, StoreError, TransactionError
 from repro.obs import trace as _trace
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
@@ -51,6 +51,7 @@ from repro.schema.types import SchemaType
 from repro.store.index import PathIndex
 from repro.store.locks import RWLock
 from repro.store.paths import Path
+from repro.store.retry import DEFAULT_POLICY, RetryPolicy
 from repro.store.storage import MemoryStorage, StorageEngine
 from repro.store.transactions import Transaction
 
@@ -60,11 +61,18 @@ __all__ = ["ObjectDatabase"]
 class ObjectDatabase:
     """A named collection of complex objects with queries, indexes and updates."""
 
-    def __init__(self, storage: Optional[StorageEngine] = None):
+    def __init__(
+        self,
+        storage: Optional[StorageEngine] = None,
+        *,
+        lock_timeout: Optional[float] = None,
+    ):
         self._storage = storage if storage is not None else MemoryStorage()
         self._indexes: Dict[str, PathIndex] = {}
         self._schemas: Dict[str, SchemaType] = {}
-        self._lock = RWLock()
+        # ``lock_timeout`` (seconds) bounds every internal lock acquisition:
+        # past it, reads and commits raise LockTimeout instead of hanging.
+        self._lock = RWLock(default_timeout=lock_timeout)
         self._version = 0  # bumped once per committed batch
         # Access-path counters: how often queries/finds used an index or
         # pushdown instead of scanning the snapshot (see ``access_stats``).
@@ -163,7 +171,8 @@ class ObjectDatabase:
            batch rejects the whole batch before anything is touched;
         2. ``expected`` (a snapshot of name → previously-observed value,
            ``None`` for absent) is validated against the current state — any
-           mismatch raises :class:`TransactionError` and applies nothing
+           mismatch raises :class:`ConflictError` (the retryable
+           :class:`TransactionError` subclass) and applies nothing
            (first committer wins);
         3. storage applies the batch as one unit (one WAL append + fsync for
            file-backed engines) and the path indexes are maintained.
@@ -192,7 +201,7 @@ class ObjectDatabase:
                         for name, before in expected.items():
                             current = self._storage.read(name)
                             if current is not before and current != before:
-                                raise TransactionError(
+                                raise ConflictError(
                                     f"write-write conflict on {name!r}: the object"
                                     " changed since the transaction first read it"
                                 )
@@ -595,58 +604,101 @@ class ObjectDatabase:
     # The single-statement helpers below are read-modify-write: they re-read
     # the current object, recompute, and commit with the read value as the
     # expected state.  A concurrent commit in the window shows up as a
-    # conflict, and the helper simply recomputes from the new state — so no
-    # concurrent update is ever silently lost, and the retry always makes
-    # global progress (a conflict means somebody else committed).
+    # ConflictError, and the helper recomputes from the new state — so no
+    # concurrent update is ever silently lost, and every retry makes global
+    # progress (a conflict means somebody else committed).  The loop is
+    # bounded by a RetryPolicy (jittered exponential backoff); exhaustion
+    # re-raises the conflict instead of spinning forever.
 
-    def _read_modify_write(self, name: str, compute, *, require: bool) -> ComplexObject:
-        while True:
+    def _read_modify_write(
+        self,
+        name: str,
+        compute,
+        *,
+        require: bool,
+        retry: Optional[RetryPolicy] = None,
+    ) -> ComplexObject:
+        def attempt() -> ComplexObject:
             current = self._require(name) if require else self.get(name, default=None)
             result = compute(BOTTOM if current is None else current)
-            try:
-                self.commit_batch({name: result}, expected={name: current})
-            except TransactionError:
-                continue
+            self.commit_batch({name: result}, expected={name: current})
             return result
 
-    def update(self, name: str, path: Union[Path, str], value) -> ComplexObject:
+        return (retry or DEFAULT_POLICY).run(attempt)
+
+    def update(
+        self,
+        name: str,
+        path: Union[Path, str],
+        value,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> ComplexObject:
         """Assign ``value`` at ``path`` inside the object stored under ``name``."""
         from repro.core.builder import obj
         from repro.store.updates import assign_path
 
         converted = obj(value)
         return self._read_modify_write(
-            name, lambda current: assign_path(current, path, converted), require=True
+            name,
+            lambda current: assign_path(current, path, converted),
+            require=True,
+            retry=retry,
         )
 
-    def insert(self, name: str, path: Union[Path, str], element) -> ComplexObject:
+    def insert(
+        self,
+        name: str,
+        path: Union[Path, str],
+        element,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> ComplexObject:
         """Insert ``element`` into the set at ``path`` inside ``name``."""
         from repro.core.builder import obj
         from repro.store.updates import insert_element
 
         converted = obj(element)
         return self._read_modify_write(
-            name, lambda current: insert_element(current, path, converted), require=True
+            name,
+            lambda current: insert_element(current, path, converted),
+            require=True,
+            retry=retry,
         )
 
-    def discard(self, name: str, path: Union[Path, str], element) -> ComplexObject:
+    def discard(
+        self,
+        name: str,
+        path: Union[Path, str],
+        element,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> ComplexObject:
         """Remove ``element`` from the set at ``path`` inside ``name``."""
         from repro.core.builder import obj
         from repro.store.updates import remove_element
 
         converted = obj(element)
         return self._read_modify_write(
-            name, lambda current: remove_element(current, path, converted), require=True
+            name,
+            lambda current: remove_element(current, path, converted),
+            require=True,
+            retry=retry,
         )
 
-    def merge(self, name: str, other) -> ComplexObject:
+    def merge(
+        self, name: str, other, *, retry: Optional[RetryPolicy] = None
+    ) -> ComplexObject:
         """Lattice-union ``other`` into the object stored under ``name``."""
         from repro.core.builder import obj
         from repro.store.updates import merge_object
 
         converted = obj(other)
         return self._read_modify_write(
-            name, lambda current: merge_object(current, converted), require=False
+            name,
+            lambda current: merge_object(current, converted),
+            require=False,
+            retry=retry,
         )
 
     # -- transactions ----------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""Bounded retry with jittered exponential backoff for optimistic commits.
+
+The store's concurrency control is optimistic: a commit validates its read
+snapshot under the write lock and raises
+:class:`~repro.core.errors.ConflictError` when another writer got there
+first (first-committer-wins).  Conflicts are *expected* under contention and
+the correct response is to re-read and retry — but an unbounded ``while
+True`` loop turns a livelock into a hang.  :class:`RetryPolicy` makes the
+loop explicit and bounded:
+
+* capped attempt count — exhaustion re-raises the last ``ConflictError``
+  (and bumps ``store.retry_exhausted``) instead of spinning forever;
+* jittered exponential backoff between attempts (full jitter: each delay is
+  uniform in ``[0, min(max_delay, base · 2^n)]``), the standard cure for
+  retry convoys where every loser wakes at once and collides again;
+* deterministic when seeded — the sweep and the tests pass ``seed=`` so a
+  contended schedule replays exactly.
+
+Used by :meth:`ObjectDatabase.update` / ``insert`` (the CAS helpers) and by
+:meth:`repro.api.Session.transact`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.core.errors import ConflictError
+from repro.obs.metrics import REGISTRY as _METRICS
+
+__all__ = ["RetryPolicy", "DEFAULT_POLICY"]
+
+_T = TypeVar("_T")
+
+
+class RetryPolicy:
+    """How many times to retry a conflicted commit, and how long to wait."""
+
+    __slots__ = ("max_attempts", "base_delay_ms", "max_delay_ms", "jitter", "_rng", "_sleep")
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 32,
+        base_delay_ms: float = 0.2,
+        max_delay_ms: float = 50.0,
+        jitter: bool = True,
+        seed: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_ms < 0 or max_delay_ms < 0:
+            raise ValueError("delays must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay_ms = base_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    def delay_ms(self, attempt: int) -> float:
+        """The backoff before retry number ``attempt`` (1-based)."""
+        bound = min(self.max_delay_ms, self.base_delay_ms * (2 ** (attempt - 1)))
+        if self.jitter:
+            return self._rng.uniform(0.0, bound)
+        return bound
+
+    def run(self, attempt: Callable[[], _T]) -> _T:
+        """Call ``attempt`` until it returns, retrying :class:`ConflictError`.
+
+        Any other exception — including every non-conflict
+        :class:`~repro.core.errors.StoreError` — propagates immediately:
+        only the retryable conflict signal is retried.
+        """
+        for attempt_number in range(1, self.max_attempts + 1):
+            try:
+                return attempt()
+            except ConflictError:
+                if attempt_number == self.max_attempts:
+                    _METRICS.counter("store.retry_exhausted").inc()
+                    raise
+                _METRICS.counter("store.retries").inc()
+                delay = self.delay_ms(attempt_number)
+                if delay > 0:
+                    self._sleep(delay / 1000.0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RetryPolicy attempts={self.max_attempts}"
+            f" base={self.base_delay_ms}ms max={self.max_delay_ms}ms"
+            f" jitter={self.jitter}>"
+        )
+
+
+#: The policy the CAS helpers use when the caller does not supply one.
+DEFAULT_POLICY = RetryPolicy()

@@ -28,11 +28,13 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.errors import StoreError
 from repro.core.objects import ComplexObject
+from repro.fault import injection as _fault
+from repro.fault.injection import InjectedFault, SimulatedCrash
 from repro.obs import trace as _trace
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.store.codec import decode_json, encode_json, frame_record, parse_record
 
-__all__ = ["StorageEngine", "MemoryStorage", "FileStorage"]
+__all__ = ["StorageEngine", "MemoryStorage", "FileStorage", "decode_record_changes"]
 
 
 class StorageEngine:
@@ -125,6 +127,38 @@ class MemoryStorage(StorageEngine):
         return tuple(sorted(self._objects))
 
 
+def decode_record_changes(record: dict, line_number: int) -> Dict[str, Optional[ComplexObject]]:
+    """Decode one replayed WAL record into a ``name → object-or-None`` map.
+
+    Raises :class:`StoreError` for any shape problem **before** anything is
+    applied, so a malformed record can never be half-replayed.  Shared by
+    :class:`FileStorage` recovery and the offline verifier
+    (:mod:`repro.store.verify`).
+    """
+    operation = record.get("op")
+    if operation == "commit":
+        writes = record.get("writes")
+        if not isinstance(writes, dict):
+            raise StoreError(
+                f"corrupt commit record (missing writes) at line {line_number}"
+            )
+        changes: Dict[str, Optional[ComplexObject]] = {}
+        for name, data in writes.items():
+            changes[name] = None if data is None else decode_json(data)
+        return changes
+    # Legacy per-change records from the pre-WAL format.
+    name = record.get("name")
+    if not isinstance(name, str):
+        raise StoreError(f"corrupt record (missing name) at line {line_number}")
+    if operation == "write":
+        return {name: decode_json(record.get("data"))}
+    if operation == "delete":
+        return {name: None}
+    raise StoreError(
+        f"corrupt record (unknown op {operation!r}) at line {line_number}"
+    )
+
+
 class FileStorage(StorageEngine):
     """A write-ahead-log storage engine over one append-only file.
 
@@ -139,18 +173,45 @@ class FileStorage(StorageEngine):
       happened mid-append, the commit never completed, and the tail is
       truncated off so the next append starts at a record boundary;
     * a newline-terminated record that fails to parse, fails its checksum, or
-      has an unknown shape is **corruption** and raises :class:`StoreError` —
-      completed commits are never silently dropped.
+      has an unknown shape is **corruption**.  The default
+      (``on_corruption="quarantine"``) moves the corrupt record *and
+      everything after it* — replaying past a gap would break prefix
+      consistency — verbatim into the ``<path>.quarantine`` sidecar,
+      truncates the log back to the last intact record, and reports the
+      damage on :attr:`quarantined_records` / :attr:`quarantined_bytes` (and
+      the ``store.wal.quarantined_*`` metrics), so the store opens with the
+      longest intact prefix and no committed byte is silently discarded.
+      ``on_corruption="raise"`` keeps the strict historical behaviour:
+      :class:`StoreError` on open, nothing touched.
+
+    Failed appends self-heal: if the append or its fsync raises (a real
+    ``OSError`` or an injected fault), the log is truncated back to the
+    record boundary before the attempt so a partial line can never corrupt
+    the commits that follow; only when that healing itself fails does the
+    engine mark itself failed and reject further writes.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, *, on_corruption: str = "quarantine"):
+        if on_corruption not in ("quarantine", "raise"):
+            raise StoreError(
+                f"unknown on_corruption mode {on_corruption!r}"
+                " (expected 'quarantine' or 'raise')"
+            )
         self.path = path
+        self.quarantine_path = path + ".quarantine"
+        self._on_corruption = on_corruption
         self._objects: Dict[str, ComplexObject] = {}
         self.torn_bytes_dropped = 0
+        self.quarantined_records = 0
+        self.quarantined_bytes = 0
+        self._failed = False
+        if _fault.ACTIVE is not None:
+            _fault.fire("store.wal.open")
         self._replay()
         # Open for appending only after a successful replay so a corrupt log
         # is reported before any new data is appended to it.
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = os.path.getsize(self.path)
 
     # -- log handling ------------------------------------------------------------
     def _replay(self) -> None:
@@ -168,77 +229,143 @@ class FileStorage(StorageEngine):
                     handle.truncate(boundary)
                     handle.flush()
                     os.fsync(handle.fileno())
-            try:
-                text = raw.decode("utf-8")
-            except UnicodeDecodeError as error:
-                raise StoreError(
-                    f"corrupt storage log {self.path!r}: not valid UTF-8 ({error})"
-                ) from error
-            for line_number, line in enumerate(text.split("\n"), start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = parse_record(line)
-                except StoreError as error:
-                    raise StoreError(
-                        f"corrupt storage log {self.path!r} at line {line_number}:"
-                        f" {error}"
-                    ) from error
-                self._apply_record(record, line_number)
-                replayed += 1
+            offset = 0
+            # ``raw`` is empty or newline-terminated here, so the final split
+            # element is always the empty tail.
+            for line_number, raw_line in enumerate(raw.split(b"\n")[:-1], start=1):
+                if raw_line.strip():
+                    try:
+                        record = parse_record(
+                            raw_line.decode("utf-8"), require_commit_checksum=True
+                        )
+                        changes = decode_record_changes(record, line_number)
+                    except UnicodeDecodeError as error:
+                        self._corrupt(
+                            raw, offset, line_number, f"not valid UTF-8 ({error})"
+                        )
+                        break
+                    except StoreError as error:
+                        self._corrupt(raw, offset, line_number, str(error))
+                        break
+                    for name, value in changes.items():
+                        if value is None:
+                            self._objects.pop(name, None)
+                        else:
+                            self._objects[name] = value
+                    replayed += 1
+                offset += len(raw_line) + 1
             if span.enabled:
                 span.set(
                     path=self.path,
                     records=replayed,
                     torn_bytes=self.torn_bytes_dropped,
+                    quarantined_records=self.quarantined_records,
                 )
         _METRICS.counter("store.wal.recoveries").inc()
         _METRICS.counter("store.wal.records_replayed").inc(replayed)
         _METRICS.counter("store.wal.torn_bytes_dropped").inc(self.torn_bytes_dropped)
 
-    def _apply_record(self, record: dict, line_number: int) -> None:
-        operation = record.get("op")
-        if operation == "commit":
-            writes = record.get("writes")
-            if not isinstance(writes, dict):
-                raise StoreError(
-                    f"corrupt commit record (missing writes) at line {line_number}"
-                )
-            for name, data in writes.items():
-                if data is None:
-                    self._objects.pop(name, None)
-                else:
-                    self._objects[name] = decode_json(data)
-            return
-        # Legacy per-change records from the pre-WAL format.
-        name = record.get("name")
-        if not isinstance(name, str):
-            raise StoreError(f"corrupt record (missing name) at line {line_number}")
-        if operation == "write":
-            self._objects[name] = decode_json(record.get("data"))
-        elif operation == "delete":
-            self._objects.pop(name, None)
-        else:
-            raise StoreError(
-                f"corrupt record (unknown op {operation!r}) at line {line_number}"
-            )
+    def _corrupt(self, raw: bytes, offset: int, line_number: int, reason: str) -> None:
+        """Handle a corrupt record at ``offset``: quarantine or raise."""
+        message = f"corrupt storage log {self.path!r} at line {line_number}: {reason}"
+        if self._on_corruption == "raise":
+            raise StoreError(message)
+        blob = raw[offset:]
+        records = sum(1 for chunk in blob.split(b"\n") if chunk.strip())
+        with open(self.quarantine_path, "ab") as sidecar:
+            sidecar.write(blob)
+            sidecar.flush()
+            os.fsync(sidecar.fileno())
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.quarantined_records = records
+        self.quarantined_bytes = len(blob)
+        _METRICS.counter("store.wal.quarantined_records").inc(records)
+        _METRICS.counter("store.wal.quarantined_bytes").inc(len(blob))
 
     def _append(self, line: str) -> None:
+        if self._failed:
+            raise StoreError(
+                f"storage {self.path!r} is failed: an earlier append error"
+                " could not be healed; reopen the store to recover"
+            )
         start_ns = time.perf_counter_ns()
+        base = self._size
         with _trace.span("store.wal.append") as span:
             if span.enabled:
                 span.set(bytes=len(line))
-            self._handle.write(line)
-            self._handle.flush()
-            with _trace.span("store.wal.fsync"):
-                os.fsync(self._handle.fileno())
+            try:
+                torn = None
+                if _fault.ACTIVE is not None:
+                    torn = _fault.fire("store.wal.append", size=len(line))
+                if torn is not None:
+                    # A torn-write directive: persist only a prefix, then
+                    # fail (healed below) or crash (left torn on disk for
+                    # recovery to truncate, exactly like a real power cut).
+                    prefix = line[: torn.prefix]
+                    self._handle.write(prefix)
+                    self._handle.flush()
+                    self._size = base + len(prefix)
+                    if torn.crash:
+                        raise SimulatedCrash(
+                            f"simulated crash mid-append to {self.path!r}"
+                        )
+                    raise InjectedFault(
+                        f"injected partial append to {self.path!r}"
+                    )
+                self._handle.write(line)
+                self._handle.flush()
+                self._size = base + len(line)
+                with _trace.span("store.wal.fsync"):
+                    if _fault.ACTIVE is not None:
+                        _fault.fire("store.wal.fsync")
+                    os.fsync(self._handle.fileno())
+            except SimulatedCrash:
+                # The simulated process death: leave the bytes exactly where
+                # they landed (recovery handles the torn state) and poison
+                # this instance — a dead process appends nothing further.
+                self._failed = True
+                raise
+            except InjectedFault:
+                self._heal(base)
+                raise
+            except OSError as error:
+                self._heal(base)
+                raise StoreError(
+                    f"write-ahead log append to {self.path!r} failed: {error}"
+                ) from error
         _METRICS.counter("store.wal.appends").inc()
         _METRICS.counter("store.wal.bytes").inc(len(line))
         _METRICS.counter("store.wal.fsyncs").inc()
         _METRICS.histogram("store.wal.append_ns").observe(
             time.perf_counter_ns() - start_ns
         )
+
+    def _heal(self, offset: int) -> None:
+        """Truncate a failed append back to the last good record boundary.
+
+        Best-effort: when the healing itself fails the engine marks itself
+        failed and rejects further appends (the on-disk prefix up to
+        ``offset`` stays valid either way — recovery re-truncates a torn
+        tail on the next open).
+        """
+        _METRICS.counter("store.wal.healed_appends").inc()
+        try:
+            self._handle.flush()
+        except OSError:
+            # Unknown bytes may still sit in the text-wrapper buffer; they
+            # could leak into a later write, so stop accepting appends.
+            self._failed = True
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._size = offset
+        except OSError:
+            self._failed = True
 
     # -- StorageEngine interface ----------------------------------------------------
     def read(self, name: str) -> Optional[ComplexObject]:
@@ -288,6 +415,9 @@ class FileStorage(StorageEngine):
         self._handle.close()
         os.replace(temporary, self.path)
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = os.path.getsize(self.path)
+        # A full rewrite from the in-memory state recovers a failed engine.
+        self._failed = False
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -12,9 +12,14 @@ Reads inside the transaction see its own uncommitted writes first, then the
 snapshot, which is remembered lazily per name.  At commit time the *whole*
 snapshot (read set as well as write set) is validated against the current
 state under the write lock: if any object the transaction observed has since
-changed, the commit is rejected (first committer wins).  Because stored
-objects are hash-consed (PR 2), "changed" means semantically changed —
-rewriting an identical object underneath the transaction is not a conflict.
+changed, the commit is rejected with
+:class:`~repro.core.errors.ConflictError` — the retryable
+:class:`TransactionError` subclass that
+:class:`~repro.store.retry.RetryPolicy` and
+:meth:`repro.api.Session.transact` catch to re-run the work (first committer
+wins).  Because stored objects are hash-consed (PR 2), "changed" means
+semantically changed — rewriting an identical object underneath the
+transaction is not a conflict.
 
 A failed commit deactivates the transaction, so the context-manager exit
 never aborts a transaction that already tried to commit (no double-abort).
@@ -103,8 +108,8 @@ class Transaction:
         snapshot validation and the apply step happen together under the
         database's write lock (see :meth:`ObjectDatabase.commit_batch`).  Any
         failure — :class:`~repro.core.errors.SchemaError`, a write-write
-        conflict, a storage error — leaves the database untouched and this
-        transaction inactive.
+        :class:`~repro.core.errors.ConflictError`, a storage error — leaves
+        the database untouched and this transaction inactive.
         """
         self._require_active()
         # Deactivate first: whatever happens below, this transaction is over,

@@ -17,6 +17,7 @@ REPRO_ALL = [
     "ClosureResult",
     "ComplexObject",
     "ComplexObjectError",
+    "ConflictError",
     "Constant",
     "Cursor",
     "DivergenceError",
@@ -24,12 +25,14 @@ REPRO_ALL = [
     "EngineResult",
     "EngineStats",
     "Formula",
+    "LockTimeout",
     "NaiveEngine",
     "Parameter",
     "ParameterError",
     "ParseError",
     "PreparedQuery",
     "Program",
+    "QueryTimeout",
     "ReproError",
     "Rule",
     "RuleSet",
@@ -84,9 +87,12 @@ REPRO_ALL = [
 ]
 
 API_ALL = [
+    "ConflictError",
     "Cursor",
+    "LockTimeout",
     "ParameterError",
     "PreparedQuery",
+    "QueryTimeout",
     "ReproError",
     "Session",
     "connect",

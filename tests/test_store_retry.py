@@ -1,0 +1,213 @@
+"""Unit tests for bounded conflict retry (repro.store.retry) and its wiring."""
+
+import threading
+
+import pytest
+
+import repro
+from repro.core.builder import obj
+from repro.core.errors import ConflictError, StoreError, TransactionError
+from repro.store.database import ObjectDatabase
+from repro.store.retry import DEFAULT_POLICY, RetryPolicy
+
+
+class TestPolicyShape:
+    def test_defaults_are_bounded(self):
+        assert DEFAULT_POLICY.max_attempts == 32
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=-1)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay_ms=1.0, max_delay_ms=8.0, jitter=False)
+        assert [policy.delay_ms(n) for n in range(1, 6)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        first = RetryPolicy(base_delay_ms=4.0, seed=11)
+        second = RetryPolicy(base_delay_ms=4.0, seed=11)
+        delays = [first.delay_ms(1) for _ in range(10)]
+        assert delays == [second.delay_ms(1) for _ in range(10)]
+        assert all(0.0 <= delay <= 4.0 for delay in delays)
+
+
+class TestRun:
+    @staticmethod
+    def _flaky(conflicts):
+        """An attempt that raises ConflictError ``conflicts`` times first."""
+        state = {"calls": 0}
+
+        def attempt():
+            state["calls"] += 1
+            if state["calls"] <= conflicts:
+                raise ConflictError("busy")
+            return state["calls"]
+
+        return attempt, state
+
+    def test_retries_conflicts_until_success(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=5, seed=0, sleep=slept.append)
+        attempt, state = self._flaky(3)
+        assert policy.run(attempt) == 4
+        assert state["calls"] == 4
+        assert len(slept) == 3
+
+    def test_exhaustion_reraises_the_conflict(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=0, sleep=lambda _: None)
+        attempt, state = self._flaky(99)
+        with pytest.raises(ConflictError):
+            policy.run(attempt)
+        assert state["calls"] == 3
+
+    def test_other_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        state = {"calls": 0}
+
+        def attempt():
+            state["calls"] += 1
+            raise StoreError("not retryable")
+
+        with pytest.raises(StoreError):
+            policy.run(attempt)
+        assert state["calls"] == 1
+
+    def test_zero_delay_skips_sleeping(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_ms=0.0, jitter=False, sleep=slept.append
+        )
+        attempt, _ = self._flaky(2)
+        policy.run(attempt)
+        assert slept == []
+
+    def test_metrics_count_retries_and_exhaustion(self):
+        from repro.obs.metrics import REGISTRY
+
+        retries_before = REGISTRY.counter("store.retries").value
+        exhausted_before = REGISTRY.counter("store.retry_exhausted").value
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=0, sleep=lambda _: None)
+        attempt, _ = self._flaky(2)
+        policy.run(attempt)
+        assert REGISTRY.counter("store.retries").value == retries_before + 2
+        with pytest.raises(ConflictError):
+            policy.run(self._flaky(99)[0])
+        assert REGISTRY.counter("store.retry_exhausted").value == exhausted_before + 1
+
+
+class TestConflictErrorType:
+    def test_is_a_transaction_error(self):
+        # Existing ``except TransactionError`` handlers keep catching it.
+        assert issubclass(ConflictError, TransactionError)
+
+    def test_write_write_conflict_raises_conflict_error(self):
+        database = ObjectDatabase()
+        database.put("n", obj(0))
+        stale = database.get("n")
+        database.put("n", obj(1))
+        with pytest.raises(ConflictError):
+            database.commit_batch({"n": obj(2)}, expected={"n": stale})
+
+
+class TestCasHelpersRetry:
+    def test_cas_update_retries_through_interference(self):
+        database = ObjectDatabase()
+        database.put("doc", obj({"v": 0}))
+        original = database.commit_batch
+        state = {"interfered": False}
+
+        def interfering(changes, *, expected=None):
+            # First CAS commit attempt: sneak a competing commit in between
+            # the helper's read and its commit, forcing a ConflictError.
+            if not state["interfered"] and expected:
+                state["interfered"] = True
+                original({"doc": obj({"v": 100})})
+            return original(changes, expected=expected)
+
+        database.commit_batch = interfering
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=0, sleep=lambda _: None)
+        database.update("doc", "v", 7, retry=policy)
+        assert state["interfered"]
+        assert database.get("doc") == obj({"v": 7})
+
+    def test_cas_exhaustion_surfaces_the_conflict(self):
+        database = ObjectDatabase()
+        database.put("doc", obj({"v": 0}))
+        original = database.commit_batch
+        tick = iter(range(100, 1000))
+
+        def always_interfering(changes, *, expected=None):
+            if expected:
+                # A fresh value every time, so each retry re-conflicts.
+                original({"doc": obj({"v": next(tick)})})
+            return original(changes, expected=expected)
+
+        database.commit_batch = always_interfering
+        policy = RetryPolicy(max_attempts=2, base_delay_ms=0, sleep=lambda _: None)
+        with pytest.raises(ConflictError):
+            database.update("doc", "v", 7, retry=policy)
+
+
+class TestSessionTransact:
+    def test_transact_commits_and_returns(self):
+        with repro.connect() as session:
+            session.put("n", obj(1))
+            result = session.transact(lambda txn: txn.put("n", obj(2)) or "done")
+            assert result == "done"
+            assert session.get("n") == obj(2)
+
+    def test_transact_reruns_work_on_conflict(self):
+        with repro.connect() as session:
+            session.put("counter", obj(0))
+            state = {"runs": 0}
+
+            def work(txn):
+                state["runs"] += 1
+                current = txn.get("counter")
+                if state["runs"] == 1:
+                    # A competing writer lands between our read and commit.
+                    session.put("counter", obj(50))
+                txn.put("counter", obj(current.value + 1))
+
+            policy = RetryPolicy(max_attempts=5, base_delay_ms=0, sleep=lambda _: None)
+            session.transact(work, retry=policy)
+            assert state["runs"] == 2
+            assert session.get("counter") == obj(51)
+
+    def test_transact_aborts_on_non_conflict_error(self):
+        with repro.connect() as session:
+            session.put("n", obj(1))
+
+            def work(txn):
+                txn.put("n", obj(2))
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError):
+                session.transact(work)
+            assert session.get("n") == obj(1)
+
+    def test_concurrent_transact_increments_never_lose_updates(self):
+        with repro.connect() as session:
+            session.put("counter", obj(0))
+            errors = []
+
+            def bump():
+                try:
+                    for _ in range(10):
+                        session.transact(
+                            lambda txn: txn.put(
+                                "counter", obj(txn.get("counter").value + 1)
+                            )
+                        )
+                except Exception as error:  # pragma: no cover - fail loudly
+                    errors.append(error)
+
+            threads = [threading.Thread(target=bump) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert session.get("counter") == obj(40)

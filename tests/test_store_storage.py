@@ -88,21 +88,25 @@ class TestFileStorage:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("{not json}\n")
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
 
     def test_unknown_record_op_reported(self, tmp_path):
         path = str(tmp_path / "store.jsonl")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"op": "truncate", "name": "x"}) + "\n")
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
 
     def test_missing_name_reported(self, tmp_path):
         path = str(tmp_path / "store.jsonl")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"op": "write", "data": {"k": "B"}}) + "\n")
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
+
+    def test_bad_corruption_mode_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            FileStorage(str(tmp_path / "store.jsonl"), on_corruption="ignore")
 
     def test_blank_lines_tolerated(self, tmp_path):
         path = str(tmp_path / "store.jsonl")
@@ -188,14 +192,14 @@ class TestWriteAheadLog:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(damaged)
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
 
     def test_commit_record_without_writes_is_corruption(self, tmp_path):
         path = str(tmp_path / "store.wal")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"op": "commit"}) + "\n")
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
 
     def test_legacy_per_change_records_still_replay(self, tmp_path):
         from repro.store.codec import encode_json
@@ -215,7 +219,7 @@ class TestWriteAheadLog:
         with open(path, "wb") as handle:
             handle.write(b'{"op":"commit","writes":{}}\xff\xfe\n')
         with pytest.raises(StoreError):
-            FileStorage(path)
+            FileStorage(path, on_corruption="raise")
 
     def test_delete_of_absent_name_appends_nothing(self, tmp_path):
         path = str(tmp_path / "store.wal")
@@ -271,3 +275,68 @@ class TestWriteAheadLog:
         assert os.path.getsize(path) == size
         assert storage.read("keep") == obj(1)
         storage.close()
+
+
+class TestQuarantineRecovery:
+    """The default corruption policy: quarantine the damage, keep the prefix."""
+
+    @staticmethod
+    def _write_log_with_mid_corruption(path):
+        """Three committed records with the middle one damaged in place.
+
+        Returns the size of the intact prefix (the first record).
+        """
+        storage = FileStorage(path)
+        storage.write("a", obj(1))
+        prefix_size = os.path.getsize(path)
+        storage.write("b", obj(2))
+        storage.write("c", obj(3))
+        storage.close()
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        lines[1] = lines[1].replace(b'"commit"', b'"COMMIT"')
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        return prefix_size
+
+    def test_mid_log_corruption_is_quarantined_by_default(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        prefix_size = self._write_log_with_mid_corruption(path)
+        recovered = FileStorage(path)
+        # Only the intact prefix survives: replaying past a gap would break
+        # prefix consistency, so the damaged record AND its suffix move out.
+        assert recovered.names() == ("a",)
+        assert recovered.read("a") == obj(1)
+        assert recovered.quarantined_records == 2
+        assert recovered.quarantined_bytes > 0
+        assert os.path.getsize(path) == prefix_size
+        assert os.path.exists(recovered.quarantine_path)
+        assert os.path.getsize(recovered.quarantine_path) == recovered.quarantined_bytes
+        # The store stays writable after quarantine.
+        recovered.write("after", obj(9))
+        recovered.close()
+        reloaded = FileStorage(path)
+        assert reloaded.names() == ("a", "after")
+        assert reloaded.quarantined_records == 0
+        reloaded.close()
+
+    def test_raise_mode_leaves_the_log_untouched(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        self._write_log_with_mid_corruption(path)
+        size = os.path.getsize(path)
+        with pytest.raises(StoreError):
+            FileStorage(path, on_corruption="raise")
+        assert os.path.getsize(path) == size
+        assert not os.path.exists(path + ".quarantine")
+
+    def test_clean_log_has_no_quarantine(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        storage = FileStorage(path)
+        storage.write("x", obj(1))
+        storage.close()
+        reloaded = FileStorage(path)
+        assert reloaded.quarantined_records == 0
+        assert reloaded.quarantined_bytes == 0
+        assert not os.path.exists(reloaded.quarantine_path)
+        reloaded.close()
