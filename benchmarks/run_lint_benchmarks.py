@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Emit the machine-readable static-analysis benchmark record ``BENCH_lint.json``.
+
+Companion to the other ``run_*_benchmarks.py`` records: this script pins the
+**cost contract** of :mod:`repro.lint` —
+
+* **prepare overhead** — the headline guarantee: ``Session.prepare`` with the
+  default ``lint="warn"`` must stay within **10%** of ``lint="off"`` on a
+  representative prepared query.  Prepare-time lint deliberately skips
+  database statistics (no store walk) and shares the plan compiler's memo
+  with execution, so the marginal cost is the formula/plan walks alone;
+* **whole-program analysis** — ``lint_rules`` over a recursive program with
+  a query (dead-rule reachability included), reported for information;
+* **source round trip** — ``lint_source`` (parse + analyze), reported for
+  information;
+* **report rendering** — ``render()`` and ``to_json()`` of a warning-bearing
+  report, reported for information.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_lint_benchmarks.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks repetitions so CI can exercise the harness in seconds;
+in that mode the prepare ceiling is recorded but not enforced.  In full mode
+the script exits non-zero when ``lint="warn"`` preparation runs more than
+10% slower than ``lint="off"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: The enforced ceiling: prepare(lint="warn") wall time over prepare(lint="off").
+MAX_PREPARE_OVERHEAD = 1.10
+
+_PROGRAM = """\
+[parent: {[child: mary, of: john]}].
+[parent: {[child: john, of: peter]}].
+[ancestor: {[desc: C, anc: P]}] :- [parent: {[child: C, of: P]}].
+[ancestor: {[desc: C, anc: A]}] :-
+    [parent: {[child: C, of: P]}, ancestor: {[desc: P, anc: A]}].
+[sibling: {[a: A, b: B]}] :- [parent: {[child: A, of: P], [child: B, of: P]}].
+"""
+
+_QUERY = "[a_r: {[x: $x, y: Y]}, b_r: {[y: Y, z: Z]}]"
+
+
+def _median_ns(func, *, repeats: int, number: int) -> float:
+    """Median wall time of one call, measured over ``repeats`` batches."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(number):
+            func()
+        samples.append((time.perf_counter_ns() - start) / number)
+    return statistics.median(samples)
+
+
+def _build_session():
+    from repro import Session, parse_object
+
+    database = parse_object(
+        "[a_r: {" + ", ".join(
+            f"[x: {i}, y: y{i % 4}]" for i in range(16)
+        ) + "},"
+        " b_r: {" + ", ".join(
+            f"[y: y{i % 4}, z: z{i}]" for i in range(16)
+        ) + "}]"
+    )
+    return Session.over_object(database)
+
+
+def run_suite(smoke: bool) -> dict:
+    from repro.lint import lint_rules, lint_source
+    from repro.parser import parse_formula, parse_program
+
+    repeats = 3 if smoke else 9
+    number = 20 if smoke else 400
+    results = {}
+
+    # -- the enforced comparison: prepare(lint="warn") vs prepare(lint="off") ----------
+    session = _build_session()
+    session.prepare(_QUERY)  # warm the parse/compile memos before measuring
+
+    off_ns = _median_ns(
+        lambda: session.prepare(_QUERY, lint="off"),
+        repeats=repeats,
+        number=number,
+    )
+    warn_ns = _median_ns(
+        lambda: session.prepare(_QUERY, lint="warn"),
+        repeats=repeats,
+        number=number,
+    )
+    session.close()
+    results["prepare_lint_off"] = {"median_ns": round(off_ns, 1)}
+    results["prepare_lint_warn"] = {"median_ns": round(warn_ns, 1)}
+
+    # -- informational: whole-program analysis -----------------------------------------
+    rules = parse_program(_PROGRAM)
+    query = parse_formula("[ancestor: {[desc: mary, anc: W]}]")
+    program_ns = _median_ns(
+        lambda: lint_rules(rules, query=query),
+        repeats=repeats,
+        number=5 if smoke else 50,
+    )
+    results["lint_rules_with_query"] = {"median_ns": round(program_ns, 1)}
+
+    source_ns = _median_ns(
+        lambda: lint_source(_PROGRAM),
+        repeats=repeats,
+        number=5 if smoke else 50,
+    )
+    results["lint_source"] = {"median_ns": round(source_ns, 1)}
+
+    # -- informational: report rendering -----------------------------------------------
+    report = lint_source(
+        "[pairs: {[l: X, r: Y]}] :- [xs: {X}, ys: {Y}].\n"
+        "[out: {Z}] :- [in: {Z, Lonely}].\n"
+    )
+    render_ns = _median_ns(
+        report.render, repeats=repeats, number=20 if smoke else 500
+    )
+    to_json_ns = _median_ns(
+        lambda: json.dumps(report.to_json()),
+        repeats=repeats,
+        number=20 if smoke else 500,
+    )
+    results["report_render"] = {"median_ns": round(render_ns, 1)}
+    results["report_to_json"] = {"median_ns": round(to_json_ns, 1)}
+
+    return {
+        "schema": "bench-lint/v1",
+        "mode": "smoke" if smoke else "full",
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "max_prepare_overhead": MAX_PREPARE_OVERHEAD,
+        "benchmarks": results,
+        "overheads": {
+            "prepare_warn_vs_off": round(warn_ns / off_ns, 4),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI mode, no enforcement")
+    parser.add_argument("--output", default="BENCH_lint.json", help="where to write the record")
+    args = parser.parse_args(argv)
+
+    record = run_suite(args.smoke)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, stats in sorted(record["benchmarks"].items()):
+        print(f"{name:24s} {stats['median_ns']:>14,.0f} ns")
+    for name, ratio in sorted(record["overheads"].items()):
+        print(f"overhead {name:22s} {ratio:>8.3f}x")
+    print(f"wrote {args.output}")
+
+    if not args.smoke:
+        overhead = record["overheads"]["prepare_warn_vs_off"]
+        if overhead > MAX_PREPARE_OVERHEAD:
+            print(
+                f"FAIL: prepare(lint='warn') costs {overhead:.3f}x"
+                f" prepare(lint='off') (ceiling {MAX_PREPARE_OVERHEAD:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

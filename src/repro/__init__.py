@@ -120,6 +120,12 @@ from repro.parser import parse_formula, parse_object, parse_program, parse_rule,
 # ``repro.obs.snapshot()``) rather than flattened into the top level.
 from repro import obs
 
+# The static analyzer: whole-program diagnostics with stable RLxxx codes
+# (``repro.lint.lint_source(...)``, ``repro lint`` on the command line).
+# A namespace, like ``repro.obs``.
+from repro import lint
+from repro.core.errors import LintError, UnboundVariableError
+
 # The session facade is the public query surface; ``interpret`` is its
 # deprecation shim for the pre-session free function (same semantics, one
 # execution path).
@@ -149,6 +155,7 @@ __all__ = [
     "EngineResult",
     "EngineStats",
     "Formula",
+    "LintError",
     "LockTimeout",
     "NaiveEngine",
     "Parameter",
@@ -171,6 +178,7 @@ __all__ = [
     "Top",
     "TupleFormula",
     "TupleObject",
+    "UnboundVariableError",
     "Variable",
     "apply_rule",
     "apply_rules",
@@ -190,6 +198,7 @@ __all__ = [
     "is_interned",
     "is_reduced",
     "is_subobject",
+    "lint",
     "match",
     "obj",
     "objects_equal",

@@ -53,6 +53,7 @@ from repro.core.builder import obj
 from repro.core.errors import (
     ComplexObjectError,
     ConflictError,
+    LintError,
     LockTimeout,
     ParameterError,
     QueryTimeout,
@@ -75,6 +76,7 @@ from repro.store.storage import FileStorage, MemoryStorage
 __all__ = [
     "ConflictError",
     "Cursor",
+    "LintError",
     "LockTimeout",
     "ParameterError",
     "PreparedQuery",
@@ -203,6 +205,11 @@ class Session:
         self._seed_version = 0
         self._plan_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
         self._closure_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        # Prepare-time lint reports, keyed on (source text, rules version):
+        # reports are frozen, so re-preparing the same query re-attaches the
+        # same diagnostics without re-running the analysis (the ≤1.10x
+        # prepare budget benchmarks/run_lint_benchmarks.py pins).
+        self._lint_reports: "OrderedDict[Tuple, object]" = OrderedDict()
         self._counters = {
             "plan_hits": 0,
             "plan_misses": 0,
@@ -317,7 +324,7 @@ class Session:
         return Program(self._rules, database=self._base_object())
 
     # -- the query pipeline --------------------------------------------------------------
-    def prepare(self, query, **options) -> "PreparedQuery":
+    def prepare(self, query, *, lint: str = "warn", **options) -> "PreparedQuery":
         """Parse and remember a query for repeated execution.
 
         ``query`` is source text in the paper's notation (which may contain
@@ -325,18 +332,50 @@ class Session:
         the execution target for every run of the prepared query — the same
         keywords :meth:`execute` takes (``against=``, ``on_closure=``,
         ``allow_bottom=``, ``engine=`` and closure guards).
+
+        ``lint`` runs :func:`repro.lint.lint_query` over the parsed formula:
+        ``"warn"`` (the default) attaches the findings as
+        :attr:`PreparedQuery.diagnostics`; ``"strict"`` additionally raises
+        :class:`LintError` when the report has errors *or* warnings;
+        ``"off"`` skips the analysis.  The pass is statistics-free (no walk
+        of the database), so preparing stays cheap.
         """
+        if lint not in ("warn", "strict", "off"):
+            raise ReproError(
+                f'lint must be "warn", "strict" or "off", got {lint!r}'
+            )
         with _trace.span("session.prepare") as span:
             _check_options(options)
             parsed = self._as_formula(query)
             source = query if isinstance(query, str) else parsed.to_text()
+            diagnostics: Tuple = ()
+            if lint != "off":
+                lint_key = (source, self._rules_version)
+                report = self._lint_reports.get(lint_key)
+                if report is None:
+                    from repro.lint import lint_query
+
+                    report = lint_query(parsed, rules=self._rules)
+                    if len(self._lint_reports) >= 256:
+                        self._lint_reports.popitem(last=False)
+                    self._lint_reports[lint_key] = report
+                diagnostics = report.diagnostics
+                if lint == "strict" and not report.ok(strict=True):
+                    raise LintError(
+                        f"query failed strict lint ({report.errors} error(s),"
+                        f" {report.warnings} warning(s)): {source}",
+                        diagnostics,
+                    )
             self._counters["prepared_queries"] += 1
             _METRICS.counter("session.prepared_queries").inc()
             trace_id = None
             if span.enabled:
                 span.set(query=source, parameters=len(parsed.parameters()))
                 trace_id = span.trace_id
-            return PreparedQuery(self, source, parsed, options, trace_id=trace_id)
+            return PreparedQuery(
+                self, source, parsed, options,
+                trace_id=trace_id, diagnostics=diagnostics,
+            )
 
     def execute(self, query, params: Optional[Mapping] = None, **options) -> "Cursor":
         """Run a query and return a streaming :class:`Cursor` over its matches.
@@ -822,7 +861,7 @@ class PreparedQuery:
     substitution, no parsing and no optimization.
     """
 
-    __slots__ = ("_session", "source", "formula", "options", "trace_id")
+    __slots__ = ("_session", "source", "formula", "options", "trace_id", "diagnostics")
 
     def __init__(
         self,
@@ -831,6 +870,7 @@ class PreparedQuery:
         formula: Formula,
         options: dict,
         trace_id: Optional[str] = None,
+        diagnostics: Tuple = (),
     ):
         self._session = session
         self.source = source
@@ -840,6 +880,9 @@ class PreparedQuery:
         #: query (``None`` when tracing was off); every execution span links
         #: back to it as ``prepared_from``.
         self.trace_id = trace_id
+        #: The :class:`repro.lint.Diagnostic` findings of the prepare-time
+        #: lint pass (empty under ``lint="off"`` or a clean query).
+        self.diagnostics = tuple(diagnostics)
 
     @property
     def parameters(self):

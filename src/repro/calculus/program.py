@@ -33,7 +33,6 @@ from repro.calculus.fixpoint import (
     ClosureResult,
 )
 from repro.calculus.rules import Rule, RuleSet
-from repro.calculus.safety import RuleDiagnostics, analyze_rules
 from repro.calculus.terms import Formula, formula as to_formula
 
 __all__ = ["Program"]
@@ -101,9 +100,37 @@ class Program:
         return Program(combined, database=self._database)
 
     # -- analysis -----------------------------------------------------------------
-    def diagnostics(self) -> List[RuleDiagnostics]:
-        """Static diagnostics for every rule (see :mod:`repro.calculus.safety`)."""
+    def diagnostics(self):
+        """Legacy per-rule diagnostics (see :mod:`repro.lint.legacy`).
+
+        Kept for compatibility; :meth:`lint` is the full analyzer with
+        stable codes, locations and plan-level findings.
+        """
+        from repro.lint.legacy import analyze_rules
+
         return analyze_rules(list(self._facts) + list(self._rules))
+
+    def lint(self, query=None, *, statistics=None, use_database: bool = True):
+        """Run the whole-program static analyzer (:mod:`repro.lint`).
+
+        ``query`` (a formula or source text) enables the dead-rule analysis
+        relative to that query's reads.  ``statistics`` overrides the cost
+        model; by default the seeded database is profiled (disable with
+        ``use_database=False``) so plan-level findings (RL3xx) see real
+        cardinalities.  Returns a :class:`repro.lint.LintReport`.
+        """
+        from repro.lint import lint_rules
+        from repro.plan import DatabaseStatistics
+
+        if statistics is None and use_database:
+            seed = self.seed()
+            if seed is not BOTTOM:
+                statistics = DatabaseStatistics.collect(seed)
+        return lint_rules(
+            list(self._facts) + list(self._rules),
+            query=query,
+            statistics=statistics,
+        )
 
     # -- evaluation ---------------------------------------------------------------
     def seed(self) -> ComplexObject:

@@ -31,11 +31,17 @@ __all__ = ["Rule", "RuleSet", "apply_rule", "apply_rules"]
 
 
 class Rule:
-    """A rule ``head :- body`` (Definition 4.3), or a fact when ``body`` is ``None``."""
+    """A rule ``head :- body`` (Definition 4.3), or a fact when ``body`` is ``None``.
 
-    __slots__ = ("head", "body", "name")
+    ``span`` is optional source-location metadata (a
+    :class:`repro.parser.SourceSpan`) attached by the parser so static
+    diagnostics (:mod:`repro.lint`) can point at the offending clause; like
+    ``name`` it does not participate in equality or hashing.
+    """
 
-    def __init__(self, head, body=None, name: Optional[str] = None):
+    __slots__ = ("head", "body", "name", "span")
+
+    def __init__(self, head, body=None, name: Optional[str] = None, span=None):
         head_formula = to_formula(head)
         body_formula = None if body is None else to_formula(body)
         if body_formula is not None:
@@ -52,6 +58,7 @@ class Rule:
         object.__setattr__(self, "head", head_formula)
         object.__setattr__(self, "body", body_formula)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "span", span)
 
     def __setattr__(self, key, value):
         raise AttributeError("Rule is immutable")

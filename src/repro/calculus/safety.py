@@ -1,125 +1,34 @@
-"""Static diagnostics over rules.
+"""Deprecated: static diagnostics moved to :mod:`repro.lint`.
 
-The paper's calculus is deliberately liberal: any pair of well-formed formulae
-with the variable-containment condition is a rule, and some rule sets have no
-finite closure (Example 4.6).  This module provides cheap static analyses a
-database system would run before evaluating a program:
+This module predates the whole-program analyzer.  Its exact API —
+:class:`RuleDiagnostics`, :func:`analyze_rule`, :func:`analyze_rules`,
+:func:`variable_depths` — lives on, unchanged, in :mod:`repro.lint.legacy`
+(semantics preserved verbatim, including the top-level-attribute-overlap
+recursion proxy).  New code should call :func:`repro.lint.lint_rules` /
+:func:`repro.lint.lint_source`, which add stable ``RLxxx`` codes,
+severities, clause locations, fix hints, graph-based recursion detection,
+formula satisfiability checks and plan-level cost findings.
 
-* **containment check** — head variables must occur in the body (already
-  enforced by :class:`~repro.calculus.rules.Rule`, re-exposed here as a
-  diagnostic for parsed programs);
-* **depth growth** — for every variable, compare its maximum nesting depth in
-  the head with its maximum nesting depth in the body.  A recursive rule that
-  re-embeds a variable more deeply than it found it (as ``[list: {[head: 1,
-  tail: X]}] :- [list: {X}]`` does) can grow objects without bound and is
-  flagged ``may_diverge``;
-* **recursion detection** — whether the head and body overlap on top-level
-  attributes, a proxy for "the rule feeds itself".
-
-These are heuristics (divergence is undecidable in general); they never block
-evaluation, they only warn.
+Importing this module emits a :class:`DeprecationWarning`; it will be
+removed once nothing imports it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+import warnings
 
-from repro.calculus.rules import Rule, RuleSet
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.lint.legacy import (
+    RuleDiagnostics,
+    analyze_rule,
+    analyze_rules,
+    variable_depths,
+)
 
 __all__ = ["RuleDiagnostics", "analyze_rule", "analyze_rules", "variable_depths"]
 
-
-@dataclass(frozen=True)
-class RuleDiagnostics:
-    """Result of analysing a single rule."""
-
-    rule: Rule
-    is_fact: bool
-    recursive: bool
-    deepening_variables: Tuple[str, ...]
-    may_diverge: bool
-    warnings: Tuple[str, ...] = field(default_factory=tuple)
-
-
-def variable_depths(formula: Formula) -> Dict[str, int]:
-    """Map each variable to its maximum nesting depth within ``formula``.
-
-    The formula itself is at depth 0; each tuple attribute or set element adds
-    one level.
-    """
-    depths: Dict[str, int] = {}
-
-    def visit(node: Formula, level: int) -> None:
-        if isinstance(node, Variable):
-            depths[node.name] = max(depths.get(node.name, 0), level)
-        elif isinstance(node, TupleFormula):
-            for _, child in node.items():
-                visit(child, level + 1)
-        elif isinstance(node, SetFormula):
-            for child in node.elements:
-                visit(child, level + 1)
-        elif isinstance(node, Constant):
-            return
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"not a formula: {node!r}")
-
-    visit(formula, 0)
-    return depths
-
-
-def _top_level_attributes(formula: Formula) -> Tuple[str, ...]:
-    if isinstance(formula, TupleFormula):
-        return formula.attributes
-    return ()
-
-
-def analyze_rule(rule: Rule) -> RuleDiagnostics:
-    """Analyse one rule and report structural warnings."""
-    if rule.is_fact:
-        return RuleDiagnostics(
-            rule=rule,
-            is_fact=True,
-            recursive=False,
-            deepening_variables=(),
-            may_diverge=False,
-        )
-    head_depths = variable_depths(rule.head)
-    body_depths = variable_depths(rule.body)
-    deepening = tuple(
-        sorted(
-            name
-            for name, head_depth in head_depths.items()
-            if head_depth > body_depths.get(name, head_depth)
-        )
-    )
-    head_attrs = set(_top_level_attributes(rule.head))
-    body_attrs = set(_top_level_attributes(rule.body))
-    recursive = bool(head_attrs & body_attrs)
-    may_diverge = recursive and bool(deepening)
-    warnings: List[str] = []
-    if deepening:
-        grown = ", ".join(deepening)
-        warnings.append(
-            f"variables re-embedded more deeply in the head than in the body: {grown}"
-        )
-    if may_diverge:
-        warnings.append(
-            "rule is recursive and grows structure; its closure may not exist (cf. Example 4.6)"
-        )
-    return RuleDiagnostics(
-        rule=rule,
-        is_fact=False,
-        recursive=recursive,
-        deepening_variables=deepening,
-        may_diverge=may_diverge,
-        warnings=tuple(warnings),
-    )
-
-
-def analyze_rules(rules: Sequence[Rule]) -> List[RuleDiagnostics]:
-    """Analyse every rule of a rule set or sequence."""
-    if isinstance(rules, RuleSet):
-        rules = list(rules)
-    return [analyze_rule(rule) for rule in rules]
+warnings.warn(
+    "repro.calculus.safety is deprecated; use repro.lint (lint_rules/"
+    "lint_source for the full analyzer, repro.lint.legacy for this exact API)",
+    DeprecationWarning,
+    stacklevel=2,
+)

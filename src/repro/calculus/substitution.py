@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
-from repro.core.errors import ParameterError
+from repro.core.errors import ParameterError, UnboundVariableError
 from repro.core.lattice import intersection
 from repro.core.objects import BOTTOM, ComplexObject, SetObject, TupleObject
 from repro.calculus.terms import (
@@ -153,7 +153,11 @@ def instantiate(
         value = substitution.get(target.name)
         if value is None:
             if default is None:
-                raise KeyError(f"unbound variable {target.name}")
+                # UnboundVariableError keeps KeyError as a base class, so
+                # pre-existing ``except KeyError`` handlers still work while
+                # the one-error-surface contract (everything derives from
+                # ReproError) holds for session callers.
+                raise UnboundVariableError(target.name)
             return default
         return value
     if isinstance(target, TupleFormula):

@@ -21,7 +21,16 @@ Subcommands
               indexed engine of :mod:`repro.engine`; ``--stats`` prints its
               instrumentation record (including per-rule full-matching
               fallbacks); ``--explain`` prints the optimized program plan.
-``check``     run the static rule diagnostics over a program.
+``lint``      whole-program static analysis (:mod:`repro.lint`): stable
+              ``RLxxx`` diagnostics with severities, clause locations and fix
+              hints, the stratification report, and plan-level findings.
+              ``--db-path``/``--database`` profile a store or object so the
+              cost model sees real cardinalities; ``--query`` anchors the
+              dead-rule analysis; ``--format json`` emits the machine
+              report; ``--suppress RLxxx`` (or ``N:RLxxx``) drops findings.
+              Exits 1 on errors — and on warnings too under ``--strict``.
+``check``     run the legacy static rule diagnostics over a program
+              (superseded by ``lint``).
 ``store``     operate on a durable, WAL-backed object store: ``--db-path``
               opens (or creates) a :class:`repro.store.storage.FileStorage`
               log, and the actions ``put``/``get``/``delete``/``names``/
@@ -65,7 +74,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.api import ReproError, Session, connect
-from repro.calculus.safety import analyze_rules
+from repro.lint.legacy import analyze_rules
 from repro.core.errors import ParameterError
 from repro.core.objects import BOTTOM, ComplexObject
 from repro.engine import ENGINES
@@ -169,7 +178,43 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of the closure",
     )
 
-    check_command = subcommands.add_parser("check", help="static diagnostics over a program")
+    lint_command = subcommands.add_parser(
+        "lint", help="whole-program static analysis with stable RLxxx diagnostics"
+    )
+    lint_command.add_argument("program", help="program text, or @file")
+    lint_command.add_argument(
+        "--query", "-q", help="formula whose reads anchor the dead-rule analysis"
+    )
+    lint_command.add_argument(
+        "--database",
+        "-d",
+        help="object text, or @file: profiled so plan-level findings see real"
+        " cardinalities",
+    )
+    lint_command.add_argument(
+        "--db-path",
+        help="WAL-backed store to profile instead of an inline --database",
+    )
+    lint_command.add_argument(
+        "--strict", action="store_true", help="exit 1 on warnings, not just errors"
+    )
+    lint_command.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_command.add_argument(
+        "--suppress",
+        action="append",
+        metavar="RLxxx|N:RLxxx",
+        help="drop a diagnostic code everywhere, or for clause N only"
+        " (repeatable)",
+    )
+
+    check_command = subcommands.add_parser(
+        "check", help="legacy static diagnostics over a program (see: lint)"
+    )
     check_command.add_argument("program", help="program text, or @file")
 
     store_command = subcommands.add_parser(
@@ -222,6 +267,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _run_lint(arguments, stream) -> int:
+    """The ``lint`` subcommand: analyze, render, and pick the exit code."""
+    import json
+
+    from repro.lint import lint_source
+    from repro.plan.statistics import DatabaseStatistics
+
+    statistics = None
+    if arguments.db_path:
+        session = connect(arguments.db_path)
+        try:
+            statistics = DatabaseStatistics.collect(session.database.as_object())
+        finally:
+            session.shutdown()
+    elif arguments.database:
+        statistics = DatabaseStatistics.collect(_load_database(arguments.database))
+    query = (
+        parse_formula(_read_source(arguments.query)) if arguments.query else None
+    )
+    report = lint_source(
+        _read_source(arguments.program), query=query, statistics=statistics
+    )
+    if arguments.suppress:
+        report = report.suppress(arguments.suppress)
+    if arguments.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True), file=stream)
+    else:
+        print(report.render(), file=stream)
+    return 0 if report.ok(strict=arguments.strict) else 1
 
 
 def _run_store(arguments, stream) -> int:
@@ -366,6 +442,8 @@ def main(argv: Optional[Sequence[str]] = None, output=None) -> int:
                 print(pretty(answer), file=stream)
             else:
                 print(pretty(result.value), file=stream)
+        elif arguments.command == "lint":
+            return _run_lint(arguments, stream)
         elif arguments.command == "store":
             return _run_store(arguments, stream)
         elif arguments.command == "stats":

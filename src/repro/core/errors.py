@@ -72,6 +72,40 @@ class ParameterError(ComplexObjectError, ValueError):
     """
 
 
+class UnboundVariableError(ComplexObjectError, KeyError):
+    """Instantiation reached a variable with no binding and no default.
+
+    Raised by :func:`repro.calculus.substitution.instantiate` when called
+    with ``default=None`` (the strict mode) and the substitution does not
+    bind a variable of the target formula.  Derives from :class:`KeyError`
+    for compatibility with callers that predate the one-error-surface
+    contract of :mod:`repro.api`; carries the variable name on ``name``.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr the argument; a diagnostic sentence is
+        # more useful to callers formatting the one-line error surface.
+        return f"unbound variable {self.name}"
+
+
+class LintError(ComplexObjectError, ValueError):
+    """Static analysis rejected a program or query (``lint="strict"``).
+
+    Raised by :meth:`repro.api.Session.prepare` under ``lint="strict"``
+    when :mod:`repro.lint` reports error- or warning-severity diagnostics.
+    The offending :class:`repro.lint.Diagnostic` records are attached on
+    ``diagnostics`` so callers can render or filter them.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class SchemaError(ComplexObjectError, ValueError):
     """An object or formula does not conform to a declared type."""
 

@@ -37,7 +37,14 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.calculus.rules import Rule
-from repro.calculus.terms import Constant, Formula, SetFormula, TupleFormula, Variable
+from repro.calculus.terms import (
+    Constant,
+    Formula,
+    Parameter,
+    SetFormula,
+    TupleFormula,
+    Variable,
+)
 from repro.store.paths import Path
 
 __all__ = ["Stratum", "DependencyGraph", "access_paths"]
@@ -64,7 +71,9 @@ def access_paths(formula: Formula) -> FrozenSet[Path]:
             for name, child in node.items():
                 walk(child, path.child(name))
             return
-        if isinstance(node, (SetFormula, Variable, Constant)):
+        if isinstance(node, (SetFormula, Variable, Constant, Parameter)):
+            # A parameter is a constant slot whose value arrives at execute
+            # time: like a constant, it carries content below its path.
             found.add(path)
             return
         raise TypeError(f"not a formula: {node!r}")

@@ -28,6 +28,7 @@ from repro.fault.deadline import Deadline
 from repro.fault.injection import (
     FaultInjector,
     FaultSpec,
+    KNOWN_POINTS,
     SimulatedCrash,
     active_injector,
     fire,
@@ -43,6 +44,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "KNOWN_POINTS",
     "LockTimeout",
     "QueryTimeout",
     "SimulatedCrash",

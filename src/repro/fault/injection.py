@@ -55,6 +55,7 @@ __all__ = [
     "ACTIVE",
     "FaultInjector",
     "FaultSpec",
+    "KNOWN_POINTS",
     "SimulatedCrash",
     "TornWrite",
     "active_injector",
@@ -67,6 +68,21 @@ __all__ = [
 ]
 
 _MODES = ("fail", "crash", "torn", "torn_crash", "delay")
+
+#: Every injection point wired through the code base.  The registry is the
+#: single source of truth the invariant checker (``tools/check_invariants.py``)
+#: holds ``fire("...")`` call sites against: a point fired in code but absent
+#: here (or vice versa) fails the static-analysis CI job, so the sweep
+#: harness and the docs can never drift from the real fault surface.
+KNOWN_POINTS = frozenset(
+    {
+        "store.wal.open",
+        "store.wal.append",
+        "store.wal.fsync",
+        "store.lock.read_held",
+        "store.lock.write_held",
+    }
+)
 
 
 class SimulatedCrash(BaseException):

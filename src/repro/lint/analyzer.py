@@ -1,0 +1,193 @@
+"""The analyzer entry points: whole programs, prepared queries, source text.
+
+``lint_rules`` is the core pass: it builds the engine's dependency graph
+once, runs the program-graph analyses (:mod:`repro.lint.graph`), the
+formula-level analyses (:mod:`repro.lint.formulas`) and the plan-level
+analyses (:mod:`repro.lint.plans`) over every clause, and assembles a
+deterministic :class:`~repro.lint.diagnostics.LintReport`.  ``lint_source``
+parses first (so findings carry line/column spans), ``lint_query`` analyses
+one query formula against an optional program, and ``check_containment`` is
+the RL001 helper for head/body pairs that have not been admitted as a
+:class:`~repro.calculus.rules.Rule` yet (the Rule constructor rejects them).
+
+Every run publishes its outcome to the observability registry:
+``lint.runs``, ``lint.errors``, ``lint.warnings`` and a per-code counter
+``lint.code.RLxxx`` — so a fleet's metrics show *which* diagnostics its
+programs trip, not just how many.
+
+Linting never mutates: rules, formulae and statistics are read-only inputs,
+and identical inputs produce identical reports (the property tests pin
+both).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.calculus.rules import Rule, RuleSet
+from repro.calculus.terms import Formula, formula as to_formula
+from repro.engine.dependency import DependencyGraph
+from repro.lint.diagnostics import Diagnostic, LintReport, finish_report
+from repro.lint.formulas import check_query_formula, check_rule_formulas
+from repro.lint.graph import (
+    check_dead_rules,
+    check_divergence,
+    check_duplicates,
+    strata_summary,
+)
+from repro.lint.plans import check_query_plan, check_rule_plans
+from repro.obs import metrics
+from repro.plan.statistics import DatabaseStatistics
+
+__all__ = ["lint_rules", "lint_source", "lint_query", "check_containment"]
+
+
+def _publish(report: LintReport) -> None:
+    """Fold one report into the process-wide metrics registry."""
+    registry = metrics.REGISTRY
+    registry.counter("lint.runs").inc()
+    if report.errors:
+        registry.counter("lint.errors").inc(report.errors)
+    if report.warnings:
+        registry.counter("lint.warnings").inc(report.warnings)
+    for code, count in report.by_code().items():
+        registry.counter(f"lint.code.{code}").inc(count)
+
+
+def _as_rules(rules: Union[RuleSet, Sequence[Rule]]) -> Sequence[Rule]:
+    if isinstance(rules, RuleSet):
+        return rules.rules
+    return tuple(rules)
+
+
+def lint_rules(
+    rules: Union[RuleSet, Sequence[Rule]],
+    *,
+    query: Optional[Union[Formula, str]] = None,
+    statistics: Optional[DatabaseStatistics] = None,
+) -> LintReport:
+    """Run every analysis over a program; the main entry point.
+
+    ``query`` (a formula, or source text to parse) enables the dead-rule
+    analysis and extends the plan checks to the query itself;
+    ``statistics`` (a :class:`~repro.plan.statistics.DatabaseStatistics`)
+    enables the RL303 missing-path check and cost-accurate orderings.
+    """
+    program = _as_rules(rules)
+    if isinstance(query, str):
+        from repro.parser import parse_formula
+
+        query = parse_formula(query)
+
+    graph = DependencyGraph(program)
+    findings: List[Diagnostic] = []
+    findings.extend(check_divergence(program, graph))
+    findings.extend(check_duplicates(program))
+    findings.extend(check_dead_rules(program, graph, query))
+    for index, rule in enumerate(program):
+        findings.extend(check_rule_formulas(rule, index))
+    findings.extend(check_rule_plans(program, statistics))
+    if query is not None:
+        findings.extend(check_query_formula(query))
+        findings.extend(check_query_plan(query, statistics, program))
+
+    facts = sum(1 for rule in program if rule.is_fact)
+    report = finish_report(
+        findings,
+        strata=strata_summary(graph),
+        rules=len(program) - facts,
+        facts=facts,
+    )
+    _publish(report)
+    return report
+
+
+def lint_source(
+    text: str,
+    *,
+    query: Optional[Union[Formula, str]] = None,
+    statistics: Optional[DatabaseStatistics] = None,
+) -> LintReport:
+    """Parse program source and lint it; findings carry line/column spans."""
+    from repro.parser import parse_program
+
+    return lint_rules(parse_program(text), query=query, statistics=statistics)
+
+
+def lint_query(
+    query: Union[Formula, str],
+    *,
+    statistics: Optional[DatabaseStatistics] = None,
+    rules: Union[RuleSet, Sequence[Rule]] = (),
+) -> LintReport:
+    """Lint one query formula (what ``Session.prepare(lint=...)`` runs).
+
+    Only the query's own findings are reported; ``rules`` (the session's
+    program, if any) merely keep RL303 from flagging derived paths that
+    exist once the program has run.
+    """
+    if isinstance(query, str):
+        from repro.parser import parse_formula
+
+        query = parse_formula(query)
+    if statistics is None:
+        # The statistics-free pass is a pure function of (query, rules) —
+        # exactly what every ``Session.prepare`` runs — so its report is
+        # memoized the same way ``compile_body`` memoizes plans (reports are
+        # frozen, so sharing one instance is safe).  Metrics are published
+        # on the miss only: a cache hit is not a new analysis run.  This is
+        # what keeps the default ``lint="warn"`` within the ≤1.10x prepare
+        # budget ``benchmarks/run_lint_benchmarks.py`` pins.
+        return _query_report(query, tuple(_as_rules(rules)))
+    findings = list(check_query_formula(query))
+    findings.extend(check_query_plan(query, statistics, _as_rules(rules)))
+    report = finish_report(findings)
+    _publish(report)
+    return report
+
+
+@lru_cache(maxsize=512)
+def _query_report(query: Formula, rules: Tuple[Rule, ...]) -> LintReport:
+    findings = list(check_query_formula(query))
+    findings.extend(check_query_plan(query, None, rules))
+    report = finish_report(findings)
+    _publish(report)
+    return report
+
+
+def _containment_formula(value) -> Formula:
+    """Coerce a head/body argument: source text parses, the rest converts."""
+    if isinstance(value, str):
+        from repro.parser import parse_formula
+
+        return parse_formula(value)
+    return to_formula(value)
+
+
+def check_containment(head, body) -> List[Diagnostic]:
+    """RL001 findings for a prospective ``head :- body`` pair.
+
+    The :class:`~repro.calculus.rules.Rule` constructor *rejects* clauses
+    violating Definition 4.3, so admitted rules can never trip RL001; this
+    helper lets tooling diagnose a head/body pair before construction and
+    report the violation with the same code and hint.
+    """
+    head_formula = _containment_formula(head)
+    body_formula = _containment_formula(body) if body is not None else None
+    body_variables = (
+        body_formula.variables() if body_formula is not None else frozenset()
+    )
+    return [
+        Diagnostic(
+            code="RL001",
+            severity="error",
+            message=f"head variable {name} does not occur in the body",
+            hint=(
+                "every head variable must be bound by the body (Definition"
+                " 4.3); bind it in the body or drop it from the head"
+            ),
+            formula=name,
+        )
+        for name in sorted(head_formula.variables() - body_variables)
+    ]

@@ -1,0 +1,96 @@
+"""The legacy per-rule analyzer, preserved verbatim from ``calculus.safety``.
+
+:mod:`repro.calculus.safety` predates :mod:`repro.lint`; its API
+(:class:`RuleDiagnostics`, :func:`analyze_rule`, :func:`analyze_rules`)
+returned free-form warning strings and used a *top-level attribute overlap*
+test as its recursion proxy.  The new analyzer subsumes it — recursion is now
+graph recursion on the engine's dependency relation and findings carry
+stable codes — but the old entry points remain supported: ``calculus.safety``
+is a deprecation shim re-exporting this module, and existing callers (and
+tests) keep exactly the semantics they always had.
+
+On programs where the two recursion notions agree (in particular the paper's
+Example 4.6, where the rule self-feeds through the very attribute it writes)
+``analyze_rule(...).may_diverge`` and a ``RL003`` finding coincide; the new
+analyzer is strictly more precise on rules that overlap on an attribute
+without actually reading their own output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.calculus.rules import Rule, RuleSet
+from repro.calculus.terms import Formula, TupleFormula
+from repro.lint.graph import variable_depths
+
+__all__ = ["RuleDiagnostics", "analyze_rule", "analyze_rules", "variable_depths"]
+
+
+@dataclass(frozen=True)
+class RuleDiagnostics:
+    """Result of analysing a single rule."""
+
+    rule: Rule
+    is_fact: bool
+    recursive: bool
+    deepening_variables: Tuple[str, ...]
+    may_diverge: bool
+    warnings: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _top_level_attributes(formula: Formula) -> Tuple[str, ...]:
+    if isinstance(formula, TupleFormula):
+        return formula.attributes
+    return ()
+
+
+def analyze_rule(rule: Rule) -> RuleDiagnostics:
+    """Analyse one rule and report structural warnings."""
+    if rule.is_fact:
+        return RuleDiagnostics(
+            rule=rule,
+            is_fact=True,
+            recursive=False,
+            deepening_variables=(),
+            may_diverge=False,
+        )
+    head_depths = variable_depths(rule.head)
+    body_depths = variable_depths(rule.body)
+    deepening = tuple(
+        sorted(
+            name
+            for name, head_depth in head_depths.items()
+            if head_depth > body_depths.get(name, head_depth)
+        )
+    )
+    head_attrs = set(_top_level_attributes(rule.head))
+    body_attrs = set(_top_level_attributes(rule.body))
+    recursive = bool(head_attrs & body_attrs)
+    may_diverge = recursive and bool(deepening)
+    warnings: List[str] = []
+    if deepening:
+        grown = ", ".join(deepening)
+        warnings.append(
+            f"variables re-embedded more deeply in the head than in the body: {grown}"
+        )
+    if may_diverge:
+        warnings.append(
+            "rule is recursive and grows structure; its closure may not exist (cf. Example 4.6)"
+        )
+    return RuleDiagnostics(
+        rule=rule,
+        is_fact=False,
+        recursive=recursive,
+        deepening_variables=deepening,
+        may_diverge=may_diverge,
+        warnings=tuple(warnings),
+    )
+
+
+def analyze_rules(rules: Sequence[Rule]) -> List[RuleDiagnostics]:
+    """Analyse every rule of a rule set or sequence."""
+    if isinstance(rules, RuleSet):
+        rules = list(rules)
+    return [analyze_rule(rule) for rule in rules]

@@ -16,6 +16,7 @@ The grammar follows the paper's notation as closely as plain text allows:
 
 from repro.parser.lexer import Token, TokenType, tokenize
 from repro.parser.parser import (
+    SourceSpan,
     parse_formula,
     parse_object,
     parse_program,
@@ -24,6 +25,7 @@ from repro.parser.parser import (
 from repro.parser.printer import pretty, to_source
 
 __all__ = [
+    "SourceSpan",
     "Token",
     "TokenType",
     "parse_formula",

@@ -25,6 +25,7 @@ query formulae (:func:`parse_formula`), not in objects, rules or programs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.errors import ParseError
@@ -40,7 +41,28 @@ from repro.calculus.terms import (
 )
 from repro.parser.lexer import Token, TokenType, tokenize
 
-__all__ = ["parse_object", "parse_formula", "parse_rule", "parse_program"]
+__all__ = ["SourceSpan", "parse_object", "parse_formula", "parse_rule", "parse_program"]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Source location of one parsed clause: character range plus line/column.
+
+    ``start``/``end`` are character offsets into the parsed text (end is
+    exclusive); ``line``/``column`` locate ``start``, 1-based, the convention
+    :class:`~repro.core.errors.ParseError` already reports.  Attached to
+    :class:`~repro.calculus.rules.Rule` instances by :func:`parse_rule` and
+    :func:`parse_program` so static diagnostics (:mod:`repro.lint`) can point
+    at the offending clause.
+    """
+
+    start: int
+    end: int
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"line {self.line}, column {self.column}"
 
 
 def parse_object(text: str) -> ComplexObject:
@@ -129,6 +151,7 @@ class _Parser:
         return term
 
     def parse_clause(self, require_period: bool) -> Rule:
+        start_token = self.peek()
         head = self.parse_term()
         body: Optional[Formula] = None
         if self.peek().type is TokenType.ARROW:
@@ -139,9 +162,19 @@ class _Parser:
         elif require_period:
             token = self.peek()
             raise ParseError("expected '.' at the end of the clause", self.text, token.position)
+        span = self._span_from(start_token)
         if body is None:
-            return Rule(_to_object(head))
-        return Rule(head, body)
+            return Rule(_to_object(head), span=span)
+        return Rule(head, body, span=span)
+
+    def _span_from(self, start_token: Token) -> SourceSpan:
+        """The span from ``start_token`` through the last consumed token."""
+        start = start_token.position
+        last = self.tokens[self.index - 1] if self.index else start_token
+        end = last.position + len(last.text or "")
+        line = self.text.count("\n", 0, start) + 1
+        column = start - (self.text.rfind("\n", 0, start) + 1) + 1
+        return SourceSpan(start=start, end=end, line=line, column=column)
 
     def parse_term(self) -> Formula:
         token = self.peek()

@@ -260,7 +260,8 @@ class ObjectDatabase:
 
     def schema_of(self, name: str) -> Optional[SchemaType]:
         """The declared schema of ``name`` (or ``None``)."""
-        return self._schemas.get(name)
+        with self._lock.read_locked():
+            return self._schemas.get(name)
 
     # -- indexes --------------------------------------------------------------------------
     def create_index(self, path: Union[Path, str]) -> PathIndex:
@@ -709,7 +710,7 @@ class ObjectDatabase:
     # -- maintenance -----------------------------------------------------------------------
     def compact(self) -> None:
         """Compact the storage engine's log (engines without one reject this)."""
-        compact = getattr(self._storage, "compact", None)
+        compact = getattr(self._storage, "compact", None)  # invariant: unlocked-ok — binds the method; the call runs under the write lock below
         if compact is None:
             raise StoreError("the storage engine does not support compaction")
         with self._lock.write_locked():
@@ -742,7 +743,7 @@ class ObjectDatabase:
         store's lifetime; teardown is the natural point to release them.
         """
         self._facade_sessions = threading.local()
-        self._storage.close()
+        self._storage.close()  # invariant: unlocked-ok — teardown is single-threaded by contract
         from repro.core.intern import clear_object_caches
 
         clear_object_caches()

@@ -139,4 +139,4 @@ def random_set_with_redundancy(
         redundant.append(TupleObject({name: parent.get(name) for name in keep}))
     combined = base + redundant
     rng.shuffle(combined)
-    return SetObject.raw(combined)
+    return SetObject.raw(combined)  # invariant: allow-raw — the whole point is an unreduced set

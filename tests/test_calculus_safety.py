@@ -70,3 +70,69 @@ class TestAnalyzeRules:
         assert len(reports) == 2
         assert reports[0].is_fact
         assert reports[1].may_diverge
+
+
+class TestDeprecationShim:
+    """repro.calculus.safety is a shim over repro.lint.legacy now."""
+
+    def test_import_emits_deprecation_warning(self):
+        import importlib
+        import warnings
+
+        import repro.calculus.safety as safety
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(safety)
+        assert any(
+            issubclass(entry.category, DeprecationWarning) for entry in caught
+        )
+
+    def test_shim_reexports_the_lint_implementation(self):
+        from repro.calculus import safety
+        from repro.lint import legacy
+
+        assert safety.analyze_rule is legacy.analyze_rule
+        assert safety.analyze_rules is legacy.analyze_rules
+        assert safety.RuleDiagnostics is legacy.RuleDiagnostics
+        assert safety.variable_depths is legacy.variable_depths
+
+    def test_calculus_package_resolves_legacy_names_lazily(self):
+        import repro.calculus as calculus
+        from repro.lint import legacy
+
+        assert calculus.analyze_rules is legacy.analyze_rules
+        assert calculus.RuleDiagnostics is legacy.RuleDiagnostics
+
+
+class TestAgreementWithLint:
+    """The legacy analyzer and the new one must agree on divergence."""
+
+    PROGRAMS = (
+        "[list: {[head: 1, tail: X]}] :- [list: {X}].",
+        "[out: {[wrapped: {X}]}] :- [r1: {X}].",
+        "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+        "[anc: {[of: X, is: Y]}] :- [parent: {[of: X, is: Y]}].\n"
+        "[anc: {[of: X, is: Z]}] :-"
+        " [anc: {[of: X, is: Y]}, parent: {[of: Y, is: Z]}].",
+    )
+
+    def test_may_diverge_matches_rl003(self):
+        from repro import parse_program
+        from repro.lint import lint_rules
+
+        for source in self.PROGRAMS:
+            rules = parse_program(source)
+            legacy_reports = analyze_rules(rules)
+            lint_report = lint_rules(rules)
+            flagged = {
+                index + 1
+                for index, report in enumerate(legacy_reports)
+                if report.may_diverge
+            }
+            rl003 = {
+                diagnostic.rule_index
+                for diagnostic in lint_report.diagnostics
+                if diagnostic.code == "RL003"
+            }
+            assert flagged == rl003, source

@@ -418,3 +418,82 @@ class TestStoreVerify:
         assert report["corrupt_records"] == []
         assert report["quarantine"]["present"] is True
         assert report["quarantine"]["bytes"] > 0
+
+
+class TestLintCommand:
+    DIVERGING = "[list: {[head: 1, tail: X]}] :- [list: {X}]."
+    CLEAN = (
+        "[anc: {[of: X, is: Y]}] :- [parent: {[of: X, is: Y]}].\n"
+        "[anc: {[of: X, is: Z]}] :-"
+        " [anc: {[of: X, is: Y]}, parent: {[of: Y, is: Z]}].\n"
+    )
+
+    def test_clean_program_exits_zero(self):
+        code, output = run_cli("lint", self.CLEAN)
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in output
+        assert "strata" in output
+
+    def test_warnings_exit_zero_by_default(self):
+        code, output = run_cli("lint", self.DIVERGING)
+        assert code == 0
+        assert "RL003" in output
+
+    def test_strict_turns_warnings_into_failure(self):
+        code, output = run_cli("lint", self.DIVERGING, "--strict")
+        assert code == 1
+        assert "RL003" in output
+
+    def test_errors_always_fail(self):
+        code, output = run_cli("lint", "[a: {top}] :- [b: {X, X}].")
+        assert code == 1
+        assert "RL103" in output
+
+    def test_json_format(self):
+        import json
+
+        code, output = run_cli("lint", self.DIVERGING, "--format", "json")
+        assert code == 0
+        document = json.loads(output)
+        assert document["schema"] == "repro-lint/v1"
+        assert document["summary"]["by_code"] == {"RL003": 1}
+
+    def test_suppress_by_code(self):
+        code, output = run_cli(
+            "lint", self.DIVERGING, "--strict", "--suppress", "RL003"
+        )
+        assert code == 0
+        assert "RL003" not in output
+
+    def test_suppress_by_clause(self):
+        source = self.DIVERGING + "\n" + self.DIVERGING.replace("list", "cons")
+        code, output = run_cli(
+            "lint", source, "--strict", "--suppress", "1:RL003"
+        )
+        assert code == 1  # clause 2 still warns
+        assert "cons" in output
+
+    def test_program_from_file(self, tmp_path):
+        path = tmp_path / "program.co"
+        path.write_text(self.CLEAN, encoding="utf-8")
+        code, output = run_cli("lint", f"@{path}")
+        assert code == 0
+
+    def test_query_enables_dead_rule_analysis(self):
+        source = self.CLEAN + "[island: {X}] :- [nowhere: {X}].\n"
+        code, output = run_cli(
+            "lint", source, "--query", "[anc: {[of: a, is: W]}]", "--strict"
+        )
+        assert code == 1
+        assert "RL005" in output
+
+    def test_db_path_statistics_enable_rl303(self, tmp_path):
+        db = tmp_path / "store.wal"
+        code, _ = run_cli("store", "put", "xs", "{1, 2, 3}", "--db-path", str(db))
+        assert code == 0
+        source = "[out: {X}] :- [nowhere: {X}]."
+        code, output = run_cli("lint", source, "--db-path", str(db), "--strict")
+        assert code == 1
+        assert "RL303" in output
+        code, output = run_cli("lint", "[out: {X}] :- [xs: {X}].", "--db-path", str(db))
+        assert code == 0

@@ -1,0 +1,50 @@
+"""Golden-corpus tests for the analyzer: programs with pinned diagnostics.
+
+Each ``tests/lint_corpus/<name>.co`` program has a ``<name>.expected``
+sidecar listing the diagnostics it must produce, one ``N:RLxxx`` per line
+(``N`` is the 1-based clause index, 0 for query/program-level findings).
+The corpus pins the analyzer's output shape end to end: adding a check that
+changes what an existing program reports is a deliberate act (update the
+sidecar), and a clean program starting to warn is a false-positive
+regression this test turns into a failure.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+PROGRAMS = sorted(CORPUS.glob("*.co"))
+
+
+def expected_codes(program: Path):
+    sidecar = program.with_suffix(".expected")
+    lines = sidecar.read_text(encoding="utf-8").splitlines()
+    return sorted(line.strip() for line in lines if line.strip())
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.stem)
+def test_corpus_program_diagnostics_are_pinned(program):
+    report = lint_source(program.read_text(encoding="utf-8"))
+    actual = sorted(f"{d.rule_index or 0}:{d.code}" for d in report.diagnostics)
+    assert actual == expected_codes(program)
+
+
+def test_corpus_is_not_empty():
+    assert len(PROGRAMS) >= 5
+    assert all(p.with_suffix(".expected").exists() for p in PROGRAMS)
+
+
+def test_clean_corpus_programs_evaluate():
+    """Programs the analyzer passes clean must actually evaluate."""
+    from repro import Program
+
+    for program in PROGRAMS:
+        if expected_codes(program):
+            continue
+        result = Program.from_source(program.read_text(encoding="utf-8")).evaluate(
+            max_iterations=50
+        )
+        assert result.value is not None

@@ -25,6 +25,7 @@ REPRO_ALL = [
     "EngineResult",
     "EngineStats",
     "Formula",
+    "LintError",
     "LockTimeout",
     "NaiveEngine",
     "Parameter",
@@ -47,6 +48,7 @@ REPRO_ALL = [
     "Top",
     "TupleFormula",
     "TupleObject",
+    "UnboundVariableError",
     "Variable",
     "apply_rule",
     "apply_rules",
@@ -66,6 +68,7 @@ REPRO_ALL = [
     "is_interned",
     "is_reduced",
     "is_subobject",
+    "lint",
     "match",
     "obj",
     "objects_equal",
@@ -89,6 +92,7 @@ REPRO_ALL = [
 API_ALL = [
     "ConflictError",
     "Cursor",
+    "LintError",
     "LockTimeout",
     "ParameterError",
     "PreparedQuery",

@@ -1,0 +1,48 @@
+"""The AST invariant checker (tools/check_invariants.py) holds on this tree."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_invariants.py"
+
+spec = importlib.util.spec_from_file_location("check_invariants", CHECKER)
+check_invariants = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_invariants)
+
+
+class TestCurrentTreeIsClean:
+    def test_raw_constructors(self):
+        assert check_invariants.check_raw_constructors() == []
+
+    def test_fault_points(self):
+        assert check_invariants.check_fault_points() == []
+
+    def test_lock_discipline(self):
+        assert check_invariants.check_lock_discipline() == []
+
+    def test_script_exits_zero(self):
+        completed = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "invariant raw-constructors: ok" in completed.stdout
+
+
+class TestRegistryParsing:
+    def test_known_points_match_the_runtime_registry(self):
+        """The AST-parsed registry equals the imported one (no drift)."""
+        from repro.fault import KNOWN_POINTS
+
+        parsed, _ = check_invariants._registered_points()
+        assert parsed == set(KNOWN_POINTS)
+
+    def test_every_fired_point_has_a_site(self):
+        sites = check_invariants._fired_points()
+        assert set(sites) == set(check_invariants._registered_points()[0])
+        assert all(sites.values())

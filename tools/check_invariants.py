@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Codebase invariants, checked with nothing but the stdlib ``ast`` module.
+
+Three invariants that matter for correctness but that no unit test can pin
+(they are properties of the *source*, not of any one execution):
+
+``raw-constructors``
+    ``SetObject.raw`` / ``TupleObject.raw`` bypass reduction and interning;
+    outside :mod:`repro.core` every object must go through the reducing
+    constructors.  A deliberate exception (e.g. the workload generator that
+    *needs* an unreduced set to benchmark reduction) carries the pragma
+    ``# invariant: allow-raw`` on the offending line.
+
+``fault-points``
+    ``repro.fault.injection.KNOWN_POINTS`` is the registry of every fault
+    injection point.  Every ``fire("...")`` call site in ``src/`` must name
+    a registered point, and every registered point must have at least one
+    call site — so the sweep harness and the docs can never drift from the
+    real fault surface.
+
+``lock-discipline``
+    Public methods of :class:`repro.store.ObjectDatabase` may only touch the
+    lock-protected state (``_storage``, ``_version``, ``_indexes``,
+    ``_schemas``, ``_top_names``) inside a ``with self._lock.read_locked()``
+    or ``with self._lock.write_locked()`` block.  Private helpers are exempt
+    (their contract is "callers hold the lock"); a public-method exception
+    (e.g. teardown, which is single-threaded by contract) carries the pragma
+    ``# invariant: unlocked-ok``.
+
+Run from the repository root::
+
+    python tools/check_invariants.py
+
+Exit status 0 when every invariant holds, 1 otherwise (one ``path:line:``
+diagnostic per violation).  No imports of ``repro`` itself: the checks are
+pure source analysis, so they run before the package is even importable.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+ALLOW_RAW_PRAGMA = "invariant: allow-raw"
+UNLOCKED_OK_PRAGMA = "invariant: unlocked-ok"
+
+#: ObjectDatabase attributes guarded by ``self._lock``.
+PROTECTED_ATTRIBUTES = frozenset(
+    {"_storage", "_version", "_indexes", "_schemas", "_top_names"}
+)
+
+
+def _python_sources(root: Path) -> Iterator[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def _parse(path: Path) -> Tuple[ast.Module, List[str]]:
+    text = path.read_text(encoding="utf-8")
+    return ast.parse(text, filename=str(path)), text.splitlines()
+
+
+def _relative(path: Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+# -- invariant 1: raw constructors stay inside repro.core --------------------------------
+
+
+def check_raw_constructors() -> List[str]:
+    violations: List[str] = []
+    for path in _python_sources(SRC_ROOT):
+        if (SRC_ROOT / "core") in path.parents:
+            continue
+        tree, lines = _parse(path)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "raw"
+            ):
+                continue
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if ALLOW_RAW_PRAGMA in line:
+                continue
+            violations.append(
+                f"{_relative(path)}:{node.lineno}: raw constructor call outside"
+                f" repro.core (use the reducing constructors, or add"
+                f" `# {ALLOW_RAW_PRAGMA}` with a justification)"
+            )
+    return violations
+
+
+# -- invariant 2: fire() call sites match KNOWN_POINTS -----------------------------------
+
+
+def _registered_points() -> Tuple[Set[str], Path]:
+    path = SRC_ROOT / "fault" / "injection.py"
+    tree, _ = _parse(path)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "KNOWN_POINTS" not in targets:
+            continue
+        call = node.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "frozenset"
+            and call.args
+        ):
+            literal = ast.literal_eval(call.args[0])
+            return set(literal), path
+    raise SystemExit(
+        f"{_relative(path)}: KNOWN_POINTS = frozenset({{...}}) not found — the"
+        " fault-point registry moved; update tools/check_invariants.py"
+    )
+
+
+def _fired_points() -> Dict[str, List[str]]:
+    sites: Dict[str, List[str]] = {}
+    injection = SRC_ROOT / "fault" / "injection.py"
+    for path in _python_sources(SRC_ROOT):
+        if path == injection:  # the generic fire(point) trampoline lives here
+            continue
+        tree, _ = _parse(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name != "fire" or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                sites.setdefault(first.value, []).append(
+                    f"{_relative(path)}:{node.lineno}"
+                )
+    return sites
+
+
+def check_fault_points() -> List[str]:
+    registered, registry_path = _registered_points()
+    fired = _fired_points()
+    violations: List[str] = []
+    for point in sorted(set(fired) - registered):
+        for site in fired[point]:
+            violations.append(
+                f"{site}: fire({point!r}) names a point absent from"
+                f" KNOWN_POINTS in {_relative(registry_path)}"
+            )
+    for point in sorted(registered - set(fired)):
+        violations.append(
+            f"{_relative(registry_path)}: KNOWN_POINTS entry {point!r} has no"
+            f" fire(...) call site in src/ — remove it or wire it up"
+        )
+    return violations
+
+
+# -- invariant 3: ObjectDatabase lock discipline -----------------------------------------
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("read_locked", "write_locked")
+            and isinstance(expr.func.value, ast.Attribute)
+            and expr.func.value.attr == "_lock"
+            and isinstance(expr.func.value.value, ast.Name)
+            and expr.func.value.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _unlocked_protected_accesses(
+    node: ast.AST, locked: bool
+) -> Iterator[ast.Attribute]:
+    if isinstance(node, ast.With) and _is_lock_with(node):
+        locked = True
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in PROTECTED_ATTRIBUTES
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and not locked
+    ):
+        yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _unlocked_protected_accesses(child, locked)
+
+
+def check_lock_discipline() -> List[str]:
+    path = SRC_ROOT / "store" / "database.py"
+    tree, lines = _parse(path)
+    violations: List[str] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "ObjectDatabase"):
+            continue
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name.startswith("_"):
+                continue  # private helpers: "callers hold the lock"
+            for access in _unlocked_protected_accesses(method, locked=False):
+                line = lines[access.lineno - 1] if access.lineno <= len(lines) else ""
+                if UNLOCKED_OK_PRAGMA in line:
+                    continue
+                violations.append(
+                    f"{_relative(path)}:{access.lineno}: ObjectDatabase."
+                    f"{method.name} touches self.{access.attr} outside"
+                    f" `with self._lock.read_locked()/write_locked()` (add the"
+                    f" lock, or `# {UNLOCKED_OK_PRAGMA}` with a justification)"
+                )
+    return violations
+
+
+# -- entry point -------------------------------------------------------------------------
+
+
+def main() -> int:
+    checks = (
+        ("raw-constructors", check_raw_constructors),
+        ("fault-points", check_fault_points),
+        ("lock-discipline", check_lock_discipline),
+    )
+    failures = 0
+    for name, check in checks:
+        violations = check()
+        if violations:
+            failures += len(violations)
+            print(f"invariant {name}: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  {violation}")
+        else:
+            print(f"invariant {name}: ok")
+    if failures:
+        print(f"\n{failures} invariant violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
