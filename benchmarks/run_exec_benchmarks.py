@@ -1,0 +1,324 @@
+#!/usr/bin/env python
+"""Emit the machine-readable executor benchmark record ``BENCH_exec.json``.
+
+Companion to ``run_plan_benchmarks.py`` (planner wins): this script pins the
+batch-at-a-time vectorized executor (:mod:`repro.plan.execute`) against the
+binding-at-a-time scalar reference implementation it replaced, on the same
+workload shapes ``BENCH_plan.json`` records —
+
+* **join** — the BENCH_plan three-relation chain join, matched through both
+  executors on the *source-ordered* plan (where per-partial executor work
+  dominates; the cost-ordered plan collapses the join to a handful of rows,
+  so it measures fixed dispatch overhead and is reported without a floor);
+* **closure** — a semi-naive transitive-closure replay: the per-round
+  ``match_plan`` calls (each delta frontier as one batch) replayed for both
+  executors on identical inputs, timing only executor work — the engine's
+  refresh/interning cost is identical either way and would dilute the
+  comparison;
+* **streaming first row** — the BENCH_api cursor workload's first-row
+  latency under the vector executor must stay within 1.2x of the scalar
+  depth-first walk (the ramped chunk schedule starts at one partial, so
+  batching must not tax time-to-first-row).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_exec_benchmarks.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks sizes and repetitions so CI can exercise the harness in
+seconds; in that mode the floors are recorded but not enforced.  In full mode
+the script exits non-zero unless the join and closure speedups meet their
+``TARGET_SPEEDUPS`` floors and first-row latency stays under
+``MAX_FIRST_ROW_RATIO``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: The tentpole floors: vectorized over scalar on the BENCH_plan workloads.
+TARGET_SPEEDUPS = {"join_vectorized": 3.0, "closure_vectorized": 3.0}
+
+#: Streaming must not pay for batching: vector first-row over scalar first-row.
+MAX_FIRST_ROW_RATIO = 1.2
+
+
+def _median_ns(func, *, repeats: int, number: int) -> float:
+    """Median wall time of one call, measured over ``repeats`` batches."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(number):
+            func()
+        samples.append((time.perf_counter_ns() - start) / number)
+    return statistics.median(samples)
+
+
+def _bench_join(smoke: bool, repeats: int, record) -> dict:
+    """The BENCH_plan chain join, scalar vs vector on both leaf orders."""
+    from repro import parse_formula, parse_object
+    from repro.core.objects import BOTTOM
+    from repro.engine.indexes import IndexStore
+    from repro.engine.stats import EngineStats
+    from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
+
+    chain_rows = 60 if smoke else 400
+    join_domain = max(8, chain_rows // 10)
+    tag_domain = max(16, chain_rows // 5)
+
+    def rows(maker):
+        return ", ".join(maker(i) for i in range(chain_rows))
+
+    chain_db = parse_object(
+        "[a_r: {" + rows(lambda i: f"[x: {i}, y: y{i % join_domain}]") + "},"
+        " b_r: {" + rows(lambda i: f"[y: y{i % join_domain}, z: z{i % join_domain}]") + "},"
+        " c_r: {" + rows(lambda i: f"[z: z{i % join_domain}, tag: t{i % tag_domain}]") + "}]"
+    )
+    body = parse_formula(
+        "[a_r: {[x: X, y: Y]}, b_r: {[y: Y, z: Z]}, c_r: {[z: Z, tag: t0]}]"
+    )
+    indexes = IndexStore(EngineStats())
+    indexes.register_body(body)
+    indexes.refresh(BOTTOM, chain_db)
+    source_plan = compile_body(body)
+    optimized_plan = optimize_body(source_plan, DatabaseStatistics.collect(chain_db))
+
+    baseline = match_plan(source_plan, chain_db, indexes=indexes, executor="scalar")
+    assert match_plan(source_plan, chain_db, indexes=indexes, executor="vector") == baseline
+    assert match_plan(optimized_plan, chain_db, indexes=indexes, executor="vector") == baseline
+
+    objects = 3 * chain_rows
+    scalar = record(
+        "join_source_scalar",
+        lambda: match_plan(source_plan, chain_db, indexes=indexes, executor="scalar"),
+        repeats=repeats, number=3, objects=objects,
+    )
+    vector = record(
+        "join_source_vector",
+        lambda: match_plan(source_plan, chain_db, indexes=indexes, executor="vector"),
+        repeats=repeats, number=10, objects=objects,
+    )
+    # The cost-ordered plan starts from the selective static probe, so the
+    # whole join survives ~10 rows: fixed dispatch dominates and the two
+    # executors converge.  Recorded for the parity story, not floored.
+    ordered_scalar = record(
+        "join_ordered_scalar",
+        lambda: match_plan(optimized_plan, chain_db, indexes=indexes, executor="scalar"),
+        repeats=repeats, number=20, objects=objects,
+    )
+    ordered_vector = record(
+        "join_ordered_vector",
+        lambda: match_plan(optimized_plan, chain_db, indexes=indexes, executor="vector"),
+        repeats=repeats, number=20, objects=objects,
+    )
+    return {
+        "join_vectorized": round(scalar / vector, 2),
+        "join_ordered_vectorized": round(ordered_scalar / ordered_vector, 2),
+    }
+
+
+def _bench_closure(smoke: bool, repeats: int, record) -> dict:
+    """Semi-naive transitive-closure replay, timing only the executor.
+
+    The rounds are constructed once (delta frontiers, evolving database
+    snapshots, refreshed indexes — all identical for both executors); the
+    timed replay then runs only the per-round ``match_plan`` calls, i.e.
+    exactly the work the executor swap changes.
+    """
+    from repro import parse_formula, parse_object
+    from repro.core.objects import BOTTOM
+    from repro.engine.delta import DeltaPosition
+    from repro.engine.indexes import IndexStore
+    from repro.engine.stats import EngineStats
+    from repro.plan import DatabaseStatistics, compile_body, match_plan, optimize_body
+    from repro.plan.ir import ScanLeaf
+
+    nodes = 30 if smoke else 120
+    edges = sorted({(i, i + 1) for i in range(nodes - 1)} | {
+        (i, (i * 7 + 3) % nodes) for i in range(0, nodes, 4)
+    })
+    body = parse_formula("[edge: {[src: X, dst: Y]}, tc: {[src: Y, dst: Z]}]")
+    tc_leaf = next(
+        leaf
+        for leaf in compile_body(body).leaves
+        if isinstance(leaf, ScanLeaf) and str(leaf.path) == "tc"
+    )
+    position = DeltaPosition(path=tc_leaf.path, element_index=tc_leaf.element_index)
+
+    def render(pairs):
+        return "{" + ", ".join(f"[src: n{a}, dst: n{b}]" for a, b in sorted(pairs)) + "}"
+
+    def pair_of(substitution):
+        x = substitution["X"].to_text()
+        z = substitution["Z"].to_text()
+        return int(x[1:]), int(z[1:])
+
+    edge_text = render(edges)
+    tc = set(edges)
+    delta = set(edges)
+    rounds = []
+    plan = None
+    while delta:
+        database = parse_object(f"[edge: {edge_text}, tc: {render(tc)}]")
+        if plan is None:
+            plan = optimize_body(
+                compile_body(body), DatabaseStatistics.collect(database)
+            )
+        indexes = IndexStore(EngineStats())
+        indexes.register_body(body)
+        indexes.refresh(BOTTOM, database)
+        # Interning makes re-parsed elements identical to the stored ones,
+        # so these delta witnesses hit the executor exactly as
+        # ``new_set_elements`` would hand them over.
+        delta_objects = tuple(
+            parse_object(f"[src: n{a}, dst: n{b}]") for a, b in sorted(delta)
+        )
+        rounds.append((database, delta_objects, indexes))
+        matches = match_plan(
+            plan, database, position=position, delta_elements=delta_objects,
+            indexes=indexes, executor="scalar",
+        )
+        vector_matches = match_plan(
+            plan, database, position=position, delta_elements=delta_objects,
+            indexes=indexes, executor="vector",
+        )
+        assert vector_matches == matches
+        fresh = {pair_of(sub) for sub in matches} - tc
+        tc |= fresh
+        delta = fresh
+
+    def replay(executor):
+        def run():
+            for database, delta_objects, indexes in rounds:
+                match_plan(
+                    plan, database, position=position,
+                    delta_elements=delta_objects, indexes=indexes,
+                    executor=executor,
+                )
+        return run
+
+    # ``objects`` is the closure size; the recorded medians cover the whole
+    # replay (every round of one fixpoint, not a single round).
+    objects = len(tc)
+    scalar = record(
+        "closure_rounds_scalar", replay("scalar"),
+        repeats=repeats, number=1, objects=objects,
+    )
+    vector = record(
+        "closure_rounds_vector", replay("vector"),
+        repeats=repeats, number=1, objects=objects,
+    )
+    return {"closure_vectorized": round(scalar / vector, 2)}
+
+
+def _bench_first_row(smoke: bool, repeats: int, record) -> dict:
+    """The BENCH_api cursor workload's first row, vector vs scalar."""
+    from repro import parse_formula, parse_object
+    from repro.api import Session
+
+    pair_rows = 10 if smoke else 24
+    pairs = Session.over_object(
+        parse_object(
+            "[pairs: {" + ", ".join(
+                f"[l: {i}, r: r{i}]" for i in range(pair_rows)
+            ) + "}]"
+        )
+    )
+    body = parse_formula("[pairs: {[l: X], [r: Y]}]")
+    assert not pairs.execute(body).one().is_bottom
+
+    def first_row(executor):
+        def run():
+            os.environ["REPRO_EXECUTOR"] = executor
+            try:
+                pairs.execute(body).one()
+            finally:
+                os.environ.pop("REPRO_EXECUTOR", None)
+        return run
+
+    vector = record(
+        "first_row_vector", first_row("vector"),
+        repeats=repeats, number=20, objects=pair_rows,
+    )
+    scalar = record(
+        "first_row_scalar", first_row("scalar"),
+        repeats=repeats, number=20, objects=pair_rows,
+    )
+    return {"first_row_ratio": round(vector / scalar, 3)}
+
+
+def run_suite(smoke: bool) -> dict:
+    repeats = 3 if smoke else 9
+    results = {}
+
+    def record(name, func, *, repeats, number, objects):
+        median = _median_ns(func, repeats=repeats, number=(1 if smoke else number))
+        results[name] = {"median_ns": round(median, 1), "objects": objects}
+        return median
+
+    speedups = {}
+    speedups.update(_bench_join(smoke, repeats, record))
+    speedups.update(_bench_closure(smoke, repeats, record))
+    speedups.update(_bench_first_row(smoke, repeats, record))
+    return {
+        "schema": "bench-exec/v1",
+        "mode": "smoke" if smoke else "full",
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "target_speedups": TARGET_SPEEDUPS,
+        "max_first_row_ratio": MAX_FIRST_ROW_RATIO,
+        "benchmarks": results,
+        "speedups": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI mode, no enforcement")
+    parser.add_argument("--output", default="BENCH_exec.json", help="where to write the record")
+    args = parser.parse_args(argv)
+
+    record = run_suite(args.smoke)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, stats in sorted(record["benchmarks"].items()):
+        print(f"{name:28s} {stats['median_ns']:>14,.0f} ns  ({stats['objects']} objects)")
+    for name, ratio in sorted(record["speedups"].items()):
+        target = TARGET_SPEEDUPS.get(name)
+        suffix = f" (floor {target:.0f}x)" if target else ""
+        print(f"speedup {name:24s} {ratio:>8.2f}{suffix}")
+    print(f"wrote {args.output}")
+
+    if not args.smoke:
+        failing = {
+            name: ratio
+            for name, ratio in record["speedups"].items()
+            if name in TARGET_SPEEDUPS and ratio < TARGET_SPEEDUPS[name]
+        }
+        if failing:
+            print(f"FAIL: speedups below floor: {failing}", file=sys.stderr)
+            return 1
+        ratio = record["speedups"]["first_row_ratio"]
+        if ratio > MAX_FIRST_ROW_RATIO:
+            print(
+                f"FAIL: vector first-row latency is {ratio:.2f}x the scalar"
+                f" walk (ceiling {MAX_FIRST_ROW_RATIO:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

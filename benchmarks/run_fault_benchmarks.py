@@ -20,7 +20,12 @@ store's retry layer —
   once (with sleeping stubbed out), vs an uncontended commit — what one
   conflict actually costs on top of the happy path;
 * **lock timeout punctuality** — a read acquisition against a held write
-  lock with ``timeout=10ms`` must raise within 10x the bound (never hang).
+  lock with ``timeout=10ms`` must raise within 10x the bound (never hang);
+* **query timeout punctuality** — a streaming query over a cross product far
+  too large to finish, issued with ``timeout_ms=10``, must raise
+  ``QueryTimeout`` within the same 10x factor.  The vectorized executor
+  checks the deadline once per operator batch rather than once per tuple;
+  this bound pins that batching never stretches a timeout into a hang.
 
 Usage::
 
@@ -56,6 +61,10 @@ MAX_DISABLED_OVERHEAD = 1.05
 #: Lock timeouts must fire near the bound; 10x covers scheduler noise while
 #: still catching "waits forever" and "ignores the deadline" regressions.
 MAX_LOCK_TIMEOUT_FACTOR = 10.0
+
+#: Query timeouts share the lock bound: per-batch deadline polls must still
+#: fire within 10x of ``timeout_ms`` on a query that cannot finish in time.
+MAX_QUERY_TIMEOUT_FACTOR = 10.0
 
 
 def _median_ns(func, *, repeats: int, number: int) -> float:
@@ -247,12 +256,63 @@ def _bench_lock_timeout(smoke: bool, results: dict) -> dict:
     return outcome
 
 
+def _bench_query_timeout(smoke: bool, results: dict) -> dict:
+    """A streaming query with ``timeout_ms=10`` must raise near the bound.
+
+    The workload is a three-way cross product (~1M candidate rows) that no
+    executor finishes in 10ms; the vectorized executor polls the deadline
+    once per operator batch, so this measures exactly the worst batch's
+    stretch past the bound.
+    """
+    import repro
+    from repro.core.builder import obj
+    from repro.core.errors import QueryTimeout
+
+    bound_ms = 10
+    attempts = 3 if smoke else 10
+    size = 100
+    overshoots = []
+    with repro.connect() as session:
+        session.put(
+            "rel",
+            obj(
+                {
+                    "a": [{"x": f"a{i}"} for i in range(size)],
+                    "b": [{"y": f"b{i}"} for i in range(size)],
+                    "c": [{"z": f"c{i}"} for i in range(size)],
+                }
+            ),
+        )
+        body = "[rel: [a: {[x: X]}, b: {[y: Y]}, c: {[z: Z]}]]"
+        for _ in range(attempts):
+            start = time.perf_counter_ns()
+            try:
+                for _ in session.execute(body, timeout_ms=bound_ms):
+                    pass
+            except QueryTimeout:
+                pass
+            else:  # pragma: no cover - 1M rows never drain in 10ms
+                raise AssertionError("cross-product query finished inside 10ms")
+            elapsed_ms = (time.perf_counter_ns() - start) / 1e6
+            overshoots.append(elapsed_ms / bound_ms)
+    worst = max(overshoots)
+    outcome = {
+        "bound_ms": bound_ms,
+        "attempts": attempts,
+        "worst_factor": round(worst, 3),
+        "within_bound": worst <= MAX_QUERY_TIMEOUT_FACTOR,
+    }
+    results["query_timeout"] = outcome
+    return outcome
+
+
 def run_suite(smoke: bool) -> dict:
     results: dict = {}
     overhead = _bench_disabled_overhead(smoke, results)
     storm = _bench_conflict_storm(smoke, results)
     _bench_retry_latency(smoke, results)
     punctuality = _bench_lock_timeout(smoke, results)
+    query_punctuality = _bench_query_timeout(smoke, results)
     return {
         "schema": "bench-fault/v1",
         "mode": "smoke" if smoke else "full",
@@ -260,6 +320,7 @@ def run_suite(smoke: bool) -> dict:
         "python": sys.version.split()[0],
         "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
         "max_lock_timeout_factor": MAX_LOCK_TIMEOUT_FACTOR,
+        "max_query_timeout_factor": MAX_QUERY_TIMEOUT_FACTOR,
         "benchmarks": results,
         "overheads": {
             "disabled_vs_stripped": round(overhead, 4),
@@ -267,6 +328,7 @@ def run_suite(smoke: bool) -> dict:
         "assertions": {
             "all_commits_landed": storm["all_commits_landed"],
             "lock_timeout_within_bound": punctuality["within_bound"],
+            "query_timeout_within_bound": query_punctuality["within_bound"],
         },
     }
 
@@ -292,6 +354,8 @@ def main(argv=None) -> int:
     )
     lock = record["benchmarks"]["lock_timeout"]
     print(f"{'lock_timeout':24s} worst {lock['worst_factor']:.2f}x the bound")
+    query = record["benchmarks"]["query_timeout"]
+    print(f"{'query_timeout':24s} worst {query['worst_factor']:.2f}x the bound")
     for name, ratio in sorted(record["overheads"].items()):
         print(f"overhead {name:22s} {ratio:>8.3f}x")
     print(f"wrote {args.output}")
@@ -310,6 +374,13 @@ def main(argv=None) -> int:
         print(
             f"FAIL: lock timeout overshot its bound by {lock['worst_factor']:.1f}x"
             f" (ceiling {MAX_LOCK_TIMEOUT_FACTOR:.1f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not record["assertions"]["query_timeout_within_bound"]:
+        print(
+            f"FAIL: query timeout overshot its bound by {query['worst_factor']:.1f}x"
+            f" (ceiling {MAX_QUERY_TIMEOUT_FACTOR:.1f}x)",
             file=sys.stderr,
         )
         failed = True

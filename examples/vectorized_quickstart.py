@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Vectorized execution quickstart: batches, compiled leaves, tuning.
+
+The physical executor (:mod:`repro.plan.execute`) processes **batches** of
+partial substitutions per plan operator instead of dispatching once per
+binding.  This walkthrough shows the knobs and the instrumentation:
+
+1. vector vs scalar — both executors enumerate identical results in
+   identical order; ``executor="scalar"`` keeps the binding-at-a-time
+   reference implementation one argument away;
+2. the compiled-leaf cache — hot leaf predicates compile to closures once
+   per formula (``compile_element_matcher.cache_info()`` shows reuse across
+   prepared-query re-executions);
+3. ``batch_size`` tuning — streaming cursors ramp chunk sizes 1, 2, 4, …
+   up to ``batch_size``, trading first-row latency against bulk throughput;
+4. EXPLAIN ANALYZE — per-leaf batch counts and rows/batch;
+5. the ``exec.*`` metrics in ``repro.obs.snapshot()``.
+
+Run with::
+
+    python examples/vectorized_quickstart.py
+"""
+
+import time
+
+import repro
+from repro.obs import snapshot
+from repro.plan import compile_body, match_plan
+from repro.plan.compile import compile_element_matcher
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def build_session(rows: int = 300):
+    session = repro.connect()
+    domain = max(8, rows // 10)
+    session.put("graph", repro.parse_object(
+        "[a_r: {" + ", ".join(f"[x: {i}, y: y{i % domain}]" for i in range(rows)) + "},"
+        " b_r: {" + ", ".join(f"[y: y{i % domain}, z: z{i % domain}]" for i in range(rows)) + "}]"
+    ))
+    return session
+
+
+def demo_vector_vs_scalar() -> None:
+    banner("1. Vector vs scalar: identical answers, one argument apart")
+    body = repro.parse_formula("[a_r: {[x: X, y: Y]}, b_r: {[y: Y, z: Z]}]")
+    target = repro.parse_object(
+        "[a_r: {" + ", ".join(f"[x: {i}, y: y{i % 30}]" for i in range(300)) + "},"
+        " b_r: {" + ", ".join(f"[y: y{i % 30}, z: z{i % 30}]" for i in range(300)) + "}]"
+    )
+    plan = compile_body(body)
+
+    start = time.perf_counter_ns()
+    scalar = match_plan(plan, target, executor="scalar")
+    scalar_ns = time.perf_counter_ns() - start
+
+    start = time.perf_counter_ns()
+    vector = match_plan(plan, target, executor="vector")
+    vector_ns = time.perf_counter_ns() - start
+
+    assert vector == scalar  # same list — order included
+    print(f"rows: {len(vector)}")
+    print(f"scalar: {scalar_ns / 1e6:8.2f} ms")
+    print(f"vector: {vector_ns / 1e6:8.2f} ms  ({scalar_ns / vector_ns:.1f}x)")
+
+
+def demo_compiled_leaf_cache() -> None:
+    banner("2. The compiled-leaf cache across prepared re-executions")
+    with repro.connect() as session:
+        session.put("people", repro.parse_object(
+            "{" + ", ".join(f"[name: p{i}, age: {i % 90}]" for i in range(100)) + "}"
+        ))
+        people = session.prepare("[people: {[name: $who, age: A]}]")
+        values = ("p3", "p14", "p15", "p92", "p65")
+        before = compile_element_matcher.cache_info()
+        for who in values:
+            people.execute(who=who).all()
+        first_pass = compile_element_matcher.cache_info()
+        for who in values:
+            people.execute(who=who).all()
+        second_pass = compile_element_matcher.cache_info()
+        print(f"first pass:  {first_pass.misses - before.misses} compiles"
+              f" (one per distinct $who binding)")
+        print(f"second pass: {second_pass.misses - first_pass.misses} compiles,"
+              f" {second_pass.hits - first_pass.hits} cache hits")
+        print("-> the compiler is cached on the (interned) formula:"
+              " re-executions pay zero recompilation")
+
+
+def demo_batch_size_tuning() -> None:
+    banner("3. batch_size: first-row latency vs bulk throughput")
+    with build_session() as session:
+        body = "[graph: [a_r: {[x: X, y: Y]}, b_r: {[y: Y, z: Z]}]]"
+        session.execute(body).one()  # warm the plan cache: time executors, not planning
+        for batch_size in (1, 8, 64, 512):
+            start = time.perf_counter_ns()
+            first = session.execute(body, batch_size=batch_size).one()
+            first_ns = time.perf_counter_ns() - start
+
+            start = time.perf_counter_ns()
+            count = sum(1 for _ in session.execute(body, batch_size=batch_size))
+            drain_ns = time.perf_counter_ns() - start
+            print(
+                f"batch_size {batch_size:4d}: first row {first_ns / 1e3:8.1f} µs,"
+                f" drain {count} rows {drain_ns / 1e6:8.2f} ms"
+            )
+        print("-> the ramp starts at one partial regardless, so first-row")
+        print("   latency is flat; larger caps amortize per-operator dispatch")
+
+
+def demo_explain_analyze() -> None:
+    banner("4. EXPLAIN ANALYZE: batches and rows/batch per leaf")
+    with build_session() as session:
+        print(session.explain(
+            "[graph: [a_r: {[x: X, y: Y]}, b_r: {[y: Y, z: Z]}]]", analyze=True
+        ))
+
+
+def demo_exec_metrics() -> None:
+    banner("5. exec.* metrics in repro.obs.snapshot()")
+    metrics = snapshot()
+    print("exec.batches:           ", metrics["counters"]["exec.batches"])
+    print("exec.compiled_leaf_hits:", metrics["counters"]["exec.compiled_leaf_hits"])
+    histogram = metrics["histograms"]["exec.rows_per_batch"]
+    print("exec.rows_per_batch:    ", {
+        key: histogram[key] for key in ("count", "sum", "min", "max", "p50", "p99")
+    })
+
+
+if __name__ == "__main__":
+    demo_vector_vs_scalar()
+    demo_compiled_leaf_cache()
+    demo_batch_size_tuning()
+    demo_explain_analyze()
+    demo_exec_metrics()

@@ -110,12 +110,15 @@ _QUERY_OPTIONS = frozenset(
         "max_nodes",
         "max_depth",
         "timeout_ms",
+        "batch_size",
     }
 )
 
 #: Options that configure the execution itself rather than closure guards;
 #: everything else in an options dict is forwarded to :meth:`Session.close`.
-_NON_GUARD_OPTIONS = ("against", "on_closure", "allow_bottom", "engine", "timeout_ms")
+_NON_GUARD_OPTIONS = (
+    "against", "on_closure", "allow_bottom", "engine", "timeout_ms", "batch_size",
+)
 
 
 def _check_options(options: Mapping) -> None:
@@ -742,18 +745,25 @@ class Session:
                     f"timeout_ms must be a positive number, got {timeout_ms!r}"
                 )
             deadline = Deadline.start(timeout_ms) if timeout_ms is not None else None
+            batch_size = options.get("batch_size")
+            if batch_size is not None and not (
+                isinstance(batch_size, int) and batch_size > 0
+            ):
+                raise ReproError(
+                    f"batch_size must be a positive integer, got {batch_size!r}"
+                )
             explain = lambda: self._explain(formula, params, **options)
             on_finish = self._query_finisher(
                 formula, values, run_stats, start_ns, trace_id
             )
             return self._build_cursor(
                 formula, values, bound, allow_bottom, explain, run_stats,
-                on_finish, span, options, deadline,
+                on_finish, span, options, deadline, batch_size,
             )
 
     def _build_cursor(
         self, formula, values, bound, allow_bottom, explain, run_stats,
-        on_finish, span, options, deadline=None,
+        on_finish, span, options, deadline=None, batch_size=None,
     ) -> "Cursor":
         from repro.plan import bind_body_plan
 
@@ -788,6 +798,7 @@ class Session:
                 return Cursor(
                     None, None, allow_bottom=allow_bottom, explain=explain,
                     stats=run_stats, on_finish=on_finish, deadline=deadline,
+                    batch_size=batch_size,
                 )
             if kind == "pushdown":
                 self._db._bump("query_root_pushdowns")
@@ -806,6 +817,7 @@ class Session:
             return Cursor(
                 bound_plan, target, allow_bottom=allow_bottom, explain=explain,
                 stats=run_stats, on_finish=on_finish, deadline=deadline,
+                batch_size=batch_size,
             )
 
         mode, target = self._resolve_target(bound, options, deadline=deadline)
@@ -820,6 +832,7 @@ class Session:
             stats=run_stats,
             on_finish=on_finish,
             deadline=deadline,
+            batch_size=batch_size,
         )
 
     def _explain(
@@ -950,6 +963,7 @@ class Cursor:
         stats=None,
         on_finish=None,
         deadline=None,
+        batch_size: Optional[int] = None,
     ):
         self._plan = plan
         self._target = target
@@ -965,9 +979,12 @@ class Cursor:
         else:
             from repro.plan import iter_match_plan
 
+            # ``batch_size`` tunes the vector executor's streaming chunk
+            # ramp (repro.plan.execute.DEFAULT_BATCH_SIZE when None);
+            # ``batch_size=1`` degenerates to one-partial-at-a-time.
             self._substitutions = iter_match_plan(
                 plan, target, allow_bottom=allow_bottom, stats=stats,
-                deadline=deadline,
+                deadline=deadline, batch_size=batch_size,
             )
         self._seen = set()
         self._matches: List[ComplexObject] = []

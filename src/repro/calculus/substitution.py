@@ -48,6 +48,23 @@ class Substitution:
     def __setattr__(self, key, value):
         raise AttributeError("Substitution is immutable")
 
+    @classmethod
+    def _from_sorted(
+        cls, bindings: Tuple[Tuple[str, ComplexObject], ...]
+    ) -> "Substitution":
+        """Wrap an already-sorted, already-validated bindings tuple.
+
+        The vectorized executor accumulates bindings as plain dicts and only
+        materialises :class:`Substitution` objects for the deduplicated final
+        rows; this constructor skips the per-binding type checks and the sort
+        ``__init__`` would redo.  ``bindings`` must be exactly what
+        ``tuple(sorted(mapping.items()))`` yields for a str→ComplexObject
+        mapping — nothing enforces it here.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_bindings", bindings)
+        return instance
+
     # -- mapping protocol ---------------------------------------------------------
     def get(self, name: str, default: Optional[ComplexObject] = None) -> Optional[ComplexObject]:
         for key, value in self._bindings:

@@ -101,6 +101,7 @@ class NaiveEngine:
         max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
         allow_bottom: bool = False,
         deadline=None,
+        executor: Optional[str] = None,
     ):
         self.rules = _as_ruleset(rules)
         self.max_iterations = max_iterations
@@ -108,6 +109,9 @@ class NaiveEngine:
         self.max_depth = max_depth
         self.allow_bottom = allow_bottom
         self.deadline = deadline
+        #: Physical executor forwarded to every match: "vector", "scalar" or
+        #: None for the repro.plan.execute default.
+        self.executor = executor
         self._nodes = [compile_rule(rule) for rule in self.rules]
 
     def run(self, database: ComplexObject) -> EngineResult:
@@ -116,7 +120,12 @@ class NaiveEngine:
 
         def apply_plans(current: ComplexObject) -> ComplexObject:
             return union_all(
-                apply_rule_plan(node, current, allow_bottom=self.allow_bottom)
+                apply_rule_plan(
+                    node,
+                    current,
+                    allow_bottom=self.allow_bottom,
+                    executor=self.executor,
+                )
                 for node in nodes
             )
 
@@ -166,6 +175,7 @@ class SemiNaiveEngine:
         allow_bottom: bool = False,
         use_indexes: bool = True,
         deadline=None,
+        executor: Optional[str] = None,
     ):
         self.rules = _as_ruleset(rules)
         self.max_iterations = max_iterations
@@ -173,6 +183,10 @@ class SemiNaiveEngine:
         self.max_depth = max_depth
         self.allow_bottom = allow_bottom
         self.deadline = deadline
+        #: Physical executor forwarded to every match: "vector", "scalar" or
+        #: None for the repro.plan.execute default.  Semi-naive frontiers run
+        #: through it batch-at-a-time — each delta round is one batch.
+        self.executor = executor
         # Index narrowing is only sound under the strict semantics (see
         # repro.engine.matching); the literal semantics falls back to scans.
         self.use_indexes = use_indexes and not allow_bottom
@@ -361,6 +375,7 @@ class SemiNaiveEngine:
                 indexes=indexes,
                 stats=stats,
                 allow_bottom=self.allow_bottom,
+                executor=self.executor,
             )
         heads = [substitution.apply(rule.head) for substitution in substitutions]
         stats.subobjects_derived += len(heads)
@@ -418,6 +433,7 @@ class SemiNaiveEngine:
                     delta_elements=fresh,
                     indexes=indexes,
                     stats=stats,
+                    executor=self.executor,
                 )
                 for substitution in substitutions:
                     if substitution in seen:
@@ -440,8 +456,8 @@ def create_engine(name: str, rules: Union[Rule, RuleSet, Sequence[Rule]], **opti
     """Instantiate the engine registered under ``name``.
 
     ``options`` are forwarded to the engine constructor (the divergence
-    guards, ``allow_bottom``, and engine-specific switches such as
-    ``use_indexes``).
+    guards, ``allow_bottom``, ``executor`` and engine-specific switches such
+    as ``use_indexes``).
     """
     try:
         engine_class = ENGINES[name]

@@ -24,6 +24,14 @@ objects, and matching descends into the witness only.
 
 Bodies that fail the test fall back to full matching on every round — a pure
 performance loss, never a correctness one.
+
+Each delta round's frontier (the new witnesses of one position) reaches the
+executor as the ``delta_elements`` of a single :func:`repro.plan.execute.
+match_plan` call, so under the vectorized executor a whole semi-naive
+frontier flows through the plan as **one batch**: the restricted scan leaf
+emits every new witness's alternatives at once and the meet-product joins
+them against the other leaves frontier-at-a-time rather than
+witness-at-a-time.
 """
 
 from __future__ import annotations

@@ -160,6 +160,16 @@ _REGISTRY: Tuple[CodeInfo, ...] = (
         " below it, so the leaf can never produce a row; fix the attribute"
         " path",
     ),
+    CodeInfo(
+        "RL304",
+        WARNING,
+        "prepared query compiles no static probe",
+        "every scan leaf of this query keys only on join variables, so a"
+        " prepared plan has nothing to compile into a fixed index probe and"
+        " each execution re-probes per batch of bindings; pin a selective"
+        " attribute with a $parameter (bound at execute time) to give the"
+        " prepared plan a static key",
+    ),
 )
 
 #: The stable code registry: code → :class:`CodeInfo`.

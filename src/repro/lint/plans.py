@@ -15,7 +15,11 @@ maintains:
 * **RL303** (needs statistics) — a scan whose attribute path has no set in
   the profiled database *and* is not written below by any rule head: the
   leaf can never produce a row, which almost always means a misspelled
-  attribute path.
+  attribute path;
+* **RL304** (queries only) — every scan leaf keys exclusively on join
+  variables: a prepared plan compiles no static index probe, so each
+  execution probes per batch of dynamic bindings.  Binding a selective
+  value as a ``$parameter`` gives the prepared plan a fixed key.
 
 Statistics are optional by design: ``Session.prepare(lint="warn")`` lints
 with ``statistics=None`` (collecting them walks the whole database, which
@@ -163,7 +167,32 @@ def check_query_plan(
     exist only after evaluation.
     """
     plan = compile_body(query)
-    return _plan_findings(plan, statistics, _written_paths(rules), {})
+    findings = _plan_findings(plan, statistics, _written_paths(rules), {})
+    findings.extend(_dynamic_only_findings(plan))
+    return findings
+
+
+def _dynamic_only_findings(plan: BodyPlan) -> List[Diagnostic]:
+    """RL304: no scan leaf carries a static or parameter key.
+
+    Queries only — a rule body with dynamic-only keys is the normal shape of
+    recursion (the join variable IS the delta), so flagging rules would be
+    pure noise.  Keyless-only plans are RL302's territory; RL304 needs at
+    least one dynamic key to point the ``$parameter`` hint at.
+    """
+    scans = [leaf for leaf in plan.leaves if isinstance(leaf, ScanLeaf)]
+    if not scans:
+        return []
+    if any(leaf.static_keys or leaf.param_keys for leaf in scans):
+        return []
+    if not any(leaf.dynamic_keys for leaf in scans):
+        return []
+    return [
+        new_diagnostic(
+            "RL304",
+            formula=plan.body.to_text(),
+        )
+    ]
 
 
 def check_body_plan(

@@ -36,6 +36,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_NS",
+    "ROWS_PER_BATCH_BUCKETS",
     "MetricsRegistry",
     "REGISTRY",
     "counter",
@@ -45,6 +46,11 @@ __all__ = [
 
 #: Default histogram bucket upper bounds: 2^10..2^36 ns (≈1µs .. ≈69s).
 LATENCY_BUCKETS_NS: Tuple[int, ...] = tuple(2 ** exponent for exponent in range(10, 37))
+
+#: Bucket bounds for row-count histograms (``exec.rows_per_batch``): powers
+#: of two from 1 row up to ~1M rows per operator batch.  Same log-scale
+#: rationale as the latency buckets, different unit.
+ROWS_PER_BATCH_BUCKETS: Tuple[int, ...] = tuple(2 ** exponent for exponent in range(0, 21))
 
 
 class Counter:
@@ -253,6 +259,9 @@ DECLARED_COUNTERS: Tuple[str, ...] = (
     # fault injection — faults fired by repro.fault.injection
     "fault.injected",
     "fault.delays",
+    # vectorized executor — operator batches and compiled-predicate traffic
+    "exec.batches",
+    "exec.compiled_leaf_hits",
 )
 
 DECLARED_HISTOGRAMS: Tuple[str, ...] = (
@@ -263,7 +272,14 @@ DECLARED_HISTOGRAMS: Tuple[str, ...] = (
     "store.lock.read_wait_ns",
     "store.lock.write_wait_ns",
     "engine.round_ns",
+    "exec.rows_per_batch",
 )
+
+#: Non-default bucket bounds for declared histograms (the rest use
+#: :data:`LATENCY_BUCKETS_NS`).
+_DECLARED_BUCKETS: Dict[str, Tuple[int, ...]] = {
+    "exec.rows_per_batch": ROWS_PER_BATCH_BUCKETS,
+}
 
 
 class MetricsRegistry:
@@ -278,7 +294,7 @@ class MetricsRegistry:
             for name in DECLARED_COUNTERS:
                 self.counter(name)
             for name in DECLARED_HISTOGRAMS:
-                self.histogram(name)
+                self.histogram(name, _DECLARED_BUCKETS.get(name))
 
     # -- accessors ----------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -340,7 +356,7 @@ class MetricsRegistry:
         for name in DECLARED_COUNTERS:
             self.counter(name)
         for name in DECLARED_HISTOGRAMS:
-            self.histogram(name)
+            self.histogram(name, _DECLARED_BUCKETS.get(name))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -34,7 +34,9 @@ from repro.calculus.terms import (
     TupleFormula,
     Variable,
 )
-from repro.core.objects import Atom
+from repro.core.lattice import intersection
+from repro.core.objects import TOP, Atom, TupleObject
+from repro.core.order import is_subobject
 from repro.store.paths import Path
 from repro.plan.ir import (
     BindLeaf,
@@ -51,6 +53,7 @@ from repro.plan.ir import (
 
 __all__ = [
     "compile_body",
+    "compile_element_matcher",
     "compile_rule",
     "compile_program",
     "parameter_keys",
@@ -58,6 +61,168 @@ __all__ = [
 ]
 
 _ROOT = Path(())
+
+#: The shared "matches, binds nothing" answer of compiled predicates.
+#: Returned dicts are read-only by contract — callers copy before merging.
+_NO_BINDINGS: dict = {}
+
+
+@lru_cache(maxsize=4096)  # cached per element formula, shared across plans
+def compile_element_matcher(element: Formula):
+    """Compile one scan-leaf element formula into a closure, or ``None``.
+
+    The closure takes a single witness object and returns its derivation-
+    maximal binding as a plain dict (``None`` for a non-match) — byte-for-byte
+    the answer ``_Executor._match_witness`` computes by interpretation, for
+    the formula shapes where that answer is always zero-or-one substitutions:
+
+    * a :class:`Variable` binds the witness;
+    * a :class:`Constant` is a subobject test (identity fast path first,
+      since interned equal objects are identical);
+    * a :class:`TupleFormula` whose children all compile merges the child
+      bindings, intersecting (lattice glb) on repeated variables.
+
+    :class:`SetFormula` elements (nested alternative structure — genuinely
+    multi-valued) and :class:`Parameter` elements (must be bound before
+    execution) return ``None``: the executor falls back to interpretation.
+
+    ⊤ witnesses short-circuit at every level to the subtree's variables all
+    bound to ⊤, mirroring the interpreter's dominance rule.  The cache is
+    keyed on the (interned, hashable) formula, so prepared-plan re-execution
+    pays zero recompilation; ``compile_element_matcher.cache_info()`` exposes
+    the hit counts.
+    """
+    if isinstance(element, Variable):
+        name = element.name
+
+        def match_variable(witness, _name=name):
+            return {_name: witness}
+
+        return match_variable
+    if isinstance(element, Constant):
+        value = element.value
+
+        def match_constant(witness, _value=value):
+            if _value is witness or is_subobject(_value, witness):
+                return _NO_BINDINGS
+            return None
+
+        return match_constant
+    if isinstance(element, TupleFormula):
+        flat = _compile_flat_tuple(element)
+        if flat is not None:
+            return flat
+        children = []
+        for name, child in element.items():
+            child_matcher = compile_element_matcher(child)
+            if child_matcher is None:
+                return None
+            children.append((name, child_matcher))
+        matchers = tuple(children)
+        # ⊤ bindings in first-occurrence walk order — the same insertion
+        # order the child-merge path below produces — so every binding dict
+        # a matcher emits for one formula shares one layout (the columnar
+        # executor keys merge plans on it).
+        top_bindings = {name: TOP for name in _ordered_variables(element)}
+
+        def match_tuple(witness, _matchers=matchers, _top=top_bindings):
+            if witness is TOP:
+                return _top
+            if not isinstance(witness, TupleObject):
+                return None
+            bindings = None
+            for name, matcher in _matchers:
+                child_bindings = matcher(witness.get(name))
+                if child_bindings is None:
+                    return None
+                if child_bindings:
+                    if bindings is None:
+                        bindings = dict(child_bindings)
+                    else:
+                        for var, value in child_bindings.items():
+                            existing = bindings.get(var)
+                            if existing is None:
+                                bindings[var] = value
+                            elif existing is not value:
+                                bindings[var] = intersection(existing, value)
+            return bindings if bindings is not None else _NO_BINDINGS
+
+        return match_tuple
+    return None
+
+
+def _ordered_variables(element: Formula):
+    """Variable names of ``element`` in first-occurrence depth-first order.
+
+    ``Formula.variables()`` returns an unordered set; compiled matchers need
+    the deterministic walk order their binding dicts are built in, so that the
+    ⊤ short-circuit produces the same dict layout as a regular match.
+    """
+    ordered: List[str] = []
+    seen = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, Variable):
+            if node.name not in seen:
+                seen.add(node.name)
+                ordered.append(node.name)
+        elif isinstance(node, TupleFormula):
+            for _, child in node.items():
+                walk(child)
+        elif isinstance(node, SetFormula):
+            for child in node.elements:
+                walk(child)
+
+    walk(element)
+    return ordered
+
+
+def _compile_flat_tuple(element: TupleFormula):
+    """The dominant relational shape, specialised: one dict build per witness.
+
+    A depth-1 tuple of distinct variables and ground constants — e.g.
+    ``[src: X, dst: Y]`` or ``[z: Z, tag: t0]`` — needs no per-child binding
+    dicts and no merge loop: run the constant subobject checks, then build
+    the variable bindings in a single comprehension.  Repeated variables or
+    nested structure fall back to the generic compiled walk (``None`` here).
+    """
+    checks = []
+    binds = []
+    seen_names = set()
+    for name, child in element.items():
+        if isinstance(child, Variable):
+            if child.name in seen_names:
+                return None
+            seen_names.add(child.name)
+            binds.append((name, child.name))
+        elif isinstance(child, Constant):
+            checks.append((name, child.value))
+        else:
+            return None
+    constant_checks = tuple(checks)
+    variable_binds = tuple(binds)
+    top_bindings = {variable: TOP for _, variable in variable_binds}
+
+    def match_flat(
+        witness,
+        _checks=constant_checks,
+        _binds=variable_binds,
+        _top=top_bindings,
+    ):
+        if witness is TOP:
+            return _top
+        if not isinstance(witness, TupleObject):
+            return None
+        get = witness.get
+        for attribute, value in _checks:
+            found = get(attribute)
+            if value is not found and not is_subobject(value, found):
+                return None
+        if not _binds:
+            return _NO_BINDINGS
+        return {variable: get(attribute) for attribute, variable in _binds}
+
+    return match_flat
 
 
 def split_element_keys(element: Formula):

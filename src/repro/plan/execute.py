@@ -31,6 +31,7 @@ leaf, reproducing the recursive matcher's behaviour for those cases.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -44,16 +45,48 @@ from repro.calculus.terms import (
     Variable,
 )
 from repro.core.errors import ParameterError
-from repro.core.lattice import union_all
-from repro.core.objects import BOTTOM, TOP, ComplexObject, SetObject, TupleObject
+from repro.core.lattice import intersection, union_all
+from repro.core.objects import (
+    BOTTOM,
+    TOP,
+    Atom,
+    ComplexObject,
+    SetObject,
+    TupleObject,
+)
 from repro.core.order import is_subobject
 from repro.store.paths import Path
+from repro.plan.compile import compile_element_matcher
 from repro.plan.ir import BodyPlan, RuleNode, ScanLeaf, leaf_key
 
-__all__ = ["match_plan", "iter_match_plan", "interpret_plan", "apply_rule_plan"]
+__all__ = [
+    "match_plan",
+    "iter_match_plan",
+    "interpret_plan",
+    "apply_rule_plan",
+    "DEFAULT_BATCH_SIZE",
+]
 
 _ROOT = Path(())
 _EMPTY = Substitution()
+
+#: Environment override for the default executor ("vector" or "scalar").
+_EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Streaming chunk-size cap: expansion ramps 1, 2, 4, ... up to this, so the
+#: first row still walks one alternative per leaf while a draining consumer
+#: amortises per-operator dispatch over whole chunks.
+DEFAULT_BATCH_SIZE = 64
+
+
+def _executor_mode(executor: Optional[str]) -> str:
+    if executor is None:
+        executor = os.environ.get(_EXECUTOR_ENV) or "vector"
+    if executor not in ("vector", "scalar"):
+        raise ValueError(
+            f"unknown executor {executor!r} (expected 'vector' or 'scalar')"
+        )
+    return executor
 
 
 def match_plan(
@@ -67,6 +100,7 @@ def match_plan(
     allow_bottom: bool = False,
     record: Optional[dict] = None,
     deadline=None,
+    executor: Optional[str] = None,
 ) -> List[Substitution]:
     """Deduplicated derivation-maximal substitutions of the plan's body.
 
@@ -76,21 +110,21 @@ def match_plan(
     :class:`repro.engine.indexes.IndexStore` (or anything with its
     ``candidates`` method); ``record``, when given, is filled with actual
     per-leaf cardinalities for EXPLAIN.  ``deadline`` — a
-    :class:`repro.fault.Deadline` — is checked between plan instance steps,
+    :class:`repro.fault.Deadline` — is checked once per operator batch,
     raising :class:`~repro.core.errors.QueryTimeout` when spent.
+
+    ``executor`` selects the physical strategy: ``"vector"`` (the default;
+    batch-at-a-time with compiled leaf predicates) or ``"scalar"`` (the
+    binding-at-a-time reference implementation, kept as the benchmark
+    baseline and equivalence oracle).  The ``REPRO_EXECUTOR`` environment
+    variable overrides the default.  Both enumerate the identical
+    substitutions in the identical order.
     """
     if stats is None:
         from repro.engine.stats import EngineStats
 
         stats = EngineStats()
-    executor = _Executor(
-        position=position,
-        delta_elements=delta_elements,
-        indexes=indexes if not allow_bottom else None,
-        stats=stats,
-        record=record,
-        deadline=deadline,
-    )
+    mode = _executor_mode(executor)
     # EXPLAIN ANALYZE: a record created with {"timed": True} additionally
     # collects wall time — per scan leaf (``by_leaf_ns``, filled by the
     # executor) and for the whole match (``wall_ns``).  Plain records keep
@@ -99,16 +133,36 @@ def match_plan(
     timed = record is not None and record.get("timed", False)
     if timed:
         start_ns = time.perf_counter_ns()
-    candidates = executor.run(plan, target)
-    seen = set()
-    results: List[Substitution] = []
-    for candidate in candidates:
-        if not allow_bottom and _has_bottom_binding(candidate):
-            continue
-        if candidate in seen:
-            continue
-        seen.add(candidate)
-        results.append(candidate)
+    effective_indexes = indexes if not allow_bottom else None
+    if mode == "scalar":
+        results = _run_scalar(
+            plan, target, position, delta_elements, effective_indexes,
+            stats, record, deadline, allow_bottom,
+        )
+    else:
+        vector = _VectorExecutor(
+            position=position,
+            delta_elements=delta_elements,
+            indexes=effective_indexes,
+            stats=stats,
+            record=record,
+            deadline=deadline,
+            drop_bottom=not allow_bottom,
+        )
+        try:
+            layout, batch = vector.run_batch(plan, target)
+            results = _finalize_rows(layout, batch, allow_bottom)
+        except _LayoutMismatch:
+            # Defensive only: binding layouts are formula-determined (see
+            # _VectorExecutor), so a mismatch means an internal invariant
+            # broke — fall back to the scalar oracle rather than mis-align
+            # columns.
+            results = _run_scalar(
+                plan, target, position, delta_elements, effective_indexes,
+                stats, record, deadline, allow_bottom,
+            )
+        finally:
+            vector.flush_metrics()
     stats.substitutions += len(results)
     if record is not None:
         record["rows"] = len(results)
@@ -127,6 +181,8 @@ def iter_match_plan(
     stats=None,
     allow_bottom: bool = False,
     deadline=None,
+    executor: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> Iterator[Substitution]:
     """Stream the substitutions of :func:`match_plan` lazily, one at a time.
 
@@ -137,33 +193,61 @@ def iter_match_plan(
     meet-product.  This is the executor behind :class:`repro.api.Cursor`
     streaming, where first-row latency matters and a consumer may stop
     early (``.one()``) without paying for the rest of the result.
+
+    Under the (default) vector executor the walk drains chunks whose size
+    ramps 1, 2, 4, ... up to ``batch_size`` (:data:`DEFAULT_BATCH_SIZE`
+    unless given): the first chunk carries one partial — first-row latency
+    stays that of the scalar depth-first walk — while the tail of a large
+    result is processed batch-at-a-time.  ``batch_size=1`` degenerates to
+    the scalar one-partial-at-a-time schedule.  Deadlines are checked once
+    per chunk rather than once per row.
     """
     if stats is None:
         from repro.engine.stats import EngineStats
 
         stats = EngineStats()
-    executor = _Executor(
+    mode = _executor_mode(executor)
+    effective_indexes = indexes if not allow_bottom else None
+    if mode == "scalar":
+        yield from _stream_scalar(
+            plan, target, position, delta_elements, effective_indexes,
+            stats, deadline, allow_bottom, skip_unique=0,
+        )
+        return
+    vector = _VectorExecutor(
         position=position,
         delta_elements=delta_elements,
-        indexes=indexes if not allow_bottom else None,
+        indexes=effective_indexes,
         stats=stats,
         record=None,
         deadline=deadline,
+        drop_bottom=not allow_bottom,
     )
-    seen = set()
-    for candidate in executor.stream(plan, target):
-        if deadline is not None:
-            deadline.check(
-                "streaming plan execution",
-                partial_explain=lambda: _timeout_explain(plan, len(seen)),
-            )
-        if not allow_bottom and _has_bottom_binding(candidate):
-            continue
-        if candidate in seen:
-            continue
-        seen.add(candidate)
-        stats.substitutions += 1
-        yield candidate
+    if batch_size is None or batch_size < 1:
+        batch_size = DEFAULT_BATCH_SIZE
+    finalizer: Optional[_RowFinalizer] = None
+    emitted = 0
+    try:
+        for row in vector.stream_batches(plan, target, batch_size):
+            if finalizer is None:
+                finalizer = _RowFinalizer(vector.final_layout, allow_bottom)
+            substitution = finalizer.emit(row)
+            if substitution is None:
+                continue
+            emitted += 1
+            stats.substitutions += 1
+            yield substitution
+    except _LayoutMismatch:
+        # Defensive only (layouts are formula-determined): re-run on the
+        # scalar oracle, skipping the unique rows already yielded — the two
+        # executors enumerate identical sequences, so the first ``emitted``
+        # unique candidates are exactly what the consumer has seen.
+        yield from _stream_scalar(
+            plan, target, position, delta_elements, effective_indexes,
+            stats, deadline, allow_bottom, skip_unique=emitted,
+        )
+    finally:
+        vector.flush_metrics()
 
 
 def interpret_plan(
@@ -175,6 +259,7 @@ def interpret_plan(
     indexes=None,
     record: Optional[dict] = None,
     deadline=None,
+    executor: Optional[str] = None,
 ) -> ComplexObject:
     """``E(O)`` through the plan pipeline: union of the matching instantiations.
 
@@ -188,6 +273,7 @@ def interpret_plan(
         allow_bottom=allow_bottom,
         record=record,
         deadline=deadline,
+        executor=executor,
     )
     instantiations = [substitution.apply(plan.body) for substitution in substitutions]
     return union_all(dict.fromkeys(instantiations))
@@ -200,6 +286,7 @@ def apply_rule_plan(
     indexes=None,
     stats=None,
     allow_bottom: bool = False,
+    executor: Optional[str] = None,
 ) -> ComplexObject:
     """``r(O)`` of Definition 4.4 through the plan pipeline.
 
@@ -214,6 +301,7 @@ def apply_rule_plan(
             indexes=indexes,
             stats=stats,
             allow_bottom=allow_bottom,
+            executor=executor,
         )
     heads = [substitution.apply(node.rule.head) for substitution in substitutions]
     if stats is not None:
@@ -224,6 +312,225 @@ def apply_rule_plan(
 def _has_bottom_binding(substitution: Substitution) -> bool:
     # ⊥ is a singleton, so the bottom test is an identity check.
     return any(value is BOTTOM for _, value in substitution.items())
+
+
+class _LayoutMismatch(Exception):
+    """Internal: one leaf instance produced two different binding layouts.
+
+    Layouts are formula-determined (every alternative of one element formula
+    binds the same variables in the same deterministic order — compiled
+    matchers build their dicts in walk order, interpreted matches in sorted
+    order), so this is a broken-invariant signal, not a reachable state; the
+    callers fall back to the scalar executor rather than mis-align columns.
+    """
+
+
+def _run_scalar(
+    plan, target, position, delta_elements, indexes, stats, record, deadline,
+    allow_bottom,
+) -> List[Substitution]:
+    """The binding-at-a-time reference pipeline behind ``executor="scalar"``."""
+    runner = _Executor(
+        position=position,
+        delta_elements=delta_elements,
+        indexes=indexes,
+        stats=stats,
+        record=record,
+        deadline=deadline,
+    )
+    candidates = runner.run(plan, target)
+    seen = set()
+    results: List[Substitution] = []
+    for candidate in candidates:
+        if not allow_bottom and _has_bottom_binding(candidate):
+            continue
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        results.append(candidate)
+    return results
+
+
+def _stream_scalar(
+    plan, target, position, delta_elements, indexes, stats, deadline,
+    allow_bottom, skip_unique: int,
+) -> Iterator[Substitution]:
+    """Scalar streaming pipeline; ``skip_unique`` resumes after a fallback."""
+    runner = _Executor(
+        position=position,
+        delta_elements=delta_elements,
+        indexes=indexes,
+        stats=stats,
+        record=None,
+        deadline=deadline,
+    )
+    seen = set()
+    skipped = 0
+    for candidate in runner.stream(plan, target):
+        if deadline is not None:
+            deadline.check(
+                "streaming plan execution",
+                partial_explain=lambda: _timeout_explain(plan, len(seen)),
+            )
+        if not allow_bottom and _has_bottom_binding(candidate):
+            continue
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        if skipped < skip_unique:
+            skipped += 1
+            continue
+        stats.substitutions += 1
+        yield candidate
+
+
+class _RowFinalizer:
+    """Deduplicate final value rows into Substitutions, first-wins order.
+
+    Every row of one run shares one layout (the names tuple the pipeline's
+    merge plans accumulated), so dedup is a set of id-tuples — interning made
+    ``==`` an ``is``, and ``id()`` is a C call where ``__hash__`` is a Python
+    one.  The sort permutation onto ``Substitution``'s canonical name order
+    is computed once per run and replayed onto each unique row.
+    """
+
+    __slots__ = ("skip_bottom", "pairs", "seen")
+
+    def __init__(self, layout: Tuple[str, ...], allow_bottom: bool):
+        self.skip_bottom = not allow_bottom
+        order = sorted(range(len(layout)), key=layout.__getitem__)
+        self.pairs = tuple((index, layout[index]) for index in order)
+        self.seen: set = set()
+
+    def emit(self, row: tuple) -> Optional[Substitution]:
+        """The row's Substitution, or ``None`` for duplicates (and ⊥ rows)."""
+        if self.skip_bottom:
+            for value in row:
+                if value is BOTTOM:
+                    return None
+        key = tuple(map(id, row))
+        seen = self.seen
+        before = len(seen)
+        seen.add(key)
+        if len(seen) == before:
+            return None
+        return Substitution._from_sorted(
+            tuple((name, row[index]) for index, name in self.pairs)
+        )
+
+
+def _finalize_rows(
+    layout: Tuple[str, ...], batch: List[tuple], allow_bottom: bool
+) -> List[Substitution]:
+    """Deduplicate a final row batch, preserving enumeration order."""
+    if not batch:
+        return []
+    finalizer = _RowFinalizer(layout, allow_bottom)
+    emit = finalizer.emit
+    results: List[Substitution] = []
+    append = results.append
+    for row in batch:
+        substitution = emit(row)
+        if substitution is not None:
+            append(substitution)
+    return results
+
+
+def _merge_plan(
+    partial_layout: Tuple[str, ...], alt_layout: Tuple[str, ...]
+) -> tuple:
+    """How to meet rows of ``partial_layout`` with rows of ``alt_layout``.
+
+    Returns ``(merged_layout, new_indices, overlap)``: alternative columns
+    not yet in the partial layout are appended (``new_indices``, in
+    alternative order, so a disjoint merge is a plain tuple concat);
+    ``overlap`` pairs each shared variable's partial column with its
+    alternative column for the per-row meet.  Computed once per (instance,
+    input layout) — layouts are constant across a run's batches.
+    """
+    positions = {name: index for index, name in enumerate(partial_layout)}
+    new_indices: List[int] = []
+    overlap: List[Tuple[int, int]] = []
+    for alt_index, name in enumerate(alt_layout):
+        partial_index = positions.get(name)
+        if partial_index is None:
+            new_indices.append(alt_index)
+        else:
+            overlap.append((partial_index, alt_index))
+    merged_layout = partial_layout + tuple(
+        alt_layout[index] for index in new_indices
+    )
+    return merged_layout, tuple(new_indices), tuple(overlap)
+
+
+def _merge_row(
+    prow: tuple, arow: tuple, new_indices, overlap, drop: bool
+) -> Optional[tuple]:
+    """Meet one partial row with one alternative row (shared columns glb).
+
+    The row-level mirror of :meth:`Substitution.meet`: on interned objects
+    equal bindings are identical, so the common agreeing-occurrences case is
+    an ``is`` check per shared column and a tuple concat; a disagreeing
+    column rebuilds the row with the (memoized) lattice meet.
+
+    ``drop`` is the strict-semantics early filter (``allow_bottom=False``):
+    a ⊥ binding can never recover — every later meet of ⊥ stays ⊥ — so a row
+    whose shared column meets to ⊥ is returned as ``None`` here instead of
+    being carried to the finalizer.  Distinct atoms always meet to ⊥, which
+    turns the dominant mismatched-join-key case into two type checks.
+    """
+    for partial_index, alt_index in overlap:
+        existing = prow[partial_index]
+        value = arow[alt_index]
+        if existing is not value:
+            if drop and type(existing) is Atom and type(value) is Atom:
+                return None
+            merged = list(prow)
+            for partial_index, alt_index in overlap:
+                value = arow[alt_index]
+                existing = merged[partial_index]
+                if existing is not value:
+                    met = intersection(existing, value)
+                    if drop and met is BOTTOM:
+                        return None
+                    merged[partial_index] = met
+            merged.extend(arow[index] for index in new_indices)
+            return tuple(merged)
+    if not new_indices:
+        return prow
+    if len(new_indices) == 1:
+        return prow + (arow[new_indices[0]],)
+    return prow + tuple([arow[index] for index in new_indices])
+
+
+def _merge_rows(
+    partials: List[tuple], alternatives: List[tuple], new_indices, overlap,
+    drop: bool, out: List[tuple],
+) -> None:
+    """Cross-merge a batch with a shared alternatives list, in scalar order.
+
+    Partials outer, alternatives inner — the enumeration order both
+    executors pin (dropped ⊥ rows leave the survivors' relative order
+    untouched).  Disjoint layouts (no shared variables — the seed batch,
+    chained leaves over fresh variables) reduce to C-level tuple concats.
+    """
+    if not overlap:
+        if len(alternatives) == 1:
+            arow = alternatives[0]
+            if arow:
+                out.extend([prow + arow for prow in partials])
+            else:
+                out.extend(partials)
+            return
+        for prow in partials:
+            out.extend([prow + arow for arow in alternatives])
+        return
+    append = out.append
+    for prow in partials:
+        for arow in alternatives:
+            merged = _merge_row(prow, arow, new_indices, overlap, drop)
+            if merged is not None:
+                append(merged)
 
 
 def _timeout_explain(plan: BodyPlan, progress) -> str:
@@ -572,3 +879,464 @@ class _Executor:
                 " bind it first (repro.plan.parameters.bind_body_plan)"
             )
         raise TypeError(f"not a formula: {formula!r}")
+
+
+class _ScanState:
+    """Per-run cached state of one scan-leaf instance (vector executor).
+
+    Everything here is computed at most once per instance per run and shared
+    by every batch (and, in streaming mode, every chunk) that reaches it.
+    """
+
+    __slots__ = (
+        "matcher",
+        "static_rows",
+        "key_positions",
+        "single_position",
+        "probe_cache",
+        "base_rows",
+        "alt_layout",
+        "merge",
+    )
+
+    def __init__(self):
+        self.matcher = None
+        #: Matched rows of the static-key probe, or ``None`` (no static hit).
+        self.static_rows: Optional[List[tuple]] = None
+        #: (key path, partial-layout column) for each *bound* dynamic key.
+        self.key_positions: Tuple[Tuple[object, int], ...] = ()
+        self.single_position: Optional[int] = None
+        #: id-of-bound-value(s) -> matched alternative rows.
+        self.probe_cache: Dict[object, List[tuple]] = {}
+        #: Matched rows over the full witness list (lazy; probe fallback).
+        self.base_rows: Optional[List[tuple]] = None
+        #: The one binding layout every alternatives list of this leaf has.
+        self.alt_layout: Optional[Tuple[str, ...]] = None
+        #: Cached :func:`_merge_plan` of (input layout, alt layout).
+        self.merge: Optional[tuple] = None
+
+
+class _VectorExecutor(_Executor):
+    """Batch-at-a-time execution: operators exchange columnar row batches.
+
+    Inherits the runtime flattening, index probing and interpreted witness
+    matching of :class:`_Executor` and replaces the per-partial control flow.
+    A batch is ``(layout, rows)``: one names tuple plus plain value tuples,
+    one per partial substitution, aligned to it.  The layout is a property of
+    the *pipeline position*, not the row — every alternative of one element
+    formula binds the same variables in the same deterministic order
+    (compiled matchers build dicts in formula walk order, interpreted matches
+    in sorted order, ⊤ short-circuits in the same order as regular matches) —
+    so each operator computes one :func:`_merge_plan` and then meets rows
+    with C-level tuple concats plus an ``is`` check per shared column.
+
+    * each leaf's witnesses are matched **once per batch** and the resulting
+      rows shared across partials; dynamic index probes are cached per
+      distinct bound key value (identity-keyed — interning made ``==`` an
+      ``is``), so a frontier binding the same join key a thousand times pays
+      one probe and one witness-match pass;
+    * leaf predicates compiled by
+      :func:`repro.plan.compile.compile_element_matcher` answer witness
+      tests as single closure calls; non-compilable elements (nested sets,
+      parameters) fall back to the interpreted matcher;
+    * deadlines are checked once per operator batch, not once per tuple;
+    * final rows materialise into :class:`Substitution` objects only after
+      identity-keyed dedup (:class:`_RowFinalizer`).
+
+    The enumeration order is bit-identical to the scalar executor's:
+    partials outer, alternatives inner, instances in (rank, arrival) order —
+    pinned by ``tests/test_exec_properties.py`` against both the scalar
+    executor and the calculus oracle.
+
+    Batch/row counts accumulate in plain instance fields and fold into the
+    ``exec.*`` metrics in one :meth:`flush_metrics` call per match.
+    """
+
+    __slots__ = (
+        "_batches",
+        "_batch_rows",
+        "_compiled_hits",
+        "drop_bottom",
+        "final_layout",
+    )
+
+    def __init__(
+        self, position, delta_elements, indexes, stats, record, deadline=None,
+        drop_bottom: bool = True,
+    ):
+        super().__init__(position, delta_elements, indexes, stats, record, deadline)
+        #: Strict semantics (``allow_bottom=False``): rows acquiring a ⊥
+        #: binding are dropped at the operator that creates them instead of
+        #: at the finalizer — ⊥ never recovers, so only rows the strict
+        #: filter would discard anyway disappear (EXPLAIN's per-leaf actuals
+        #: therefore count *surviving* rows).
+        self.drop_bottom = drop_bottom
+        self._batches = 0
+        self._batch_rows: List[int] = []
+        self._compiled_hits = 0
+        #: Layout of the rows :meth:`stream_batches` yields; set before the
+        #: first yield.
+        self.final_layout: Tuple[str, ...] = ()
+
+    # -- top level ----------------------------------------------------------------------
+    def run_batch(
+        self, plan: BodyPlan, target: ComplexObject
+    ) -> Tuple[Tuple[str, ...], List[tuple]]:
+        """The whole meet-product as one breadth-first batch pipeline."""
+        leaves = {leaf_key(leaf): (rank, leaf) for rank, leaf in enumerate(plan.leaves)}
+        instances: List[_Instance] = []
+        if not self._flatten(plan.body, target, _ROOT, leaves, instances):
+            return (), []
+        instances.sort(key=lambda instance: (instance.rank, instance.order))
+
+        actuals: Optional[Dict[Tuple, int]] = None
+        leaf_batches: Optional[Dict[Tuple, list]] = None
+        leaf_ns: Optional[Dict[Tuple, int]] = None
+        if self.record is not None:
+            actuals = {}
+            self.record["by_leaf"] = actuals
+            leaf_batches = {}
+            self.record["by_leaf_batches"] = leaf_batches
+            if self.record.get("timed", False):
+                leaf_ns = {}
+                self.record["by_leaf_ns"] = leaf_ns
+
+        state: Dict[object, object] = {}
+        layout: Tuple[str, ...] = ()
+        rows: List[tuple] = [()]
+        for step, instance in enumerate(instances):
+            if self.deadline is not None:
+                self.deadline.check(
+                    "plan execution",
+                    partial_explain=lambda: _timeout_explain(
+                        plan, f"batch {step} of {len(instances)},"
+                        f" {len(rows)} partial substitutions"
+                    ),
+                )
+            if leaf_ns is not None:
+                step_start = time.perf_counter_ns()
+            if instance.spec is None:
+                layout, rows = self._fixed_step(instance, layout, rows, state)
+            else:
+                layout, rows = self._scan_batch(instance, layout, rows, state)
+            self._batches += 1
+            self._batch_rows.append(len(rows))
+            if actuals is not None and instance.spec is not None:
+                key = leaf_key(instance.spec)
+                actuals[key] = len(rows)
+                entry = leaf_batches.setdefault(key, [0, 0])
+                entry[0] += 1
+                entry[1] += len(rows)
+                if leaf_ns is not None:
+                    leaf_ns[key] = leaf_ns.get(key, 0) + (
+                        time.perf_counter_ns() - step_start
+                    )
+            if not rows:
+                return layout, []
+        return layout, rows
+
+    def stream_batches(
+        self, plan: BodyPlan, target: ComplexObject, batch_size: int
+    ) -> Iterator[tuple]:
+        """Depth-first chunked enumeration: scalar order, batch dispatch.
+
+        Chunks ramp 1, 2, 4, ... up to ``batch_size`` at every depth, so the
+        leftmost path to the first row runs on single-partial chunks while
+        bulk drains run on full ones.  Scan state (probes, matched
+        alternatives, merge plans) lives in ``state`` across chunks —
+        revisiting an instance with a later chunk re-uses every earlier
+        probe and match.  Yields rows of :attr:`final_layout`.
+        """
+        leaves = {leaf_key(leaf): (rank, leaf) for rank, leaf in enumerate(plan.leaves)}
+        instances: List[_Instance] = []
+        if not self._flatten(plan.body, target, _ROOT, leaves, instances):
+            return
+        instances.sort(key=lambda instance: (instance.rank, instance.order))
+        state: Dict[object, object] = {}
+        total = len(instances)
+
+        def descend(
+            depth: int, layout: Tuple[str, ...], chunk: List[tuple]
+        ) -> Iterator[tuple]:
+            if depth == total:
+                self.final_layout = layout
+                yield from chunk
+                return
+            instance = instances[depth]
+            if self.deadline is not None:
+                self.deadline.check(
+                    "streaming plan execution",
+                    partial_explain=lambda: _timeout_explain(
+                        plan, f"depth {depth}, chunk of {len(chunk)}"
+                    ),
+                )
+            if instance.spec is None:
+                merged_layout, merged = self._fixed_step(
+                    instance, layout, chunk, state
+                )
+            else:
+                merged_layout, merged = self._scan_batch(
+                    instance, layout, chunk, state
+                )
+            self._batches += 1
+            self._batch_rows.append(len(merged))
+            start = 0
+            size = 1
+            while start < len(merged):
+                end = min(start + size, len(merged))
+                yield from descend(depth + 1, merged_layout, merged[start:end])
+                start = end
+                if size < batch_size:
+                    size = min(size * 2, batch_size)
+
+        yield from descend(0, (), [()])
+
+    # -- per-instance operators ---------------------------------------------------------
+    def _fixed_step(
+        self,
+        instance: _Instance,
+        layout: Tuple[str, ...],
+        rows: List[tuple],
+        state: Dict[object, object],
+    ) -> Tuple[Tuple[str, ...], List[tuple]]:
+        """Meet a batch with a non-scan instance's fixed alternatives."""
+        entry = state.get(id(instance))
+        if entry is None:
+            alt_layout: Optional[Tuple[str, ...]] = None
+            alt_rows: List[tuple] = []
+            for substitution in instance.alternatives:
+                items = substitution.items()
+                names = tuple(pair[0] for pair in items)
+                if alt_layout is None:
+                    alt_layout = names
+                elif names != alt_layout:
+                    raise _LayoutMismatch(instance)
+                alt_rows.append(tuple(pair[1] for pair in items))
+            entry = [alt_layout if alt_layout is not None else (), alt_rows, None]
+            state[id(instance)] = entry
+        alt_layout, alt_rows, merge = entry
+        if not alt_rows:
+            return layout, []
+        if merge is None:
+            merge = _merge_plan(layout, alt_layout)
+            entry[2] = merge
+        merged_layout, new_indices, overlap = merge
+        fresh: List[tuple] = []
+        _merge_rows(rows, alt_rows, new_indices, overlap, self.drop_bottom, fresh)
+        return merged_layout, fresh
+
+    def _scan_batch(
+        self,
+        instance: _Instance,
+        layout: Tuple[str, ...],
+        rows: List[tuple],
+        state: Dict[object, object],
+    ) -> Tuple[Tuple[str, ...], List[tuple]]:
+        """One scan leaf over a whole batch of partial rows.
+
+        Static probes and witness matching happen once per instance; dynamic
+        probes once per distinct tuple of bound key values.  Alternative row
+        lists are shared across partials — rows are immutable tuples, so
+        sharing is safe by construction.
+        """
+        spec = instance.spec
+        scan = state.get(id(instance))
+        if scan is None:
+            scan = _ScanState()
+            static_keys, dynamic_keys = (), ()
+            if self.indexes is not None and not instance.restricted:
+                static_keys = spec.static_keys
+                dynamic_keys = spec.dynamic_keys
+            scan.matcher = compile_element_matcher(spec.element)
+            static_candidates = None
+            if static_keys:
+                static_candidates = self._probe(
+                    spec.path, static_keys, count_miss=not dynamic_keys
+                )
+            if static_candidates is not None:
+                alt_layout, alt_rows = self._vector_alternatives(
+                    spec.element, static_candidates, scan.matcher, None
+                )
+                scan.alt_layout = alt_layout
+                scan.static_rows = alt_rows
+            elif dynamic_keys:
+                # A dynamic key is usable only once an earlier leaf bound its
+                # variable; boundness is a property of the layout, i.e. of
+                # the pipeline position, so the usable subset is fixed here.
+                positions = []
+                for key_path, name in dynamic_keys:
+                    if name in layout:
+                        positions.append((key_path, layout.index(name)))
+                scan.key_positions = tuple(positions)
+                if len(positions) == 1:
+                    scan.single_position = positions[0][1]
+            state[id(instance)] = scan
+
+        matcher = scan.matcher
+        if scan.static_rows is not None:
+            alt_rows = scan.static_rows
+            if not alt_rows:
+                return layout, []
+            if scan.merge is None:
+                scan.merge = _merge_plan(layout, scan.alt_layout)
+            merged_layout, new_indices, overlap = scan.merge
+            fresh: List[tuple] = []
+            _merge_rows(
+                rows, alt_rows, new_indices, overlap, self.drop_bottom, fresh
+            )
+            return merged_layout, fresh
+        if scan.key_positions:
+            positions = scan.key_positions
+            single = scan.single_position
+            probe_cache = scan.probe_cache
+            merge = scan.merge
+            new_indices = overlap = None
+            if merge is not None:
+                _, new_indices, overlap = merge
+            fresh = []
+            for prow in rows:
+                # Interning made equality identity, so the probe cache keys
+                # on the bound values' ids — one probe and one witness-match
+                # pass per distinct key binding in the batch.
+                if single is not None:
+                    probe_key = id(prow[single])
+                else:
+                    probe_key = tuple(id(prow[column]) for _, column in positions)
+                alt_rows = probe_cache.get(probe_key)
+                if alt_rows is None:
+                    narrowed = self._probe_dynamic_row(spec.path, positions, prow)
+                    if narrowed is None:
+                        alt_rows = self._base_rows(instance, scan)
+                    else:
+                        alt_layout, alt_rows = self._vector_alternatives(
+                            spec.element, narrowed, matcher, scan.alt_layout
+                        )
+                        if alt_rows and scan.alt_layout is None:
+                            scan.alt_layout = alt_layout
+                    probe_cache[probe_key] = alt_rows
+                if not alt_rows:
+                    continue
+                if merge is None:
+                    merge = scan.merge = _merge_plan(layout, scan.alt_layout)
+                    _, new_indices, overlap = merge
+                if not overlap:
+                    fresh.extend([prow + arow for arow in alt_rows])
+                else:
+                    drop = self.drop_bottom
+                    for arow in alt_rows:
+                        merged_row = _merge_row(
+                            prow, arow, new_indices, overlap, drop
+                        )
+                        if merged_row is not None:
+                            fresh.append(merged_row)
+            if merge is None:
+                return layout, []
+            return merge[0], fresh
+        alt_rows = self._base_rows(instance, scan)
+        if not alt_rows:
+            return layout, []
+        if scan.merge is None:
+            scan.merge = _merge_plan(layout, scan.alt_layout)
+        merged_layout, new_indices, overlap = scan.merge
+        fresh = []
+        _merge_rows(rows, alt_rows, new_indices, overlap, self.drop_bottom, fresh)
+        return merged_layout, fresh
+
+    def _probe_dynamic_row(self, set_path, positions, row: tuple):
+        """:meth:`_Executor._probe_dynamic` over a columnar row."""
+        for key_path, column in positions:
+            candidates = self.indexes.candidates(set_path, key_path, row[column])
+            if candidates is not None:
+                self.stats.index_hits += 1
+                return candidates
+        self.stats.index_misses += 1
+        return None
+
+    def _base_rows(self, instance: _Instance, scan: _ScanState) -> List[tuple]:
+        """Alternatives over the full witness list, matched lazily once."""
+        if scan.base_rows is None:
+            alt_layout, alt_rows = self._vector_alternatives(
+                instance.spec.element, instance.witnesses, scan.matcher,
+                scan.alt_layout,
+            )
+            if alt_rows and scan.alt_layout is None:
+                scan.alt_layout = alt_layout
+            scan.base_rows = alt_rows
+        return scan.base_rows
+
+    def _vector_alternatives(
+        self, element: Formula, candidates, matcher, expected_layout
+    ) -> Tuple[Optional[Tuple[str, ...]], List[tuple]]:
+        """Match one element formula over a witness list, as (layout, rows).
+
+        The columnar mirror of :meth:`_Executor._alternatives`, including the
+        vanish alternatives for empty candidate lists; compiled matchers
+        answer one closure call per witness, non-compilable elements fall
+        back to the interpreted matcher per witness.  Every row is checked
+        against the leaf's single layout — a mismatch (never expected; see
+        :class:`_LayoutMismatch`) aborts to the scalar executor.
+        """
+        layout = expected_layout
+        alt_rows: List[tuple] = []
+        if matcher is not None:
+            count = len(candidates)
+            self.stats.match_attempts += count
+            self._compiled_hits += count
+            for witness in candidates:
+                bindings = matcher(witness)
+                if bindings is None:
+                    continue
+                names = tuple(bindings)
+                if layout is None:
+                    layout = names
+                elif names != layout:
+                    raise _LayoutMismatch(element)
+                alt_rows.append(tuple(bindings.values()))
+        else:
+            for witness in candidates:
+                self.stats.match_attempts += 1
+                for substitution in self._match_witness(element, witness):
+                    items = substitution.items()
+                    names = tuple(pair[0] for pair in items)
+                    if layout is None:
+                        layout = names
+                    elif names != layout:
+                        raise _LayoutMismatch(element)
+                    alt_rows.append(tuple(pair[1] for pair in items))
+        if not alt_rows:
+            if isinstance(element, Variable):
+                vanish_layout = (element.name,)
+                if layout is not None and layout != vanish_layout:
+                    raise _LayoutMismatch(element)
+                if self.drop_bottom:
+                    # The vanish alternative binds ⊥, which the strict filter
+                    # discards at the end — drop it (and the partials it
+                    # would extend) here instead.
+                    return vanish_layout, []
+                return vanish_layout, [(BOTTOM,)]
+            if isinstance(element, Constant) and element.value is BOTTOM:
+                return (), [()]
+        return layout, alt_rows
+
+    # -- metrics ------------------------------------------------------------------------
+    def flush_metrics(self) -> None:
+        """Fold the accumulated batch counters into the ``exec.*`` metrics.
+
+        One registry interaction per match run — the per-batch hot path only
+        touches plain instance fields.
+        """
+        if not self._batches and not self._compiled_hits:
+            return
+        from repro.obs.metrics import REGISTRY, ROWS_PER_BATCH_BUCKETS
+
+        REGISTRY.counter("exec.batches").inc(self._batches)
+        if self._compiled_hits:
+            REGISTRY.counter("exec.compiled_leaf_hits").inc(self._compiled_hits)
+        rows_histogram = REGISTRY.histogram(
+            "exec.rows_per_batch", ROWS_PER_BATCH_BUCKETS
+        )
+        for rows in self._batch_rows:
+            rows_histogram.observe(rows)
+        self._batches = 0
+        self._batch_rows = []
+        self._compiled_hits = 0

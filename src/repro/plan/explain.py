@@ -12,7 +12,11 @@ EXPLAIN ANALYZE: a record created with ``{"timed": True}`` (see
 additionally carries per-leaf and whole-match wall time
 (``by_leaf_ns``/``wall_ns``), and the renderer prints them next to the
 actual rows — so a leaf that survives few rows but burns the time budget is
-just as visible as a bad cardinality estimate.
+just as visible as a bad cardinality estimate.  The vectorized executor also
+records per-leaf batch counts (``by_leaf_batches``: how many batches the
+operator dispatched and the total rows they carried), rendered as
+``N batches, M rows/batch`` so a leaf that fragments the pipeline into
+tiny batches is visible too.
 
 ``Program.explain()``, the CLI's ``run/query --explain`` and the store's
 ``store query --explain`` all render through this module.
@@ -31,6 +35,7 @@ __all__ = ["render_body_plan", "render_rule_node", "render_program_plan"]
 def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
     lines = []
     actuals: Dict = (record or {}).get("by_leaf", {})
+    batches: Dict = (record or {}).get("by_leaf_batches", {})
     timings: Dict = (record or {}).get("by_leaf_ns", {})
     for position, (leaf, estimate) in enumerate(
         zip(plan.leaves, plan.estimates or (None,) * len(plan.leaves)), start=1
@@ -42,6 +47,11 @@ def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
         actual = actuals.get(leaf_key(leaf))
         if actual is not None:
             notes.append(f"actual {actual}")
+        dispatched = batches.get(leaf_key(leaf))
+        if dispatched is not None:
+            count, total_rows = dispatched
+            per_batch = total_rows / count if count else 0.0
+            notes.append(f"{count} batches, {per_batch:g} rows/batch")
         elapsed = timings.get(leaf_key(leaf))
         if elapsed is not None:
             notes.append(f"time {format_ns(elapsed)}")

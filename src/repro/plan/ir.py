@@ -17,7 +17,10 @@ Executing a body is the *meet-product* over the leaves' alternative
 substitution lists — and because the substitution meet is commutative and
 associative and results are deduplicated, **any leaf order computes the same
 substitution set**.  That order-independence is the soundness argument behind
-the cost-based join reordering of :mod:`repro.plan.optimize`.
+the cost-based join reordering of :mod:`repro.plan.optimize`, and it is what
+lets the vectorized executor (:mod:`repro.plan.execute`) dispatch each leaf
+once per *batch* of partial substitutions rather than once per partial: the
+meet-product over whole frontiers is the same set either way.
 
 Rules wrap a body plan with the head to instantiate (:class:`RuleNode`, the
 project node); strata group rules into apply-once unions or fixpoint loops

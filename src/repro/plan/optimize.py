@@ -22,6 +22,12 @@ pushdown reach :class:`repro.engine.IndexStore` (during evaluation) and
 :meth:`repro.store.ObjectDatabase.query`).  Without statistics the same
 greedy pass runs on defaults, which still orders static-key probes before
 bare scans — the heuristic the algebra lowering uses at translation time.
+
+The ordering matters twice under the vectorized executor: a small early
+frontier means small batches at every later operator, and a leaf whose
+dynamic key is bound by an earlier leaf probes the index once per *distinct*
+key value in the batch (the executor memoizes probes on object identity), so
+placing the binding leaf first turns a scan into a handful of hash lookups.
 """
 
 from __future__ import annotations

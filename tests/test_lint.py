@@ -33,7 +33,7 @@ class TestCodeRegistry:
         assert sorted(CODES) == [
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL101", "RL102", "RL103", "RL104", "RL105",
-            "RL301", "RL302", "RL303",
+            "RL301", "RL302", "RL303", "RL304",
         ]
 
     def test_every_code_has_severity_and_hint(self):
@@ -292,3 +292,23 @@ class TestLintQuery:
         # RL102 is about rules; $parameters are the point of prepared queries.
         report = lint_query("[r1: {[name: $who]}]")
         assert "RL102" not in codes_of(report)
+
+    def test_rl304_dynamic_only_query(self):
+        report = lint_query("[xs: {[k: K, v: V]}, ys: {[k: K, w: W]}]")
+        assert "RL304" in codes_of(report)
+
+    def test_rl304_silenced_by_parameter_or_static_key(self):
+        assert "RL304" not in codes_of(
+            lint_query("[xs: {[k: $k, v: V]}, ys: {[k: $k, w: W]}]")
+        )
+        assert "RL304" not in codes_of(
+            lint_query("[xs: {[k: a, v: V]}, ys: {[v: V, w: W]}]")
+        )
+
+    def test_rl304_is_query_only(self):
+        # Dynamic-only keys are the normal shape of recursive rule bodies.
+        report = lint_source(
+            "[anc: {[d: C, a: A]}] :-"
+            " [par: {[c: C, p: P]}, anc: {[d: P, a: A]}]."
+        )
+        assert "RL304" not in codes_of(report)

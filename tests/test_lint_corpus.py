@@ -3,6 +3,8 @@
 Each ``tests/lint_corpus/<name>.co`` program has a ``<name>.expected``
 sidecar listing the diagnostics it must produce, one ``N:RLxxx`` per line
 (``N`` is the 1-based clause index, 0 for query/program-level findings).
+A leading ``%query: <formula>`` comment line lints the program together
+with that query (how query-only checks such as RL304 enter the corpus).
 The corpus pins the analyzer's output shape end to end: adding a check that
 changes what an existing program reports is a deliberate act (update the
 sidecar), and a clean program starting to warn is a false-positive
@@ -25,9 +27,18 @@ def expected_codes(program: Path):
     return sorted(line.strip() for line in lines if line.strip())
 
 
+def query_directive(text: str):
+    """The ``%query: <formula>`` directive's formula source, if present."""
+    for line in text.splitlines():
+        if line.startswith("%query:"):
+            return line[len("%query:"):].strip()
+    return None
+
+
 @pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.stem)
 def test_corpus_program_diagnostics_are_pinned(program):
-    report = lint_source(program.read_text(encoding="utf-8"))
+    text = program.read_text(encoding="utf-8")
+    report = lint_source(text, query=query_directive(text))
     actual = sorted(f"{d.rule_index or 0}:{d.code}" for d in report.diagnostics)
     assert actual == expected_codes(program)
 
