@@ -11,6 +11,10 @@ Companion to the other ``run_*_benchmarks.py`` records: this script pins the
   with execution, so the marginal cost is the formula/plan walks alone;
 * **whole-program analysis** — ``lint_rules`` over a recursive program with
   a query (dead-rule reachability included), reported for information;
+* **shape inference** — a cold :func:`repro.lint.shapes.infer_shapes` run
+  (cache cleared per call) over the same program, reported for information —
+  the abstract fixpoint the RL2xx family, the optimizer's pruning and the
+  engines' rule skipping all share (and the ``lru_cache`` amortises);
 * **source round trip** — ``lint_source`` (parse + analyze), reported for
   information;
 * **report rendering** — ``render()`` and ``to_json()`` of a warning-bearing
@@ -115,6 +119,22 @@ def run_suite(smoke: bool) -> dict:
         number=5 if smoke else 50,
     )
     results["lint_rules_with_query"] = {"median_ns": round(program_ns, 1)}
+
+    # -- informational: cold whole-program shape inference -----------------------------
+    from repro.lint.shapes import infer_shapes
+
+    rules_tuple = tuple(rules)
+
+    def _cold_shape_pass():
+        infer_shapes.cache_clear()
+        infer_shapes(rules_tuple)
+
+    shapes_ns = _median_ns(
+        _cold_shape_pass,
+        repeats=repeats,
+        number=5 if smoke else 50,
+    )
+    results["shape_inference_cold"] = {"median_ns": round(shapes_ns, 1)}
 
     source_ns = _median_ns(
         lambda: lint_source(_PROGRAM),

@@ -352,16 +352,35 @@ class Session:
             parsed = self._as_formula(query)
             source = query if isinstance(query, str) else parsed.to_text()
             diagnostics: Tuple = ()
+            param_shapes: Tuple = ()
             if lint != "off":
                 lint_key = (source, self._rules_version)
-                report = self._lint_reports.get(lint_key)
-                if report is None:
+                entry = self._lint_reports.get(lint_key)
+                if entry is None:
                     from repro.lint import lint_query
 
                     report = lint_query(parsed, rules=self._rules)
+                    # Also record the inferred shape of every ``$parameter``
+                    # slot — the join of every object derivable at its
+                    # position — so each execution can refute
+                    # shape-impossible bindings (RL204) before touching the
+                    # database.  Gated on a grounded program: without facts
+                    # the analysis has no derivable objects to bound the
+                    # slots with.
+                    slots: Tuple = ()
+                    if parsed.parameters():
+                        from repro.lint.shapes import infer_shapes
+
+                        shapes = infer_shapes(tuple(self._rules))
+                        if shapes.grounded:
+                            slots = tuple(
+                                sorted(shapes.query(parsed).param_slots().items())
+                            )
+                    entry = (report, slots)
                     if len(self._lint_reports) >= 256:
                         self._lint_reports.popitem(last=False)
-                    self._lint_reports[lint_key] = report
+                    self._lint_reports[lint_key] = entry
+                report, param_shapes = entry
                 diagnostics = report.diagnostics
                 if lint == "strict" and not report.ok(strict=True):
                     raise LintError(
@@ -378,6 +397,7 @@ class Session:
             return PreparedQuery(
                 self, source, parsed, options,
                 trace_id=trace_id, diagnostics=diagnostics,
+                lint=lint, param_shapes=param_shapes,
             )
 
     def execute(self, query, params: Optional[Mapping] = None, **options) -> "Cursor":
@@ -856,7 +876,17 @@ class Session:
         mode, target = self._resolve_target(bound, options)
         if target is None:  # pragma: no cover - seeded sessions never refute
             target = BOTTOM
-        plan = optimize_body(compile_body(bound), DatabaseStatistics.collect(target))
+        shapes = None
+        if not allow_bottom:
+            # Closed-world shape inference over the actual target: the
+            # rendering annotates each leaf with its inferred element shape
+            # and marks provably-empty bodies as pruned.
+            from repro.lint.shapes import infer_shapes
+
+            shapes = infer_shapes(tuple(self._rules), target)
+        plan = optimize_body(
+            compile_body(bound), DatabaseStatistics.collect(target), shapes
+        )
         record: dict = {"timed": True} if analyze else {}
         match_plan(plan, target, allow_bottom=allow_bottom, record=record)
         return render_body_plan(
@@ -874,7 +904,10 @@ class PreparedQuery:
     substitution, no parsing and no optimization.
     """
 
-    __slots__ = ("_session", "source", "formula", "options", "trace_id", "diagnostics")
+    __slots__ = (
+        "_session", "source", "formula", "options", "trace_id", "diagnostics",
+        "_lint", "_param_shapes",
+    )
 
     def __init__(
         self,
@@ -884,6 +917,8 @@ class PreparedQuery:
         options: dict,
         trace_id: Optional[str] = None,
         diagnostics: Tuple = (),
+        lint: str = "warn",
+        param_shapes: Tuple = (),
     ):
         self._session = session
         self.source = source
@@ -896,16 +931,72 @@ class PreparedQuery:
         #: The :class:`repro.lint.Diagnostic` findings of the prepare-time
         #: lint pass (empty under ``lint="off"`` or a clean query).
         self.diagnostics = tuple(diagnostics)
+        self._lint = lint
+        self._param_shapes = tuple(param_shapes)
 
     @property
     def parameters(self):
         """The ``$parameter`` names the query declares."""
         return self.formula.parameters()
 
+    @property
+    def param_shapes(self) -> Dict[str, object]:
+        """Inferred slot :class:`~repro.lint.shapes.Shape` per ``$parameter``.
+
+        Computed once at prepare time from the registered program (empty
+        under ``lint="off"``, for parameter-free queries, or when the
+        program has no facts to ground the analysis).  Each execution
+        checks its bound values against these slots — a value no derivable
+        object can match is RL204: counted under ``lint="warn"``, a
+        :class:`LintError` under ``lint="strict"``.
+        """
+        return dict(self._param_shapes)
+
+    def _check_shapes(self, merged: Mapping) -> None:
+        """Refute shape-impossible parameter bindings (RL204) at bind time."""
+        if not self._param_shapes:
+            return
+        from repro.lint.diagnostics import new_diagnostic
+        from repro.lint.shapes import maybe_subobject
+
+        findings = []
+        for name, slot in self._param_shapes:
+            if name not in merged:
+                continue
+            try:
+                value = obj(merged[name])
+            except (ComplexObjectError, TypeError):
+                continue  # conversion problems surface via validation
+            if maybe_subobject(value, slot):
+                continue
+            findings.append(
+                new_diagnostic(
+                    "RL204",
+                    message=(
+                        f"${name} is bound to {value.to_text()} but every"
+                        f" derivable object at its slot has shape"
+                        f" {slot.describe()}, so the query returns nothing"
+                    ),
+                    formula=f"${name}",
+                )
+            )
+        if not findings:
+            return
+        for finding in findings:
+            _METRICS.counter("lint.warnings").inc()
+            _METRICS.counter(f"lint.code.{finding.code}").inc()
+        if self._lint == "strict":
+            raise LintError(
+                f"parameter values failed strict shape check"
+                f" ({len(findings)} finding(s)): {self.source}",
+                tuple(findings),
+            )
+
     def execute(self, params: Optional[Mapping] = None, **kwparams) -> "Cursor":
         """Execute with ``params`` (a mapping, and/or keyword arguments)."""
         merged = dict(params or {})
         merged.update(kwparams)
+        self._check_shapes(merged)
         return self._session._execute(
             self.formula, merged, _link=self.trace_id, **self.options
         )

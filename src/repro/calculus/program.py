@@ -122,14 +122,18 @@ class Program:
         from repro.lint import lint_rules
         from repro.plan import DatabaseStatistics
 
-        if statistics is None and use_database:
+        database = None
+        if use_database:
             seed = self.seed()
             if seed is not BOTTOM:
-                statistics = DatabaseStatistics.collect(seed)
+                database = seed
+                if statistics is None:
+                    statistics = DatabaseStatistics.collect(seed)
         return lint_rules(
             list(self._facts) + list(self._rules),
             query=query,
             statistics=statistics,
+            database=database,
         )
 
     # -- evaluation ---------------------------------------------------------------
@@ -231,9 +235,15 @@ class Program:
         )
         from repro.plan.explain import render_body_plan, render_program_plan
 
+        from repro.lint.shapes import infer_shapes
+
         seed = self.seed()
         statistics = DatabaseStatistics.collect(seed)
-        plan = optimize_program(compile_program(self._rules), statistics)
+        # Closed-world inference over the seeded database: the rendering
+        # shows each leaf's inferred element shape and marks the bodies the
+        # analysis proved empty (the same proof the engines prune on).
+        shapes = infer_shapes(tuple(self._rules), seed)
+        plan = optimize_program(compile_program(self._rules), statistics, shapes)
 
         iterations = None
         rule_records = None
@@ -259,7 +269,9 @@ class Program:
             parsed = to_formula(query_formula)
             target = closure_value if closure_value is not None else seed
             query_plan = optimize_body(
-                compile_body(parsed), DatabaseStatistics.collect(target)
+                compile_body(parsed),
+                DatabaseStatistics.collect(target),
+                infer_shapes(tuple(self._rules), target),
             )
             record = None
             if analyze:

@@ -277,19 +277,28 @@ def _run_lint(arguments, stream) -> int:
     from repro.plan.statistics import DatabaseStatistics
 
     statistics = None
+    database = None
     if arguments.db_path:
         session = connect(arguments.db_path)
         try:
-            statistics = DatabaseStatistics.collect(session.database.as_object())
+            database = session.database.as_object()
         finally:
             session.shutdown()
     elif arguments.database:
-        statistics = DatabaseStatistics.collect(_load_database(arguments.database))
+        database = _load_database(arguments.database)
+    if database is not None:
+        # The profiled object serves both consumers: real cardinalities for
+        # the plan-level findings (RL3xx) and a closed world for the shape
+        # analysis (RL2xx).
+        statistics = DatabaseStatistics.collect(database)
     query = (
         parse_formula(_read_source(arguments.query)) if arguments.query else None
     )
     report = lint_source(
-        _read_source(arguments.program), query=query, statistics=statistics
+        _read_source(arguments.program),
+        query=query,
+        statistics=statistics,
+        database=database,
     )
     if arguments.suppress:
         report = report.suppress(arguments.suppress)

@@ -80,6 +80,22 @@ def _as_ruleset(rules: Union[Rule, RuleSet, Sequence[Rule]]) -> RuleSet:
     return RuleSet(rules)
 
 
+def _infer_run_shapes(rules: Tuple[Rule, ...], database: ComplexObject, enabled: bool):
+    """Grounded shape inference for one engine run (``None`` when disabled).
+
+    The engine closes the *actual* database, so inference runs closed-world:
+    the proofs behind pruning are relative to exactly the object about to be
+    scanned, which is what makes compile-time deletion of empty branches
+    sound.  Lazy import: the engine must stay importable without dragging the
+    whole lint package in at module-import time.
+    """
+    if not enabled:
+        return None
+    from repro.lint.shapes import infer_shapes
+
+    return infer_shapes(tuple(rules), database)
+
+
 class NaiveEngine:
     """The baseline strategy: :func:`close`'s series over plan-compiled rules.
 
@@ -100,6 +116,7 @@ class NaiveEngine:
         max_nodes: int = DEFAULT_MAX_NODES,
         max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
         allow_bottom: bool = False,
+        use_shapes: bool = True,
         deadline=None,
         executor: Optional[str] = None,
     ):
@@ -112,11 +129,28 @@ class NaiveEngine:
         #: Physical executor forwarded to every match: "vector", "scalar" or
         #: None for the repro.plan.execute default.
         self.executor = executor
+        # The shape matcher assumes the strict semantics (a ⊥ binding kills
+        # the row); the literal ``allow_bottom`` semantics evaluates unpruned.
+        self.use_shapes = use_shapes and not allow_bottom
         self._nodes = [compile_rule(rule) for rule in self.rules]
 
     def run(self, database: ComplexObject) -> EngineResult:
         statistics = DatabaseStatistics.collect(database)
-        nodes = [optimize_rule(node, statistics) for node in self._nodes]
+        shapes = _infer_run_shapes(self.rules.rules, database, self.use_shapes)
+        statistics.shapes = shapes
+        nodes = [optimize_rule(node, statistics, shapes) for node in self._nodes]
+        rules_pruned = sum(
+            1
+            for node in nodes
+            if node.body_plan is not None and node.body_plan.pruned is not None
+        )
+        # Statically-empty rules leave the per-round loop entirely: their
+        # zero contribution is proved once, not re-checked every round.
+        nodes = [
+            node
+            for node in nodes
+            if node.body_plan is None or node.body_plan.pruned is None
+        ]
 
         def apply_plans(current: ComplexObject) -> ComplexObject:
             return union_all(
@@ -143,13 +177,15 @@ class NaiveEngine:
             if span.enabled:
                 span.set(engine=self.name, iterations=result.iterations)
         # close() applies the full rule set once per growing round plus one
-        # confirming round, every application a full match of every rule.
+        # confirming round, every application a full match of every rule
+        # (minus the ones the shape analysis removed up front).
         applications = result.iterations + 1 if len(self.rules) else 0
         stats = EngineStats(
             iterations=result.iterations,
             strata=1 if len(self.rules) else 0,
             recursive_strata=1 if len(self.rules) else 0,
-            full_matches=applications * len(self.rules),
+            full_matches=applications * len(nodes),
+            rules_pruned=rules_pruned,
         )
         _METRICS.record_engine_run(stats)
         return EngineResult(
@@ -174,6 +210,7 @@ class SemiNaiveEngine:
         max_depth: Union[int, float] = DEFAULT_MAX_DEPTH,
         allow_bottom: bool = False,
         use_indexes: bool = True,
+        use_shapes: bool = True,
         deadline=None,
         executor: Optional[str] = None,
     ):
@@ -190,6 +227,9 @@ class SemiNaiveEngine:
         # Index narrowing is only sound under the strict semantics (see
         # repro.engine.matching); the literal semantics falls back to scans.
         self.use_indexes = use_indexes and not allow_bottom
+        # Same gate for shape pruning: the abstract matcher models the strict
+        # semantics, where a ⊥ binding kills the row.
+        self.use_shapes = use_shapes and not allow_bottom
         self.graph = DependencyGraph(self.rules.rules)
         self._strata: List[Stratum] = self.graph.strata()
         self._decompositions: Dict[Rule, BodyDecomposition] = {
@@ -211,15 +251,22 @@ class SemiNaiveEngine:
         # clobber each other's orderings (ordering is a pure cost decision,
         # so even a foreign order would stay correct — just unoptimized).
         statistics = DatabaseStatistics.collect(database)
+        shapes = _infer_run_shapes(self.rules.rules, database, self.use_shapes)
+        statistics.shapes = shapes
         plans = {
-            rule: optimize_body(plan, statistics)
+            rule: optimize_body(plan, statistics, shapes)
             for rule, plan in self._body_plans.items()
         }
+        stats.rules_pruned = sum(
+            1 for plan in plans.values() if plan.pruned is not None
+        )
         indexes: Optional[IndexStore] = None
         if self.use_indexes:
             indexes = IndexStore(stats)
             for rule in self.rules:
-                if rule.body is not None:
+                # Pruned bodies never execute, so maintaining their match
+                # indexes every round would be pure overhead.
+                if rule.body is not None and plans[rule].pruned is None:
                     indexes.register_body(rule.body)
             indexes.refresh(BOTTOM, database)
 
@@ -260,12 +307,13 @@ class SemiNaiveEngine:
     ) -> ComplexObject:
         """Evaluate a non-recursive stratum: one full application suffices."""
         self._check_deadline(current)
+        live = self._live_rules(stratum, plans)
         with _trace.span("engine.round") as span:
             if span.enabled:
                 span.set(round=1, mode="full")
             produced = union_all(
                 self._apply_full(rule, current, plans, indexes, stats)
-                for rule in stratum.rules
+                for rule in live
             )
         next_value = union(current, produced)
         if next_value == current:
@@ -291,6 +339,11 @@ class SemiNaiveEngine:
         # Round one must see the whole database: the delta discipline only
         # covers growth contributed by *previous* rounds of this stratum.
         previous = current
+        live = self._live_rules(stratum, plans)
+        if not live:
+            # Every rule of this stratum is statically empty: its fixpoint is
+            # the input, no round needs to run.
+            return current
         round_ns = _METRICS.histogram("engine.round_ns")
         self._charge(budget, current)
         round_start = time.perf_counter_ns()
@@ -299,7 +352,7 @@ class SemiNaiveEngine:
                 span.set(round=1, mode="full")
             produced = union_all(
                 self._apply_full(rule, current, plans, indexes, stats)
-                for rule in stratum.rules
+                for rule in live
             )
             next_value = union(current, produced)
         round_ns.observe(time.perf_counter_ns() - round_start)
@@ -321,7 +374,7 @@ class SemiNaiveEngine:
                     span.set(round=round_number, mode="delta")
                 produced = union_all(
                     self._apply_delta(rule, previous, current, plans, indexes, stats)
-                    for rule in stratum.rules
+                    for rule in live
                 )
                 next_value = union(current, produced)
             round_ns.observe(time.perf_counter_ns() - round_start)
@@ -332,6 +385,15 @@ class SemiNaiveEngine:
             if indexes is not None:
                 indexes.refresh(current, next_value)
             previous, current = current, next_value
+
+    @staticmethod
+    def _live_rules(stratum: Stratum, plans: Dict[Rule, BodyPlan]) -> List[Rule]:
+        """The stratum's rules minus the ones shape analysis proved empty."""
+        return [
+            rule
+            for rule in stratum.rules
+            if rule.body is None or plans[rule].pruned is None
+        ]
 
     def _charge(self, budget: List[int], partial: ComplexObject) -> None:
         self._check_deadline(partial)

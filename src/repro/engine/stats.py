@@ -57,6 +57,9 @@ class EngineStats:
     fallback_rules:
         Per-rule fallback counts, keyed by the rule's name (or its text when
         unnamed); empty when every body ran delta-incrementally.
+    rules_pruned:
+        Rules the shape analysis proved statically empty against the input
+        database: their bodies were never executed in any round.
     """
 
     iterations: int = 0
@@ -71,6 +74,7 @@ class EngineStats:
     index_misses: int = 0
     full_match_fallbacks: int = 0
     fallback_rules: Dict[str, int] = field(default_factory=dict)
+    rules_pruned: int = 0
 
     def count_fallback(self, rule) -> None:
         """Record one full-matching fallback attributed to ``rule``."""
@@ -92,6 +96,7 @@ class EngineStats:
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
             "full_match_fallbacks": self.full_match_fallbacks,
+            "rules_pruned": self.rules_pruned,
         }
 
     def summary(self) -> str:
@@ -103,6 +108,8 @@ class EngineStats:
             f" {self.delta_matches} delta / {self.full_matches} full rule evaluations,"
             f" {self.index_hits} index hits"
         )
+        if self.rules_pruned:
+            text += f", {self.rules_pruned} rules pruned by shape analysis"
         if self.full_match_fallbacks:
             worst = sorted(
                 self.fallback_rules.items(), key=lambda item: (-item[1], item[0])

@@ -37,6 +37,12 @@ from repro.lint.graph import (
     strata_summary,
 )
 from repro.lint.plans import check_query_plan, check_rule_plans
+from repro.lint.shapes import (
+    check_params,
+    check_query_shape,
+    check_shapes,
+    infer_shapes,
+)
 from repro.obs import metrics
 from repro.plan.statistics import DatabaseStatistics
 
@@ -66,13 +72,19 @@ def lint_rules(
     *,
     query: Optional[Union[Formula, str]] = None,
     statistics: Optional[DatabaseStatistics] = None,
+    database=None,
+    params=None,
 ) -> LintReport:
     """Run every analysis over a program; the main entry point.
 
     ``query`` (a formula, or source text to parse) enables the dead-rule
     analysis and extends the plan checks to the query itself;
     ``statistics`` (a :class:`~repro.plan.statistics.DatabaseStatistics`)
-    enables the RL303 missing-path check and cost-accurate orderings.
+    enables the RL303 missing-path check and cost-accurate orderings;
+    ``database`` (a complex object) closes the world for the shape pass —
+    RL2xx findings then describe the program *against that database* rather
+    than against its own facts alone; ``params`` (a name → value mapping)
+    enables the RL204 shape-impossible-binding check on the query.
     """
     program = _as_rules(rules)
     if isinstance(query, str):
@@ -88,9 +100,13 @@ def lint_rules(
     for index, rule in enumerate(program):
         findings.extend(check_rule_formulas(rule, index))
     findings.extend(check_rule_plans(program, statistics))
+    shapes = infer_shapes(tuple(program), database)
+    findings.extend(check_shapes(program, shapes, query=query))
     if query is not None:
         findings.extend(check_query_formula(query))
         findings.extend(check_query_plan(query, statistics, program))
+        if params:
+            findings.extend(check_params(shapes, query, params))
 
     facts = sum(1 for rule in program if rule.is_fact)
     report = finish_report(
@@ -98,6 +114,7 @@ def lint_rules(
         strata=strata_summary(graph),
         rules=len(program) - facts,
         facts=facts,
+        shapes=shapes.summary_lines(),
     )
     _publish(report)
     return report
@@ -108,11 +125,19 @@ def lint_source(
     *,
     query: Optional[Union[Formula, str]] = None,
     statistics: Optional[DatabaseStatistics] = None,
+    database=None,
+    params=None,
 ) -> LintReport:
     """Parse program source and lint it; findings carry line/column spans."""
     from repro.parser import parse_program
 
-    return lint_rules(parse_program(text), query=query, statistics=statistics)
+    return lint_rules(
+        parse_program(text),
+        query=query,
+        statistics=statistics,
+        database=database,
+        params=params,
+    )
 
 
 def lint_query(
@@ -120,12 +145,15 @@ def lint_query(
     *,
     statistics: Optional[DatabaseStatistics] = None,
     rules: Union[RuleSet, Sequence[Rule]] = (),
+    params=None,
 ) -> LintReport:
     """Lint one query formula (what ``Session.prepare(lint=...)`` runs).
 
     Only the query's own findings are reported; ``rules`` (the session's
     program, if any) merely keep RL303 from flagging derived paths that
-    exist once the program has run.
+    exist once the program has run, and seed the shape pass (RL201/RL203
+    against the program's derivable shapes; RL204 when ``params`` carries
+    the values about to be bound).
     """
     if isinstance(query, str):
         from repro.parser import parse_formula
@@ -139,18 +167,56 @@ def lint_query(
         # on the miss only: a cache hit is not a new analysis run.  This is
         # what keeps the default ``lint="warn"`` within the ≤1.10x prepare
         # budget ``benchmarks/run_lint_benchmarks.py`` pins.
-        return _query_report(query, tuple(_as_rules(rules)))
+        report = _query_report(query, tuple(_as_rules(rules)))
+        if params:
+            report = _with_param_findings(report, query, _as_rules(rules), params)
+        return report
     findings = list(check_query_formula(query))
     findings.extend(check_query_plan(query, statistics, _as_rules(rules)))
+    shapes = infer_shapes(tuple(_as_rules(rules)))
+    findings.extend(check_query_shape(shapes, query))
+    if params:
+        findings.extend(check_params(shapes, query, params))
     report = finish_report(findings)
     _publish(report)
     return report
+
+
+def _with_param_findings(
+    report: LintReport,
+    query: Formula,
+    rules: Sequence[Rule],
+    params,
+) -> LintReport:
+    """Fold RL204 findings into a (possibly cached) query report.
+
+    Parameter values vary per call, so this stays *outside* the
+    ``_query_report`` cache; the shape inference itself is memoized, making
+    the per-call cost one abstract query match plus a membership test per
+    parameter.  The extra findings' counters are published manually — the
+    cached report already published its own on the miss.
+    """
+    extra = check_params(infer_shapes(tuple(rules)), query, params)
+    if not extra:
+        return report
+    registry = metrics.REGISTRY
+    for diagnostic in extra:
+        registry.counter("lint.warnings").inc()
+        registry.counter(f"lint.code.{diagnostic.code}").inc()
+    return finish_report(
+        report.diagnostics + tuple(extra),
+        strata=report.strata,
+        rules=report.rules,
+        facts=report.facts,
+        shapes=report.shapes,
+    )
 
 
 @lru_cache(maxsize=512)
 def _query_report(query: Formula, rules: Tuple[Rule, ...]) -> LintReport:
     findings = list(check_query_formula(query))
     findings.extend(check_query_plan(query, None, rules))
+    findings.extend(check_query_shape(infer_shapes(rules), query))
     report = finish_report(findings)
     _publish(report)
     return report

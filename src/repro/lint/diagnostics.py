@@ -13,6 +13,9 @@ Code space (grouped by analysis, gaps left for growth):
   duplicates, reachability);
 * ``RL1xx`` — formula-level analyses (⊥/⊤ propagation through the sub-object
   lattice, parameters, variable hygiene);
+* ``RL2xx`` — shape analyses (whole-program abstract interpretation over the
+  sub-object lattice: unmatched literals, provably-empty regions,
+  contradictory variables, shape-impossible parameter bindings);
 * ``RL3xx`` — plan-level analyses (cost-based: cross products, access paths).
 
 Severities: ``error`` means the program is wrong (evaluating it cannot do
@@ -134,6 +137,40 @@ _REGISTRY: Tuple[CodeInfo, ...] = (
         "empty set formula as a set element",
         "'{}' as an element matches every set object and binds nothing;"
         " drop it or spell out the element it should match",
+    ),
+    # -- RL2xx: shape analysis --------------------------------------------------------
+    CodeInfo(
+        "RL201",
+        WARNING,
+        "no derivable object can match this literal",
+        "the program's facts and rules never place a matching object at this"
+        " path (producer/consumer shape mismatch); fix the literal's"
+        " structure or the producing rule's head",
+    ),
+    CodeInfo(
+        "RL202",
+        WARNING,
+        "rule reads a provably-empty region",
+        "every producer of this region is itself statically empty, so the"
+        " rule can never fire — the transitive dead chain RL005's"
+        " reachability cannot see; fix the producing chain or remove the"
+        " rule",
+    ),
+    CodeInfo(
+        "RL203",
+        WARNING,
+        "contradictory shape requirements on one variable",
+        "two body literals constrain this variable to shapes with an empty"
+        " intersection, so no substitution satisfies the body; make the"
+        " occurrences consistent",
+    ),
+    CodeInfo(
+        "RL204",
+        WARNING,
+        "$parameter bound to a shape-impossible constant",
+        "no derivable object admits this value at the parameter's slot, so"
+        " the execution is guaranteed to return nothing; bind a value that"
+        " fits the inferred slot shape",
     ),
     # -- RL3xx: plan level ------------------------------------------------------------
     CodeInfo(
@@ -269,6 +306,10 @@ class LintReport:
     strata: Tuple[dict, ...] = ()
     rules: int = 0
     facts: int = 0
+    #: Inferred shape summaries as ``(subject, shape)`` pairs — the database
+    #: first, then each non-fact rule's contribution (empty when the shape
+    #: pass did not run, e.g. query-only reports).
+    shapes: Tuple[Tuple[str, str], ...] = ()
 
     # -- aggregation ------------------------------------------------------------------
     @property
@@ -313,7 +354,11 @@ class LintReport:
             if d.code not in wanted and f"{d.rule_index}:{d.code}" not in wanted
         )
         return LintReport(
-            diagnostics=kept, strata=self.strata, rules=self.rules, facts=self.facts
+            diagnostics=kept,
+            strata=self.strata,
+            rules=self.rules,
+            facts=self.facts,
+            shapes=self.shapes,
         )
 
     # -- rendering --------------------------------------------------------------------
@@ -328,6 +373,10 @@ class LintReport:
                 indices = ",".join(str(i) for i in stratum["rules"])
                 parts.append(f"{{{indices}}}{'*' if stratum['recursive'] else ''}")
             lines.append(f"strata (producers first, * = recursive): {' -> '.join(parts)}")
+        if self.shapes:
+            lines.append("inferred shapes:")
+            for subject, shape in self.shapes:
+                lines.append(f"  {subject}: {shape}")
         lines.append(
             f"{self.rules} rule(s), {self.facts} fact(s):"
             f" {self.errors} error(s), {self.warnings} warning(s),"
@@ -348,6 +397,9 @@ class LintReport:
                 "by_code": self.by_code(),
             },
             "strata": list(self.strata),
+            "shapes": [
+                {"subject": subject, "shape": shape} for subject, shape in self.shapes
+            ],
             "diagnostics": [d.to_json() for d in self.diagnostics],
         }
 
@@ -358,7 +410,10 @@ def finish_report(
     strata: Tuple[dict, ...] = (),
     rules: int = 0,
     facts: int = 0,
+    shapes: Tuple[Tuple[str, str], ...] = (),
 ) -> LintReport:
     """Order findings deterministically and assemble the report."""
     ordered = tuple(sorted(diagnostics, key=_sort_key))
-    return LintReport(diagnostics=ordered, strata=strata, rules=rules, facts=facts)
+    return LintReport(
+        diagnostics=ordered, strata=strata, rules=rules, facts=facts, shapes=shapes
+    )

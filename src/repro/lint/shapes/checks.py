@@ -1,0 +1,117 @@
+"""Shape-derived diagnostics: the RL2xx family.
+
+The abstract interpreter (:mod:`repro.lint.shapes.infer`) classifies each
+impossible body match; this module maps the classification onto stable codes:
+
+* **RL201** — a body literal no derivable object can ever match (producer /
+  consumer shape mismatch);
+* **RL202** — a rule reads a region that is provably empty because every one
+  of its producers is itself statically empty: the *transitive* dead-rule
+  case, strictly stronger than RL005's path-interaction reachability (which
+  only sees whether paths touch, not whether anything ever arrives);
+* **RL203** — two body literals constrain one variable to shapes whose meet
+  is empty, so no substitution can satisfy the body;
+* **RL204** — a ``$parameter`` is bound to a constant outside its inferred
+  slot shape, so the execution is guaranteed to return nothing.
+
+All RL2xx findings are gated on :attr:`ProgramShapes.grounded`: emptiness is
+only meaningful relative to a provided database or the program's own facts.
+An ungrounded program (rules only) describes *how* to derive, not *what*
+exists, and gets no shape findings at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.calculus.rules import Rule
+from repro.calculus.terms import Formula
+from repro.core.builder import obj
+from repro.lint.diagnostics import Diagnostic, new_diagnostic
+from repro.lint.plans import _locate
+from repro.lint.shapes.domain import maybe_subobject
+from repro.lint.shapes.infer import ProgramShapes
+
+__all__ = ["check_shapes", "check_query_shape", "check_params"]
+
+#: Failure kind (from the abstract matcher) → diagnostic code.  Rules only —
+#: a query reading an empty region maps to RL201 (RL202's text talks about
+#: rules that can never fire).
+_RULE_CODES = {"literal": "RL201", "empty": "RL202", "contradiction": "RL203"}
+_QUERY_CODES = {"literal": "RL201", "empty": "RL201", "contradiction": "RL203"}
+
+
+def check_shapes(
+    rules: Sequence[Rule],
+    shapes: ProgramShapes,
+    query: Optional[Formula] = None,
+) -> List[Diagnostic]:
+    """RL201/RL202/RL203 over every rule body (and the query formula)."""
+    if not shapes.grounded:
+        return []
+    findings: List[Diagnostic] = []
+    for summary in shapes.summaries:
+        if summary.failure is None:
+            continue
+        rule = rules[summary.index]
+        findings.append(
+            new_diagnostic(
+                _RULE_CODES[summary.failure.kind],
+                message=summary.failure.detail,
+                formula=summary.failure.subject,
+                **_locate(rule, summary.index),
+            )
+        )
+    if query is not None:
+        findings.extend(check_query_shape(shapes, query))
+    return findings
+
+
+def check_query_shape(shapes: ProgramShapes, query: Formula) -> List[Diagnostic]:
+    """RL201/RL203 for a query formula alone (``Session.prepare``'s pass)."""
+    if not shapes.grounded:
+        return []
+    failure = shapes.query(query).failure
+    if failure is None:
+        return []
+    return [
+        new_diagnostic(
+            _QUERY_CODES[failure.kind],
+            message=failure.detail,
+            formula=failure.subject,
+        )
+    ]
+
+
+def check_params(
+    shapes: ProgramShapes,
+    query: Formula,
+    params: Mapping[str, object],
+) -> List[Diagnostic]:
+    """RL204: parameters bound to values outside their inferred slot shape.
+
+    ``params`` values may be Python values (coerced the same way the
+    session's ``bind`` coerces them) or already-built complex objects.
+    """
+    if not shapes.grounded:
+        return []
+    slots = shapes.query(query).param_slots()
+    findings: List[Diagnostic] = []
+    for name in sorted(params):
+        slot = slots.get(name)
+        if slot is None:
+            continue
+        value = obj(params[name])
+        if not maybe_subobject(value, slot):
+            findings.append(
+                new_diagnostic(
+                    "RL204",
+                    message=(
+                        f"${name} is bound to {value.to_text()} but every"
+                        f" derivable object at its slot has shape"
+                        f" {slot.describe()}, so the query returns nothing"
+                    ),
+                    formula=f"${name}",
+                )
+            )
+    return findings

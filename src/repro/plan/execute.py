@@ -124,6 +124,15 @@ def match_plan(
         from repro.engine.stats import EngineStats
 
         stats = EngineStats()
+    if plan.pruned is not None:
+        # The shape analysis proved this body can never produce a row; the
+        # zero-row answer is exact, not an estimate (soundness is pinned by
+        # tests/test_shape_properties.py).
+        if record is not None:
+            record["rows"] = 0
+            if record.get("timed", False):
+                record["wall_ns"] = 0
+        return []
     mode = _executor_mode(executor)
     # EXPLAIN ANALYZE: a record created with {"timed": True} additionally
     # collects wall time — per scan leaf (``by_leaf_ns``, filled by the
@@ -206,6 +215,9 @@ def iter_match_plan(
         from repro.engine.stats import EngineStats
 
         stats = EngineStats()
+    if plan.pruned is not None:
+        # Statically proved empty: stream nothing.
+        return
     mode = _executor_mode(executor)
     effective_indexes = indexes if not allow_bottom else None
     if mode == "scalar":

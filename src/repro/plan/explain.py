@@ -34,6 +34,8 @@ __all__ = ["render_body_plan", "render_rule_node", "render_program_plan"]
 
 def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
     lines = []
+    if plan.pruned is not None:
+        lines.append(f"{indent}pruned by shape analysis: {plan.pruned}")
     actuals: Dict = (record or {}).get("by_leaf", {})
     batches: Dict = (record or {}).get("by_leaf_batches", {})
     timings: Dict = (record or {}).get("by_leaf_ns", {})
@@ -44,6 +46,8 @@ def _leaf_lines(plan: BodyPlan, record: Optional[dict], indent: str) -> list:
         notes = []
         if estimate is not None:
             notes.append(f"est {estimate.rows:g} rows via {estimate.access}")
+            if estimate.shape is not None:
+                notes.append(f"shape {estimate.shape}")
         actual = actuals.get(leaf_key(leaf))
         if actual is not None:
             notes.append(f"actual {actual}")

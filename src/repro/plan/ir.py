@@ -151,6 +151,9 @@ class LeafEstimate:
 
     rows: float
     access: str  # e.g. "scan", "index name=abraham", "index name=$X"
+    #: The inferred shape of what this leaf reads (a scan leaf's element
+    #: shape), rendered by EXPLAIN; ``None`` when the shape pass did not run.
+    shape: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -166,6 +169,10 @@ class BodyPlan:
     leaves: Tuple[Leaf, ...]
     optimized: bool = False
     estimates: Optional[Tuple[LeafEstimate, ...]] = None
+    #: When the shape analysis proved the body can never produce a row, the
+    #: one-line proof; the executor then short-circuits to zero rows without
+    #: touching the database.  ``None`` = not pruned.
+    pruned: Optional[str] = None
 
     @property
     def variables(self) -> FrozenSet[str]:

@@ -104,9 +104,32 @@ def estimate_leaf(
 
 
 def optimize_body(
-    plan: BodyPlan, statistics: Optional[DatabaseStatistics] = None
+    plan: BodyPlan,
+    statistics: Optional[DatabaseStatistics] = None,
+    shapes=None,
 ) -> BodyPlan:
-    """Reorder ``plan``'s leaves by estimated cost; annotate each with its estimate."""
+    """Reorder ``plan``'s leaves by estimated cost; annotate each with its estimate.
+
+    ``shapes`` (a :class:`~repro.lint.shapes.ProgramShapes`) makes the shape
+    analysis load-bearing: a body the abstract interpreter proves can never
+    produce a row is marked ``pruned`` (the executor then short-circuits to
+    zero rows), and each scan leaf's estimate is annotated with the inferred
+    element shape for EXPLAIN.  Pruning only happens on *grounded* inferences
+    — an engine run infers against the actual database, so the proof is
+    relative to the world that will really be scanned.
+    """
+    if shapes is not None and shapes.grounded:
+        failure = shapes.body_failure(plan.body)
+        if failure is not None:
+            return BodyPlan(
+                body=plan.body,
+                leaves=plan.leaves,
+                optimized=True,
+                estimates=tuple(
+                    LeafEstimate(rows=0.0, access="pruned") for _ in plan.leaves
+                ),
+                pruned=failure.detail,
+            )
     free = [leaf for leaf in plan.leaves if not isinstance(leaf, ScanLeaf)]
     scans = [leaf for leaf in plan.leaves if isinstance(leaf, ScanLeaf)]
 
@@ -137,6 +160,11 @@ def optimize_body(
         estimates.append(best_estimate)
         bound |= chosen.variables
 
+    if shapes is not None:
+        estimates = [
+            _annotate_shape(leaf, estimate, shapes)
+            for leaf, estimate in zip(ordered, estimates)
+        ]
     return BodyPlan(
         body=plan.body,
         leaves=tuple(ordered),
@@ -145,23 +173,40 @@ def optimize_body(
     )
 
 
+def _annotate_shape(leaf: Leaf, estimate: LeafEstimate, shapes) -> LeafEstimate:
+    """Attach the inferred element shape to a scan leaf's estimate."""
+    if not isinstance(leaf, ScanLeaf):
+        return estimate
+    element = shapes.scan_element(leaf.path)
+    description = "empty" if element is None else element.describe()
+    return LeafEstimate(rows=estimate.rows, access=estimate.access, shape=description)
+
+
 def optimize_rule(
-    node: RuleNode, statistics: Optional[DatabaseStatistics] = None
+    node: RuleNode,
+    statistics: Optional[DatabaseStatistics] = None,
+    shapes=None,
 ) -> RuleNode:
     """Optimize one rule node (facts pass through unchanged)."""
     if node.body_plan is None:
         return node
-    return RuleNode(rule=node.rule, body_plan=optimize_body(node.body_plan, statistics))
+    return RuleNode(
+        rule=node.rule, body_plan=optimize_body(node.body_plan, statistics, shapes)
+    )
 
 
 def optimize_program(
-    plan: ProgramPlan, statistics: Optional[DatabaseStatistics] = None
+    plan: ProgramPlan,
+    statistics: Optional[DatabaseStatistics] = None,
+    shapes=None,
 ) -> ProgramPlan:
     """Optimize every rule of a program plan."""
     return ProgramPlan(
         strata=tuple(
             StratumNode(
-                rules=tuple(optimize_rule(node, statistics) for node in stratum.rules),
+                rules=tuple(
+                    optimize_rule(node, statistics, shapes) for node in stratum.rules
+                ),
                 recursive=stratum.recursive,
             )
             for stratum in plan.strata

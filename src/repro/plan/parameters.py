@@ -77,10 +77,12 @@ def bind_body_plan(
         else:
             bound_leaves.append(leaf)
     # Leaf order (and therefore the parallel estimates tuple) is preserved:
-    # binding substitutes values in place, it never reorders.
+    # binding substitutes values in place, it never reorders.  A pruned plan
+    # stays pruned — parameters only ever make a body *more* constrained.
     return BodyPlan(
         body=bound_body,
         leaves=tuple(bound_leaves),
         optimized=plan.optimized,
         estimates=plan.estimates,
+        pruned=plan.pruned,
     )

@@ -44,6 +44,11 @@ class DatabaseStatistics:
 
     set_cardinalities: Dict[Path, int] = field(default_factory=dict)
     distinct_atoms: Dict[Tuple[Path, Path], int] = field(default_factory=dict)
+    #: Optional :class:`~repro.lint.shapes.ProgramShapes` attached by the
+    #: engine: when a path was never profiled, a shape-derived bound (a dead
+    #: region estimates 0, a finite ``max_card`` caps the guess) beats the
+    #: flat :data:`DEFAULT_CARDINALITY`.  Grounded inferences only.
+    shapes: object = None
 
     # -- collection -----------------------------------------------------------------
     @classmethod
@@ -78,9 +83,20 @@ class DatabaseStatistics:
 
     # -- estimates ------------------------------------------------------------------
     def cardinality(self, set_path: Path) -> float:
-        """Estimated element count of the set at ``set_path``."""
+        """Estimated element count of the set at ``set_path``.
+
+        Resolution order: the profiled count, then a shape-derived bound
+        (when a grounded shape inference is attached), then
+        :data:`DEFAULT_CARDINALITY`.
+        """
         known = self.set_cardinalities.get(set_path)
-        return float(known) if known is not None else DEFAULT_CARDINALITY
+        if known is not None:
+            return float(known)
+        if self.shapes is not None and getattr(self.shapes, "grounded", False):
+            bound = self.shapes.set_cardinality(set_path)
+            if bound is not None:
+                return bound
+        return DEFAULT_CARDINALITY
 
     def distinct(self, set_path: Path, key_path: Path) -> float:
         """Distinct atoms at ``key_path`` inside the elements at ``set_path``.

@@ -33,6 +33,7 @@ class TestCodeRegistry:
         assert sorted(CODES) == [
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL101", "RL102", "RL103", "RL104", "RL105",
+            "RL201", "RL202", "RL203", "RL204",
             "RL301", "RL302", "RL303", "RL304",
         ]
 

@@ -3,8 +3,19 @@
 Each ``tests/lint_corpus/<name>.co`` program has a ``<name>.expected``
 sidecar listing the diagnostics it must produce, one ``N:RLxxx`` per line
 (``N`` is the 1-based clause index, 0 for query/program-level findings).
-A leading ``%query: <formula>`` comment line lints the program together
-with that query (how query-only checks such as RL304 enter the corpus).
+Leading ``%directive:`` comment lines configure the analysis:
+
+``%query: <formula>``
+    lint the program together with that query (how query-only checks such
+    as RL304 enter the corpus);
+``%db: <object>``
+    profile that object as the database — plan-level findings (RL303) see
+    its real cardinalities and the shape analysis (RL2xx) runs closed-world
+    over it;
+``%params: name=<object>; name=<object>``
+    bind ``$parameter`` values for the query, so bind-time shape
+    refutation (RL204) enters the corpus.
+
 The corpus pins the analyzer's output shape end to end: adding a check that
 changes what an existing program reports is a deliberate act (update the
 sidecar), and a clean program starting to warn is a false-positive
@@ -16,6 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.lint import lint_source
+from repro.parser import parse_object
 
 CORPUS = Path(__file__).parent / "lint_corpus"
 PROGRAMS = sorted(CORPUS.glob("*.co"))
@@ -27,18 +39,49 @@ def expected_codes(program: Path):
     return sorted(line.strip() for line in lines if line.strip())
 
 
-def query_directive(text: str):
-    """The ``%query: <formula>`` directive's formula source, if present."""
+def directive(text: str, name: str):
+    """The ``%name: <value>`` directive's source text, if present."""
+    prefix = f"%{name}:"
     for line in text.splitlines():
-        if line.startswith("%query:"):
-            return line[len("%query:"):].strip()
+        if line.startswith(prefix):
+            return line[len(prefix):].strip()
     return None
+
+
+def params_directive(text: str):
+    """``%params: a=1; b=[k: v]`` parsed into a name → object mapping."""
+    raw = directive(text, "params")
+    if raw is None:
+        return None
+    bindings = {}
+    for pair in raw.split(";"):
+        name, separator, value = pair.partition("=")
+        assert separator, f"malformed %params entry {pair!r}"
+        bindings[name.strip()] = parse_object(value.strip())
+    return bindings
+
+
+def analyze(program: Path):
+    text = program.read_text(encoding="utf-8")
+    database = statistics = None
+    db_source = directive(text, "db")
+    if db_source is not None:
+        from repro.plan import DatabaseStatistics
+
+        database = parse_object(db_source)
+        statistics = DatabaseStatistics.collect(database)
+    return lint_source(
+        text,
+        query=directive(text, "query"),
+        statistics=statistics,
+        database=database,
+        params=params_directive(text),
+    )
 
 
 @pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.stem)
 def test_corpus_program_diagnostics_are_pinned(program):
-    text = program.read_text(encoding="utf-8")
-    report = lint_source(text, query=query_directive(text))
+    report = analyze(program)
     actual = sorted(f"{d.rule_index or 0}:{d.code}" for d in report.diagnostics)
     assert actual == expected_codes(program)
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Codebase invariants, checked with nothing but the stdlib ``ast`` module.
 
-Three invariants that matter for correctness but that no unit test can pin
+Four invariants that matter for correctness but that no unit test can pin
 (they are properties of the *source*, not of any one execution):
 
 ``raw-constructors``
@@ -17,6 +17,18 @@ Three invariants that matter for correctness but that no unit test can pin
     a registered point, and every registered point must have at least one
     call site — so the sweep harness and the docs can never drift from the
     real fault surface.
+
+``diagnostic-codes``
+    ``repro.lint.diagnostics._REGISTRY`` is the registry of every stable
+    ``RLxxx`` diagnostic code.  Every registered code must appear as a row
+    in the README's diagnostics table **and** in at least one
+    ``tests/lint_corpus/*.expected`` sidecar (so every code has a pinned
+    witness program), and every code the README or the corpus mentions must
+    be registered — docs, corpus and registry can never drift.  Codes the
+    parser makes unreachable from source programs (``RL001``: the ``Rule``
+    constructor rejects unbound head variables; ``RL102``: the parser
+    rejects ``$parameters`` inside rules) are exempt from the corpus leg
+    only.
 
 ``lock-discipline``
     Public methods of :class:`repro.store.ObjectDatabase` may only touch the
@@ -39,6 +51,7 @@ pure source analysis, so they run before the package is even importable.
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 from typing import Dict, Iterator, List, Set, Tuple
@@ -168,7 +181,94 @@ def check_fault_points() -> List[str]:
     return violations
 
 
-# -- invariant 3: ObjectDatabase lock discipline -----------------------------------------
+# -- invariant 3: registry codes ↔ README table ↔ corpus sidecars ------------------------
+
+#: Codes no parsed corpus program can produce: the constructor/parser rejects
+#: the offending source before the analyzer ever sees it.
+CORPUS_EXEMPT = frozenset({"RL001", "RL102"})
+
+CODE_PATTERN = re.compile(r"RL\d{3}")
+
+
+def _registered_codes() -> Tuple[Set[str], Path]:
+    path = SRC_ROOT / "lint" / "diagnostics.py"
+    tree, _ = _parse(path)
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            target = node.target.id
+        elif isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            target = names[0] if names else None
+        if target != "_REGISTRY" or node.value is None:
+            continue
+        codes = set()
+        for call in ast.walk(node.value):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "CodeInfo"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                codes.add(call.args[0].value)
+        if codes:
+            return codes, path
+    raise SystemExit(
+        f"{_relative(path)}: _REGISTRY = (CodeInfo(...), ...) not found — the"
+        " diagnostics registry moved; update tools/check_invariants.py"
+    )
+
+
+def _readme_codes() -> Tuple[Set[str], Path]:
+    path = REPO_ROOT / "README.md"
+    codes: Set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        # Only table rows count as documentation: a code mentioned in prose
+        # or an example transcript does not document its meaning.
+        if line.lstrip().startswith("|"):
+            codes.update(CODE_PATTERN.findall(line))
+    return codes, path
+
+
+def _corpus_codes() -> Tuple[Set[str], Path]:
+    root = REPO_ROOT / "tests" / "lint_corpus"
+    codes: Set[str] = set()
+    for sidecar in sorted(root.glob("*.expected")):
+        codes.update(CODE_PATTERN.findall(sidecar.read_text(encoding="utf-8")))
+    return codes, root
+
+
+def check_diagnostic_codes() -> List[str]:
+    registered, registry_path = _registered_codes()
+    documented, readme_path = _readme_codes()
+    pinned, corpus_root = _corpus_codes()
+    violations: List[str] = []
+    for code in sorted(registered - documented):
+        violations.append(
+            f"{_relative(readme_path)}: registered code {code} has no row in"
+            f" the README diagnostics table — document it"
+        )
+    for code in sorted(documented - registered):
+        violations.append(
+            f"{_relative(readme_path)}: README documents {code} but"
+            f" {_relative(registry_path)} does not register it"
+        )
+    for code in sorted(registered - pinned - CORPUS_EXEMPT):
+        violations.append(
+            f"{_relative(corpus_root)}: registered code {code} appears in no"
+            f" *.expected sidecar — add a witness program that produces it"
+        )
+    for code in sorted(pinned - registered):
+        violations.append(
+            f"{_relative(corpus_root)}: a sidecar expects {code} but"
+            f" {_relative(registry_path)} does not register it"
+        )
+    return violations
+
+
+# -- invariant 4: ObjectDatabase lock discipline -----------------------------------------
 
 
 def _is_lock_with(node: ast.With) -> bool:
@@ -236,6 +336,7 @@ def main() -> int:
     checks = (
         ("raw-constructors", check_raw_constructors),
         ("fault-points", check_fault_points),
+        ("diagnostic-codes", check_diagnostic_codes),
         ("lock-discipline", check_lock_discipline),
     )
     failures = 0
